@@ -1,0 +1,83 @@
+// A8: ablations over the hjswy design knobs (DESIGN.md §4.2).
+//
+//   * sketch length L: count-estimate accuracy vs message size,
+//   * suffix multiplier beta: verification safety margin vs rounds,
+//   * dissemination multiplier gamma and initial horizon D0: phase sizing,
+//   * coords per message: the bounded-bandwidth rotation trade-off.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/flags.hpp"
+
+namespace sdn::bench {
+namespace {
+
+Aggregate RunKnob(graph::NodeId n, int T, int trials,
+                  const algo::HjswyOptions& knobs) {
+  RunConfig config;
+  config.n = n;
+  config.T = T;
+  config.adversary.kind = "spine-gnp";
+  config.hjswy = knobs;
+  return Measure(Algorithm::kHjswyEstimate, config, trials);
+}
+
+int Main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto n =
+      static_cast<graph::NodeId>(flags.GetInt("n", 256, "node count"));
+  const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
+  const int trials = static_cast<int>(flags.GetInt("trials", 8, "seeds"));
+
+  if (HelpRequested(flags, "bench_a8_ablation")) return 0;
+
+  PrintBanner("A8: hjswy ablations (N=" + std::to_string(n) + ")",
+              "each block varies one knob from the defaults "
+              "(L=64, c=4, gamma=1.5, beta=3, D0=4).");
+
+  util::Table table({"knob", "value", "rounds (median)", "worst est err",
+                     "failures"});
+  const auto add = [&](const std::string& knob, const std::string& value,
+                       const Aggregate& agg) {
+    table.AddRow({knob, value, util::Table::Num(agg.rounds.median, 0),
+                  util::Table::Num(agg.worst_count_rel_error * 100, 1) + "%",
+                  std::to_string(agg.failures) + "/" + std::to_string(trials)});
+  };
+
+  for (const int L : {8, 16, 32, 64, 128}) {
+    algo::HjswyOptions knobs;
+    knobs.sketch_len = L;
+    add("sketch L", std::to_string(L), RunKnob(n, T, trials, knobs));
+  }
+  for (const double beta : {0.5, 1.0, 3.0, 6.0}) {
+    algo::HjswyOptions knobs;
+    knobs.beta = beta;
+    add("beta", util::Table::Num(beta, 1), RunKnob(n, T, trials, knobs));
+  }
+  for (const double gamma : {0.5, 1.0, 1.5, 3.0}) {
+    algo::HjswyOptions knobs;
+    knobs.gamma = gamma;
+    add("gamma", util::Table::Num(gamma, 1), RunKnob(n, T, trials, knobs));
+  }
+  for (const std::int64_t d0 : {1, 4, 16, 64}) {
+    algo::HjswyOptions knobs;
+    knobs.initial_horizon = d0;
+    add("D0", std::to_string(d0), RunKnob(n, T, trials, knobs));
+  }
+  for (const int c : {1, 2, 4, 8}) {
+    algo::HjswyOptions knobs;
+    knobs.coords_per_msg = c;
+    add("coords/msg", std::to_string(c), RunKnob(n, T, trials, knobs));
+  }
+  Finish(table, "a8_ablation.csv");
+  std::cout << "Reading guide: small beta risks premature accepts (failures "
+               "column); small L saves bits but hurts the estimate; small c "
+               "shrinks messages but slows sketch convergence (more rounds)."
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdn::bench
+
+int main(int argc, char** argv) { return sdn::bench::Main(argc, argv); }

@@ -1,0 +1,138 @@
+// A9: microbenchmarks (google-benchmark) — simulator throughput and the
+// hot-path data structures. These are engineering numbers (rounds/sec,
+// merges/sec), not model results; they bound how large the T1/F7 sweeps can
+// go on one machine.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "adversary/factory.hpp"
+#include "algo/estimator.hpp"
+#include "algo/flood_max.hpp"
+#include "algo/hjswy.hpp"
+#include "algo/idset.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "net/engine.hpp"
+#include "util/rng.hpp"
+
+namespace sdn {
+namespace {
+
+void BM_EngineFloodRound(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  for (auto _ : state) {
+    adversary::AdversaryConfig config;
+    config.kind = "spine-gnp";
+    config.n = n;
+    config.T = 2;
+    const auto adv = adversary::MakeAdversary(config);
+    std::vector<algo::FloodMaxKnownN> nodes;
+    for (graph::NodeId u = 0; u < n; ++u) nodes.emplace_back(u, n, u);
+    net::EngineOptions opts;
+    opts.validate_tinterval = false;
+    opts.flood_probes = 0;
+    net::Engine<algo::FloodMaxKnownN> engine(std::move(nodes), *adv, opts);
+    const net::RunStats stats = engine.Run();
+    state.counters["rounds"] = static_cast<double>(stats.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1) * n);  // node-rounds
+}
+BENCHMARK(BM_EngineFloodRound)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_HjswyFullRun(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    adversary::AdversaryConfig config;
+    config.kind = "spine-gnp";
+    config.n = n;
+    config.T = 2;
+    config.seed = ++seed;
+    const auto adv = adversary::MakeAdversary(config);
+    algo::HjswyOptions options;
+    options.T = 2;
+    options.exact_census = true;
+    util::Rng base(seed);
+    std::vector<algo::HjswyProgram> nodes;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      nodes.emplace_back(u, u, options, base.Fork(static_cast<std::uint64_t>(u)));
+    }
+    net::EngineOptions opts;
+    opts.validate_tinterval = false;
+    net::Engine<algo::HjswyProgram> engine(std::move(nodes), *adv, opts);
+    benchmark::DoNotOptimize(engine.Run().rounds);
+  }
+}
+BENCHMARK(BM_HjswyFullRun)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_IdSetUnion(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(7);
+  algo::IdSet a;
+  algo::IdSet b;
+  for (graph::NodeId i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.5)) a.Insert(i);
+    if (rng.Bernoulli(0.5)) b.Insert(i);
+  }
+  for (auto _ : state) {
+    algo::IdSet c = a;
+    benchmark::DoNotOptimize(c.UnionWith(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IdSetUnion)->Arg(1024)->Arg(16384);
+
+void BM_EstimatorMerge(benchmark::State& state) {
+  const auto L = static_cast<int>(state.range(0));
+  util::Rng rng(9);
+  algo::CardinalityEstimator a(L, rng);
+  const algo::CardinalityEstimator b(L, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Merge(b.mins()));
+  }
+  state.SetItemsProcessed(state.iterations() * L);
+}
+BENCHMARK(BM_EstimatorMerge)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SpineGeneration(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::RandomExpander(n, 2, rng).num_edges());
+  }
+}
+BENCHMARK(BM_SpineGeneration)->Arg(256)->Arg(4096);
+
+void BM_TIntervalValidation(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  adversary::AdversaryConfig config;
+  config.kind = "spine-rtree";
+  config.n = n;
+  config.T = 4;
+  const auto adv = adversary::MakeAdversary(config);
+
+  class NullView final : public net::AdversaryView {
+   public:
+    [[nodiscard]] std::int64_t round() const override { return 1; }
+    [[nodiscard]] double PublicState(graph::NodeId) const override {
+      return 0;
+    }
+    [[nodiscard]] graph::NodeId num_nodes() const override { return 0; }
+  } view;
+
+  std::vector<graph::Graph> window;
+  for (std::int64_t r = 1; r <= 4; ++r) {
+    window.push_back(adv->TopologyFor(r, view));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::IsConnected(graph::EdgeIntersection(window)));
+  }
+}
+BENCHMARK(BM_TIntervalValidation)->Arg(256)->Arg(2048);
+
+}  // namespace
+}  // namespace sdn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Shared harness pieces for the experiment binaries (DESIGN.md §5).
+//
+// Every bench prints the table/figure rows to stdout and mirrors them to a
+// CSV named after the experiment, so EXPERIMENTS.md numbers regenerate with
+// `for b in build/bench/*; do $b; done`.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sdn::bench {
+
+/// Call after all flags were read (so they are registered): prints usage and
+/// returns true when --help was passed.
+inline bool HelpRequested(util::Flags& flags, const std::string& program) {
+  if (!flags.Has("help")) return false;
+  std::cout << flags.Usage(program);
+  return true;
+}
+
+/// Seeds 1..trials (deterministic across runs).
+inline std::vector<std::uint64_t> Seeds(int trials, std::uint64_t base = 0) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(trials));
+  for (int i = 1; i <= trials; ++i) {
+    seeds.push_back(base * 1000 + static_cast<std::uint64_t>(i));
+  }
+  return seeds;
+}
+
+struct Aggregate {
+  util::Summary rounds;
+  util::Summary flood_d;
+  util::Summary bits_per_msg;
+  double worst_count_rel_error = 0.0;
+  int failures = 0;  // trials that were not Ok()
+  int trials = 0;
+};
+
+inline Aggregate AggregateResults(const std::vector<RunResult>& results) {
+  Aggregate agg;
+  std::vector<double> rounds;
+  std::vector<double> flood;
+  std::vector<double> bits;
+  for (const RunResult& r : results) {
+    ++agg.trials;
+    rounds.push_back(static_cast<double>(r.stats.rounds));
+    flood.push_back(static_cast<double>(r.stats.flooding.max_rounds));
+    bits.push_back(r.stats.AvgBitsPerMessage());
+    if (!r.Ok()) ++agg.failures;
+    if (r.count_max_rel_error.has_value()) {
+      agg.worst_count_rel_error =
+          std::max(agg.worst_count_rel_error, *r.count_max_rel_error);
+    }
+  }
+  agg.rounds = util::Summarize(rounds);
+  agg.flood_d = util::Summarize(flood);
+  agg.bits_per_msg = util::Summarize(bits);
+  return agg;
+}
+
+/// Runs `trials` seeded trials of `algorithm` on `config` and aggregates.
+inline Aggregate Measure(Algorithm algorithm, RunConfig config, int trials) {
+  config.validate_tinterval = false;  // adversaries are property-tested
+  return AggregateResults(RunTrials(algorithm, config, Seeds(trials)));
+}
+
+inline void PrintBanner(const std::string& experiment,
+                        const std::string& claim) {
+  std::cout << "==== " << experiment << " ====\n" << claim << "\n\n";
+}
+
+inline void Finish(const util::Table& table, const std::string& csv_name) {
+  table.Print(std::cout);
+  table.WriteCsv(csv_name);
+  std::cout << "\n(csv: " << csv_name << ")\n\n";
+}
+
+}  // namespace sdn::bench

@@ -1,0 +1,59 @@
+// F2: Count round complexity vs the interval promise T at fixed N.
+//
+// Prior exact algorithms *use* T to shrink their Ω(N²) term (the census
+// baseline's O(N + N²/T) curve should fall as T grows); the hjswy suite is
+// already sublinear at T = 1, 2 and stays essentially flat — this is the
+// abstract's "previous sublinear algorithms require significantly larger T".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/flags.hpp"
+
+namespace sdn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto n = static_cast<graph::NodeId>(
+      flags.GetInt("n", 192, "node count (census baseline runs at every T)"));
+  const auto ts = flags.GetIntList("T", {1, 2, 4, 8, 16, 32, 64},
+                                   "interval promises to sweep");
+  const int trials = static_cast<int>(flags.GetInt("trials", 3, "seeds"));
+  const std::string kind =
+      flags.GetString("adversary", "spine-gnp", "adversary kind");
+
+  if (HelpRequested(flags, "bench_f2_count_vs_t")) return 0;
+
+  PrintBanner(
+      "F2: Count rounds vs T (fixed N=" + std::to_string(n) + ")",
+      "klo-census-T should improve ~1/T toward its O(N) floor; hjswy stays "
+      "flat and below it already at constant T.");
+
+  util::Table table({"T", "klo-census-T", "hjswy-est", "hjswy-census",
+                     "speedup vs T=1"});
+  double census_t1 = 0.0;
+  for (const std::int64_t T : ts) {
+    RunConfig config;
+    config.n = n;
+    config.T = static_cast<int>(T);
+    config.adversary.kind = kind;
+
+    const Aggregate census = Measure(Algorithm::kKloCensusT, config, trials);
+    const Aggregate est = Measure(Algorithm::kHjswyEstimate, config, trials);
+    const Aggregate cen = Measure(Algorithm::kHjswyCensus, config, trials);
+    if (T == ts.front()) census_t1 = census.rounds.median;
+    table.AddRow(
+        {std::to_string(T), util::Table::Num(census.rounds.median, 0),
+         util::Table::Num(est.rounds.median, 0),
+         util::Table::Num(cen.rounds.median, 0),
+         util::Table::Num(census_t1 / std::max(1.0, census.rounds.median), 2) +
+             "x"});
+  }
+  Finish(table, "f2_count_vs_t.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdn::bench
+
+int main(int argc, char** argv) { return sdn::bench::Main(argc, argv); }

@@ -1,0 +1,106 @@
+// F3: hjswy round complexity vs the dynamic flooding time d, at several N.
+//
+// The reconstruction's complexity is parameterized by d, not N: on static
+// path-of-cliques topologies (diameter dialed by the clique count, N held
+// fixed by the clique size) the decision round should grow ~linearly in the
+// measured d and be nearly independent of N. The last rows report the
+// rounds-vs-d log-log slope per N.
+#include <iostream>
+#include <memory>
+
+#include "adversary/static_adversary.hpp"
+#include "algo/hjswy.hpp"
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "net/engine.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::bench {
+namespace {
+
+struct Point {
+  double d = 0.0;
+  double rounds = 0.0;
+};
+
+Point MeasureCliques(graph::NodeId cliques, graph::NodeId clique_size, int T,
+                     int trials) {
+  const graph::NodeId n = cliques * clique_size;
+  std::vector<double> rounds;
+  double d = 0.0;
+  for (int trial = 1; trial <= trials; ++trial) {
+    adversary::StaticAdversary adv(graph::PathOfCliques(cliques, clique_size),
+                                   T);
+    algo::HjswyOptions options;
+    options.T = T;
+    options.exact_census = true;
+    util::Rng base(static_cast<std::uint64_t>(trial) * 977);
+    std::vector<algo::HjswyProgram> nodes;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      nodes.emplace_back(u, static_cast<algo::Value>(u), options,
+                         base.Fork(static_cast<std::uint64_t>(u)));
+    }
+    net::EngineOptions opts;
+    opts.validate_tinterval = false;
+    net::Engine<algo::HjswyProgram> engine(std::move(nodes), adv, opts);
+    const net::RunStats stats = engine.Run();
+    rounds.push_back(static_cast<double>(stats.rounds));
+    d = static_cast<double>(stats.flooding.max_rounds);
+  }
+  return {d, util::Summarize(rounds).median};
+}
+
+int Main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto clique_counts = flags.GetIntList(
+      "cliques", {2, 4, 8, 16, 32, 64}, "path-of-cliques lengths (dials d)");
+  const auto clique_sizes =
+      flags.GetIntList("size", {4, 16, 64}, "clique sizes (dials N at fixed d)");
+  const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
+  const int trials = static_cast<int>(flags.GetInt("trials", 3, "seeds"));
+
+  if (HelpRequested(flags, "bench_f3_rounds_vs_d")) return 0;
+
+  PrintBanner("F3: hjswy rounds vs dynamic flooding time d",
+              "Rows sweep d (clique-chain length); columns sweep N at fixed "
+              "d. Rounds must track d (slope ~1 in d) and move little with "
+              "N (columns nearly equal).");
+
+  std::vector<std::string> header = {"cliques"};
+  for (const std::int64_t size : clique_sizes) {
+    header.push_back("d(m=" + std::to_string(size) + ")");
+    header.push_back("rounds(m=" + std::to_string(size) + ")");
+  }
+  util::Table table(header);
+
+  std::vector<std::vector<double>> ds(clique_sizes.size());
+  std::vector<std::vector<double>> rounds(clique_sizes.size());
+  for (const std::int64_t cliques : clique_counts) {
+    std::vector<std::string> row = {std::to_string(cliques)};
+    for (std::size_t i = 0; i < clique_sizes.size(); ++i) {
+      const Point p =
+          MeasureCliques(static_cast<graph::NodeId>(cliques),
+                         static_cast<graph::NodeId>(clique_sizes[i]), T,
+                         trials);
+      row.push_back(util::Table::Num(p.d, 0));
+      row.push_back(util::Table::Num(p.rounds, 0));
+      ds[i].push_back(p.d);
+      rounds[i].push_back(p.rounds);
+    }
+    table.AddRow(row);
+  }
+  std::vector<std::string> slopes = {"d^b fit"};
+  for (std::size_t i = 0; i < clique_sizes.size(); ++i) {
+    slopes.push_back("");
+    slopes.push_back("b=" + util::Table::Num(util::LogLogSlope(ds[i], rounds[i]), 2));
+  }
+  table.AddRow(slopes);
+  Finish(table, "f3_rounds_vs_d.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdn::bench
+
+int main(int argc, char** argv) { return sdn::bench::Main(argc, argv); }

@@ -1,0 +1,73 @@
+// T4: Max and Consensus round complexity vs N under constant T.
+//
+// Same no-Ω(N) claim as T1, for the other two problems the abstract names.
+// Baselines: flood-max / flood-consensus (O(N), and they even need to know
+// N a priori); klo-census answers both exactly in O(N²)-ish rounds; hjswy
+// answers both exactly whp in Õ(d).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/flags.hpp"
+
+namespace sdn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto ns = flags.GetIntList("n", {16, 32, 64, 128, 256, 512, 1024},
+                                   "node counts");
+  const auto baseline_cap =
+      flags.GetInt("baseline-cap", 256, "largest N for the census baseline");
+  const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
+  const int trials = static_cast<int>(flags.GetInt("trials", 3, "seeds"));
+  const std::string kind =
+      flags.GetString("adversary", "spine-gnp", "adversary kind");
+
+  if (HelpRequested(flags, "bench_t4_max_consensus")) return 0;
+
+  PrintBanner("T4: Max & Consensus rounds vs N (constant T)",
+              "hjswy answers both exactly (whp) in rounds tracking d; the "
+              "known-N flood baselines are exactly N-1 rounds.");
+
+  util::Table table({"N", "d", "flood-max", "flood-consensus", "klo-census",
+                     "hjswy (max+consensus)", "max ok", "consensus ok"});
+  std::vector<double> ns_d;
+  std::vector<double> hjswy_rounds;
+  for (const std::int64_t n : ns) {
+    RunConfig config;
+    config.n = static_cast<graph::NodeId>(n);
+    config.T = T;
+    config.adversary.kind = kind;
+
+    const Aggregate fmax = Measure(Algorithm::kFloodMaxKnownN, config, trials);
+    const Aggregate fcon =
+        Measure(Algorithm::kFloodConsensusKnownN, config, trials);
+    const bool skip_census = n > baseline_cap;
+    const Aggregate census =
+        skip_census ? Aggregate{}
+                    : Measure(Algorithm::kKloCensusT, config, trials);
+    const Aggregate hjswy = Measure(Algorithm::kHjswyEstimate, config, trials);
+
+    table.AddRow({std::to_string(n),
+                  util::Table::Num(hjswy.flood_d.median, 0),
+                  util::Table::Num(fmax.rounds.median, 0),
+                  util::Table::Num(fcon.rounds.median, 0),
+                  skip_census ? "(skip)"
+                              : util::Table::Num(census.rounds.median, 0),
+                  util::Table::Num(hjswy.rounds.median, 0),
+                  hjswy.failures == 0 ? "yes" : "NO",
+                  hjswy.failures == 0 ? "yes" : "NO"});
+    ns_d.push_back(static_cast<double>(n));
+    hjswy_rounds.push_back(hjswy.rounds.median);
+  }
+  table.AddRow({"N^b fit", "-", "b=1.00", "b=1.00", "b~2",
+                "b=" + util::Table::Num(util::LogLogSlope(ns_d, hjswy_rounds), 2),
+                "", ""});
+  Finish(table, "t4_max_consensus.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdn::bench
+
+int main(int argc, char** argv) { return sdn::bench::Main(argc, argv); }

@@ -1,0 +1,73 @@
+// Aggregate monitor: beyond the paper's Count/Max/Consensus — the same
+// sketch machinery estimates the SUM of non-negative node values (and hence
+// the network-wide AVERAGE = sum / count) in the same Õ(d) rounds, still
+// with O(log N)-bit messages. Think "total load across an unknown number of
+// servers under topology churn".
+//
+//   ./aggregate_monitor --servers=300 --T=2 --seed=5
+#include <iostream>
+
+#include "core/api.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  sdn::util::Flags flags(argc, argv);
+  const auto servers = static_cast<sdn::graph::NodeId>(
+      flags.GetInt("servers", 300, "server count (unknown to the servers)"));
+  const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 5, "seed"));
+  if (flags.Has("help")) {
+    std::cout << flags.Usage("aggregate_monitor");
+    return 0;
+  }
+
+  // Per-server load in requests/second.
+  sdn::util::Rng rng(seed);
+  std::vector<sdn::algo::Value> load(static_cast<std::size_t>(servers));
+  double true_sum = 0.0;
+  for (auto& v : load) {
+    v = rng.UniformInt(0, 2000);
+    true_sum += static_cast<double>(v);
+  }
+
+  sdn::RunConfig config;
+  config.n = servers;
+  config.T = T;
+  config.seed = seed;
+  config.adversary.kind = "spine-gnp";
+  config.inputs = load;
+  config.hjswy.track_sum = true;
+  config.hjswy.sketch_len = 128;  // rel. stddev ≈ 9% per aggregate
+  config.hjswy.coords_per_msg = 3;  // two sketches ride in one budget
+
+  const sdn::RunResult r =
+      sdn::RunAlgorithm(sdn::Algorithm::kHjswyEstimate, config);
+
+  const double est_count =
+      static_cast<double>(servers) *
+      (1.0 - r.count_max_rel_error.value_or(0));  // lower bound display only
+  (void)est_count;
+
+  std::cout << "True state: " << servers << " servers, total load "
+            << sdn::util::HumanCount(true_sum) << " req/s, average "
+            << sdn::util::Table::Num(true_sum / servers, 1) << " req/s.\n\n";
+  std::cout << "After " << r.stats.rounds << " rounds (d="
+            << r.stats.flooding.max_rounds << ", " << "avg "
+            << sdn::util::Table::Num(r.stats.AvgBitsPerMessage(), 0)
+            << " bits/msg, O(log N) budget " << r.stats.bit_limit
+            << " bits) every server knows:\n"
+            << "  count estimate error: "
+            << sdn::util::Table::Num(r.count_max_rel_error.value_or(0) * 100, 1)
+            << "%\n"
+            << "  sum estimate error:   "
+            << sdn::util::Table::Num(r.sum_max_rel_error.value_or(0) * 100, 1)
+            << "%\n"
+            << "  (average = sum estimate / count estimate)\n\n";
+  std::cout << "No server ever knew N, and no message exceeded the "
+               "O(log N)-bit budget.\n";
+  return r.Ok() ? 0 : 1;
+}

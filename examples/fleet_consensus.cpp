@@ -1,0 +1,67 @@
+// Fleet consensus: vehicles on a convoy must agree on one rendezvous slot
+// while an adversarial dispatcher rewires who can hear whom every T rounds —
+// including an *adaptive* dispatcher that watches which vehicles know the
+// most and pushes them to the network edge.
+//
+// Demonstrates Consensus under the harshest adversaries in the zoo and the
+// honest degradation of round complexity when the adversary forces the
+// dynamic flooding time d up to Θ(N).
+//
+//   ./fleet_consensus --vehicles=128 --T=2 --seed=3
+#include <iostream>
+
+#include "core/api.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  sdn::util::Flags flags(argc, argv);
+  const auto vehicles = static_cast<sdn::graph::NodeId>(
+      flags.GetInt("vehicles", 128, "fleet size"));
+  const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 3, "seed"));
+  if (flags.Has("help")) {
+    std::cout << flags.Usage("fleet_consensus");
+    return 0;
+  }
+
+  // Each vehicle proposes a rendezvous slot (minutes after midnight).
+  std::vector<sdn::algo::Value> proposals(static_cast<std::size_t>(vehicles));
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    proposals[i] = static_cast<sdn::algo::Value>(360 + (i * 97) % 720);
+  }
+
+  std::cout << "Fleet of " << vehicles
+            << " vehicles negotiating a rendezvous (T=" << T << ").\n\n";
+
+  sdn::util::Table table({"dispatcher (adversary)", "d", "rounds",
+                          "agreed slot", "agreement", "valid"});
+  bool all_ok = true;
+  for (const std::string kind :
+       {"spine-gnp", "spine-rtree", "mobile", "adaptive-desc", "static-path"}) {
+    sdn::RunConfig config;
+    config.n = vehicles;
+    config.T = T;
+    config.seed = seed;
+    config.adversary.kind = kind;
+    if (kind == "adaptive-desc" || kind == "static-path") {
+      config.adversary.volatile_edges = 0;  // let the adversary bite
+    }
+    config.inputs = proposals;
+    const sdn::RunResult r =
+        sdn::RunAlgorithm(sdn::Algorithm::kHjswyEstimate, config);
+    all_ok &= r.Ok();
+    table.AddRow({kind, std::to_string(r.stats.flooding.max_rounds),
+                  std::to_string(r.stats.rounds),
+                  std::to_string(proposals[0]),  // min-id vehicle's proposal
+                  r.consensus_agreement.value_or(false) ? "yes" : "NO",
+                  r.consensus_valid.value_or(false) ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nNote how rounds track the dispatcher-controlled flooding "
+               "time d:\nfast on churny well-connected fleets, honestly "
+               "Θ(N) when the adaptive\ndispatcher spools the convoy into a "
+               "line.\n";
+  return all_ok ? 0 : 1;
+}

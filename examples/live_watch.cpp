@@ -1,0 +1,81 @@
+// Live watch: drive a run one round at a time through the sdn::Simulation
+// step API and print a progress strip — decided nodes, the spread of
+// published state, and live topology stats. This is the template for
+// building monitoring/visualization tools on top of the simulator.
+//
+//   ./live_watch --n=256 --T=2 --algorithm=hjswy-census --every=25
+#include <algorithm>
+#include <iostream>
+
+#include "core/simulation.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+sdn::Algorithm ParseAlgorithm(const std::string& name) {
+  for (const sdn::Algorithm a : sdn::AllAlgorithms()) {
+    if (name == sdn::ToString(a)) return a;
+  }
+  std::cerr << "unknown --algorithm '" << name << "'; options:";
+  for (const sdn::Algorithm a : sdn::AllAlgorithms()) {
+    std::cerr << " " << sdn::ToString(a);
+  }
+  std::cerr << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sdn::util::Flags flags(argc, argv);
+  sdn::RunConfig config;
+  config.n = static_cast<sdn::graph::NodeId>(flags.GetInt("n", 256, "nodes"));
+  config.T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1, "seed"));
+  config.adversary.kind =
+      flags.GetString("adversary", "spine-gnp", "adversary kind");
+  const auto every = flags.GetInt("every", 25, "print every k rounds");
+  const sdn::Algorithm algorithm = ParseAlgorithm(
+      flags.GetString("algorithm", "hjswy-census", "algorithm to watch"));
+  if (flags.Has("help")) {
+    std::cout << flags.Usage("live_watch");
+    return 0;
+  }
+
+  sdn::Simulation sim(algorithm, config);
+  std::cout << "watching " << sdn::ToString(algorithm) << " on N=" << config.n
+            << " (" << config.adversary.kind << ", T=" << config.T << ")\n\n";
+  sdn::util::Table table(
+      {"round", "decided", "min state", "max state", "edges", "msgs so far"});
+
+  const auto snapshot = [&] {
+    std::int64_t decided = 0;
+    double lo = sim.NodePublicState(0);
+    double hi = lo;
+    for (sdn::graph::NodeId u = 0; u < config.n; ++u) {
+      decided += sim.NodeDecided(u) ? 1 : 0;
+      const double s = sim.NodePublicState(u);
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    const auto stats = sim.Stats();
+    table.AddRow({std::to_string(sim.Round()),
+                  std::to_string(decided) + "/" + std::to_string(config.n),
+                  sdn::util::Table::Num(lo, 1), sdn::util::Table::Num(hi, 1),
+                  std::to_string(sim.CurrentTopology().num_edges()),
+                  std::to_string(stats.messages_sent)});
+  };
+
+  while (sim.Step()) {
+    if (sim.Round() % every == 0) snapshot();
+  }
+  snapshot();
+  table.Print(std::cout);
+
+  const sdn::RunResult result = sim.Finish();
+  std::cout << "\nfinished in " << result.stats.rounds << " rounds (d="
+            << result.stats.flooding.max_rounds << "), all grades "
+            << (result.Ok() ? "passed" : "FAILED") << ".\n";
+  return result.Ok() ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Quickstart: run every algorithm once on a T-interval dynamic network and
+// print what each one decided, in how many rounds, against which measured
+// dynamic flooding time d.
+//
+//   ./quickstart --n=128 --T=2 --adversary=spine-expander --seed=1
+#include <cstdio>
+#include <iostream>
+
+#include "core/api.hpp"
+#include "core/version.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  sdn::util::Flags flags(argc, argv);
+  sdn::RunConfig config;
+  config.n = static_cast<sdn::graph::NodeId>(
+      flags.GetInt("n", 128, "number of nodes"));
+  config.T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1, "seed"));
+  config.adversary.kind =
+      flags.GetString("adversary", "spine-expander",
+                      "adversary kind (see adversary/factory.hpp)");
+  if (flags.Has("help")) {
+    std::cout << flags.Usage("quickstart");
+    return 0;
+  }
+
+  std::cout << "sdn " << sdn::VersionString() << " quickstart: N=" << config.n
+            << " T=" << config.T << " adversary=" << config.adversary.kind
+            << "\n\n";
+
+  sdn::util::Table table({"algorithm", "rounds", "d", "count", "max ok",
+                          "consensus ok", "avg bits/msg"});
+  for (const sdn::Algorithm algorithm : sdn::AllAlgorithms()) {
+    if (algorithm == sdn::Algorithm::kKloCensusT && config.T == 1) {
+      continue;  // identical to klo-census(T=1)
+    }
+    const sdn::RunResult r = sdn::RunAlgorithm(algorithm, config);
+    std::string count = "-";
+    if (r.count_exact.has_value()) {
+      count = *r.count_exact ? "exact" : "WRONG";
+    } else if (r.count_max_rel_error.has_value()) {
+      count = "±" + sdn::util::Table::Num(*r.count_max_rel_error * 100, 1) + "%";
+    }
+    const auto flag = [](const std::optional<bool>& b) {
+      return !b.has_value() ? std::string("-")
+                            : (*b ? std::string("yes") : std::string("NO"));
+    };
+    table.AddRow({r.algorithm, std::to_string(r.stats.rounds),
+                  std::to_string(r.stats.flooding.max_rounds), count,
+                  flag(r.max_correct), flag(r.consensus_agreement),
+                  sdn::util::Table::Num(r.stats.AvgBitsPerMessage(), 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(d = measured dynamic flooding time of this run; the paper's"
+               "\n claim is round counts tracking d, not N — compare hjswy"
+               "\n rows with the flood/klo baselines as you grow --n.)\n";
+  return 0;
+}

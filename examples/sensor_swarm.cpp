@@ -1,0 +1,71 @@
+// Sensor swarm: the paper model's motivating scenario — a swarm of mobile
+// radio nodes (drones) must agree on the maximum sensor reading without
+// knowing how many drones are up, while their radio topology changes every
+// few rounds as they move.
+//
+// Uses the hjswy Max algorithm against the mobile geometric adversary and
+// compares with what the known-N flooding baseline would have cost (it also
+// needs the swarm size as a priori knowledge, which a real swarm lacks).
+//
+//   ./sensor_swarm --drones=200 --T=3 --radius=0.18 --seed=7
+#include <iostream>
+
+#include "core/api.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  sdn::util::Flags flags(argc, argv);
+  const auto drones = static_cast<sdn::graph::NodeId>(
+      flags.GetInt("drones", 200, "swarm size (unknown to the drones!)"));
+  const int T = static_cast<int>(
+      flags.GetInt("T", 3, "rounds of guaranteed link stability"));
+  const double radius = flags.GetDouble("radius", 0.18, "radio range");
+  const auto seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 7, "seed"));
+  if (flags.Has("help")) {
+    std::cout << flags.Usage("sensor_swarm");
+    return 0;
+  }
+
+  // Sensor readings: a radiation field with one hot spot.
+  sdn::util::Rng rng(seed);
+  std::vector<sdn::algo::Value> readings(static_cast<std::size_t>(drones));
+  for (auto& v : readings) v = rng.UniformInt(100, 700);
+  const std::size_t hot = rng.UniformU64(static_cast<std::uint64_t>(drones));
+  readings[hot] = 9000 + static_cast<sdn::algo::Value>(rng.UniformU64(999));
+
+  sdn::RunConfig config;
+  config.n = drones;
+  config.T = T;
+  config.seed = seed;
+  config.adversary.kind = "mobile";
+  config.adversary.mobile_radius = radius;
+  config.inputs = readings;
+
+  std::cout << "Swarm of " << drones << " drones, radio range " << radius
+            << ", links stable for T=" << T << " rounds at a time.\n"
+            << "Hot spot: drone " << hot << " reads " << readings[hot]
+            << ".\n\n";
+
+  const sdn::RunResult hjswy =
+      sdn::RunAlgorithm(sdn::Algorithm::kHjswyEstimate, config);
+  std::cout << "hjswy max-aggregation (" << hjswy.algorithm << "):\n"
+            << "  decided after " << hjswy.stats.rounds << " rounds"
+            << " (measured flooding time d=" << hjswy.stats.flooding.max_rounds
+            << ")\n"
+            << "  every drone decided " << (hjswy.max_correct.value_or(false)
+                                                ? "the true hot-spot reading"
+                                                : "A WRONG VALUE")
+            << "\n  swarm size estimate error: "
+            << sdn::util::Table::Num(
+                   hjswy.count_max_rel_error.value_or(0) * 100, 1)
+            << "% (the drones never knew the swarm size)\n\n";
+
+  const sdn::RunResult flood =
+      sdn::RunAlgorithm(sdn::Algorithm::kFloodMaxKnownN, config);
+  std::cout << "known-N flooding baseline: " << flood.stats.rounds
+            << " rounds — and it had to be told the swarm size up front.\n";
+  return hjswy.Ok() ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Adaptive adversary.
+//
+// Reads the algorithm's published per-node state at each era boundary and
+// rebuilds its spine as a path sorted by that state: nodes that have learned
+// the most are packed next to each other at one end, so each window moves
+// information into the uninformed mass as slowly as the promise allows.
+// This is the simulation-level analogue of the "spooling" arguments behind
+// the Ω(N) lower-bound constructions, and the stress test for the hjswy
+// verification machinery (experiment F7).
+//
+// Era/overlap structure is the same as StableSpineAdversary, so the
+// T-interval promise holds by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/adversary.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::adversary {
+
+class AdaptiveSortPathAdversary final : public net::Adversary {
+ public:
+  /// `descending`: most-informed nodes at the low end of the path (default)
+  /// — ties broken uniformly at random.
+  AdaptiveSortPathAdversary(graph::NodeId n, int T, std::uint64_t seed,
+                            bool descending = true);
+
+  [[nodiscard]] graph::NodeId num_nodes() const override { return n_; }
+  [[nodiscard]] int interval() const override { return t_; }
+  graph::Graph TopologyFor(std::int64_t round,
+                           const net::AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  graph::Graph BuildSortedPath(const net::AdversaryView& view);
+
+  graph::NodeId n_;
+  int t_;
+  bool descending_;
+  util::Rng rng_;
+  std::int64_t era_length_;
+  std::int64_t current_era_ = -1;
+  std::optional<graph::Graph> current_spine_;
+  std::optional<graph::Graph> previous_spine_;
+};
+
+}  // namespace sdn::adversary

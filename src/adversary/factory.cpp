@@ -1,0 +1,79 @@
+#include "adversary/factory.hpp"
+
+#include "adversary/adaptive.hpp"
+#include "adversary/mobile.hpp"
+#include "adversary/spine.hpp"
+#include "adversary/stable_spine.hpp"
+#include "adversary/static_adversary.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::adversary {
+
+std::vector<std::string> KnownAdversaryKinds() {
+  return {"static-path",   "static-star",    "static-expander",
+          "static-complete", "spine-path",   "spine-star",
+          "spine-btree",   "spine-rtree",    "spine-gnp",
+          "spine-expander", "spine-cliques", "mobile",
+          "adaptive-desc", "adaptive-asc"};
+}
+
+std::unique_ptr<net::Adversary> MakeAdversary(const AdversaryConfig& config) {
+  SDN_CHECK(config.n >= 1);
+  SDN_CHECK(config.T >= 1);
+  const graph::NodeId n = config.n;
+  const std::int64_t volatile_edges =
+      config.volatile_edges >= 0 ? config.volatile_edges : n / 4;
+
+  const auto spine = [&](SpineKind kind) {
+    StableSpineOptions opts;
+    opts.spine.kind = kind;
+    opts.spine.clique_size = config.clique_size;
+    opts.volatile_edges = volatile_edges;
+    opts.era_length = config.era_length;
+    return std::make_unique<StableSpineAdversary>(n, config.T, opts,
+                                                  config.seed);
+  };
+
+  if (config.kind == "static-path") {
+    return std::make_unique<StaticAdversary>(graph::Path(n), config.T);
+  }
+  if (config.kind == "static-star") {
+    return std::make_unique<StaticAdversary>(graph::Star(n), config.T);
+  }
+  if (config.kind == "static-expander") {
+    util::Rng rng(config.seed);
+    const graph::Graph g =
+        n >= 3 ? graph::RandomExpander(n, 2, rng) : graph::Path(n);
+    return std::make_unique<StaticAdversary>(g, config.T);
+  }
+  if (config.kind == "static-complete") {
+    return std::make_unique<StaticAdversary>(graph::Complete(n), config.T);
+  }
+  if (config.kind == "spine-path") return spine(SpineKind::kPath);
+  if (config.kind == "spine-star") return spine(SpineKind::kStar);
+  if (config.kind == "spine-btree") return spine(SpineKind::kBinaryTree);
+  if (config.kind == "spine-rtree") return spine(SpineKind::kRandomTree);
+  if (config.kind == "spine-gnp") return spine(SpineKind::kGnp);
+  if (config.kind == "spine-expander") return spine(SpineKind::kExpander);
+  if (config.kind == "spine-cliques") return spine(SpineKind::kPathOfCliques);
+  if (config.kind == "mobile") {
+    MobileOptions opts;
+    opts.radius = config.mobile_radius;
+    return std::make_unique<MobileGeometricAdversary>(n, config.T, opts,
+                                                      config.seed);
+  }
+  if (config.kind == "adaptive-desc") {
+    return std::make_unique<AdaptiveSortPathAdversary>(n, config.T,
+                                                       config.seed, true);
+  }
+  if (config.kind == "adaptive-asc") {
+    return std::make_unique<AdaptiveSortPathAdversary>(n, config.T,
+                                                       config.seed, false);
+  }
+  SDN_CHECK_MSG(false, "unknown adversary kind: " << config.kind);
+  return nullptr;
+}
+
+}  // namespace sdn::adversary

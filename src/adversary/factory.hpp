@@ -1,0 +1,38 @@
+// String-keyed adversary construction for benches, examples and tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/adversary.hpp"
+
+namespace sdn::adversary {
+
+struct AdversaryConfig {
+  /// One of KnownAdversaryKinds().
+  std::string kind = "spine-expander";
+  graph::NodeId n = 0;
+  int T = 2;
+  std::uint64_t seed = 1;
+  /// Volatile random edges per round for spine adversaries; -1 = n/4.
+  std::int64_t volatile_edges = -1;
+  /// Era length for spine adversaries; 0 = T. Long eras keep one spine
+  /// alive longer, which is how experiments dial the flooding time d up
+  /// (fresh random spines every T rounds act like an expander over time).
+  std::int64_t era_length = 0;
+  /// Clique size for spine-cliques.
+  graph::NodeId clique_size = 8;
+  /// Radius for mobile.
+  double mobile_radius = 0.2;
+};
+
+/// Kinds: static-path, static-star, static-expander, static-complete,
+/// spine-path, spine-star, spine-btree, spine-rtree, spine-gnp,
+/// spine-expander, spine-cliques, mobile, adaptive-desc, adaptive-asc.
+std::vector<std::string> KnownAdversaryKinds();
+
+/// Builds the adversary; CheckError on unknown kind or invalid config.
+std::unique_ptr<net::Adversary> MakeAdversary(const AdversaryConfig& config);
+
+}  // namespace sdn::adversary

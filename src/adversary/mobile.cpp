@@ -1,0 +1,94 @@
+#include "adversary/mobile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace sdn::adversary {
+
+namespace {
+
+/// Reflects x into [0,1].
+double Reflect(double x) {
+  while (x < 0.0 || x > 1.0) {
+    if (x < 0.0) x = -x;
+    if (x > 1.0) x = 2.0 - x;
+  }
+  return x;
+}
+
+graph::Graph RepairConnectivity(const graph::Graph& g, util::Rng& rng) {
+  graph::UnionFind uf(static_cast<std::size_t>(g.num_nodes()));
+  for (const graph::Edge& e : g.Edges()) uf.Union(e.u, e.v);
+  if (uf.num_components() <= 1) return g;
+  std::vector<graph::NodeId> reps;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (uf.Find(u) == u) reps.push_back(u);
+  }
+  rng.Shuffle(std::span<graph::NodeId>(reps));
+  std::vector<graph::Edge> repair;
+  for (std::size_t i = 0; i + 1 < reps.size(); ++i) {
+    repair.emplace_back(reps[i], reps[i + 1]);
+  }
+  return g.WithEdges(repair);
+}
+
+}  // namespace
+
+MobileGeometricAdversary::MobileGeometricAdversary(graph::NodeId n, int T,
+                                                   MobileOptions options,
+                                                   std::uint64_t seed)
+    : n_(n),
+      t_(T),
+      options_(options),
+      era_length_(options.era_length > 0 ? options.era_length : T),
+      rng_(seed) {
+  SDN_CHECK(n >= 1);
+  SDN_CHECK(T >= 1);
+  SDN_CHECK(options_.radius > 0.0);
+  SDN_CHECK(options_.step >= 0.0);
+  SDN_CHECK_MSG(era_length_ >= std::max<std::int64_t>(1, T - 1),
+                "era_length must be >= T-1");
+  positions_ = graph::RandomPoints(n_, rng_);
+}
+
+graph::Graph MobileGeometricAdversary::BuildEraGraph() {
+  const graph::Graph g = graph::GeometricGraph(positions_, options_.radius);
+  return RepairConnectivity(g, rng_);
+}
+
+void MobileGeometricAdversary::Advance() {
+  for (auto& p : positions_) {
+    p.x = Reflect(p.x + (rng_.UniformDouble() * 2.0 - 1.0) * options_.step);
+    p.y = Reflect(p.y + (rng_.UniformDouble() * 2.0 - 1.0) * options_.step);
+  }
+}
+
+graph::Graph MobileGeometricAdversary::TopologyFor(std::int64_t round,
+                                                   const net::AdversaryView&) {
+  SDN_CHECK(round >= 1);
+  const std::int64_t era = (round - 1) / era_length_;
+  const std::int64_t offset = (round - 1) % era_length_;
+  SDN_CHECK_MSG(era >= current_era_, "rounds must be non-decreasing");
+  while (current_era_ < era) {
+    ++current_era_;
+    previous_graph_ = std::move(current_graph_);
+    if (current_era_ > 0) Advance();
+    current_graph_ = BuildEraGraph();
+  }
+  if (offset < t_ - 1 && previous_graph_.has_value()) {
+    return current_graph_->WithEdges(previous_graph_->Edges());
+  }
+  return *current_graph_;
+}
+
+std::string MobileGeometricAdversary::name() const {
+  std::ostringstream os;
+  os << "mobile[r=" << options_.radius << ",step=" << options_.step << "]";
+  return os.str();
+}
+
+}  // namespace sdn::adversary

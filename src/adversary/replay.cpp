@@ -1,0 +1,37 @@
+#include "adversary/replay.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sdn::adversary {
+
+ReplayAdversary::ReplayAdversary(std::vector<graph::Graph> sequence, int T)
+    : sequence_(std::move(sequence)), t_(T) {
+  SDN_CHECK(!sequence_.empty());
+  SDN_CHECK(t_ >= 1);
+  for (const graph::Graph& g : sequence_) {
+    SDN_CHECK(g.num_nodes() == sequence_.front().num_nodes());
+  }
+}
+
+graph::NodeId ReplayAdversary::num_nodes() const {
+  return sequence_.front().num_nodes();
+}
+
+graph::Graph ReplayAdversary::TopologyFor(std::int64_t round,
+                                          const net::AdversaryView&) {
+  SDN_CHECK(round >= 1);
+  const auto idx = std::min<std::size_t>(static_cast<std::size_t>(round - 1),
+                                         sequence_.size() - 1);
+  return sequence_[idx];
+}
+
+std::string ReplayAdversary::name() const {
+  std::ostringstream os;
+  os << "replay[" << sequence_.size() << " rounds]";
+  return os.str();
+}
+
+}  // namespace sdn::adversary

@@ -1,0 +1,37 @@
+// Replay adversary: plays back a recorded topology sequence.
+//
+// Used to (a) re-run different algorithms against the *identical* dynamic
+// graph (paired comparisons in benches), and (b) reproduce failures from
+// recorded traces. Rounds beyond the recording repeat the final topology so
+// algorithms can always terminate.
+#pragma once
+
+#include <vector>
+
+#include "net/adversary.hpp"
+
+namespace sdn::adversary {
+
+class ReplayAdversary final : public net::Adversary {
+ public:
+  /// `sequence` must be non-empty and uniform in node count; `T` is the
+  /// interval being claimed for it — callers should have validated it
+  /// (ValidateTInterval) unless the trace came from a trusted adversary.
+  ReplayAdversary(std::vector<graph::Graph> sequence, int T);
+
+  [[nodiscard]] graph::NodeId num_nodes() const override;
+  [[nodiscard]] int interval() const override { return t_; }
+  graph::Graph TopologyFor(std::int64_t round,
+                           const net::AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::int64_t recorded_rounds() const {
+    return static_cast<std::int64_t>(sequence_.size());
+  }
+
+ private:
+  std::vector<graph::Graph> sequence_;
+  int t_;
+};
+
+}  // namespace sdn::adversary

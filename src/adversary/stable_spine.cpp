@@ -1,0 +1,81 @@
+#include "adversary/stable_spine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sdn::adversary {
+
+StableSpineAdversary::StableSpineAdversary(graph::NodeId n, int T,
+                                           StableSpineOptions options,
+                                           std::uint64_t seed)
+    : n_(n),
+      t_(T),
+      options_(options),
+      era_length_(options.era_length > 0 ? options.era_length : T),
+      seed_rng_(seed),
+      volatile_rng_(seed_rng_.Fork(0xed9e5ULL)) {
+  SDN_CHECK(n >= 1);
+  SDN_CHECK(T >= 1);
+  // The T-1 round overlap must fit inside one era; otherwise a window can
+  // straddle three spines while only one previous spine is retained.
+  SDN_CHECK_MSG(era_length_ >= std::max<std::int64_t>(1, T - 1),
+                "era_length must be >= T-1 (got " << era_length_ << " for T="
+                                                  << T << ")");
+}
+
+const graph::Graph& StableSpineAdversary::SpineForEra(std::int64_t era) {
+  SDN_CHECK(era >= 0);
+  SDN_CHECK_MSG(era >= current_era_,
+                "StableSpineAdversary rounds must be non-decreasing");
+  while (current_era_ < era) {
+    ++current_era_;
+    previous_spine_ = std::move(current_spine_);
+    util::Rng era_rng =
+        seed_rng_.Fork(static_cast<std::uint64_t>(current_era_) + 1);
+    current_spine_ = MakeSpine(options_.spine, n_, era_rng);
+  }
+  return *current_spine_;
+}
+
+const graph::Graph& StableSpineAdversary::SpineForRound(std::int64_t round) {
+  SDN_CHECK(round >= 1);
+  return SpineForEra((round - 1) / era_length_);
+}
+
+graph::Graph StableSpineAdversary::TopologyFor(std::int64_t round,
+                                               const net::AdversaryView&) {
+  SDN_CHECK(round >= 1);
+  const std::int64_t era = (round - 1) / era_length_;
+  const std::int64_t offset = (round - 1) % era_length_;
+  graph::Graph g = SpineForEra(era);
+
+  std::vector<graph::Edge> extra;
+  // Overlap: previous era's spine persists through the first T-1 rounds of
+  // this era so sliding T-windows keep a common connected spanning subgraph.
+  if (offset < t_ - 1 && previous_spine_.has_value()) {
+    const auto prev = previous_spine_->Edges();
+    extra.insert(extra.end(), prev.begin(), prev.end());
+  }
+  for (std::int64_t i = 0; i < options_.volatile_edges && n_ >= 2; ++i) {
+    const auto u = static_cast<graph::NodeId>(
+        volatile_rng_.UniformU64(static_cast<std::uint64_t>(n_)));
+    auto v = static_cast<graph::NodeId>(
+        volatile_rng_.UniformU64(static_cast<std::uint64_t>(n_) - 1));
+    if (v >= u) ++v;
+    extra.emplace_back(u, v);
+  }
+  if (extra.empty()) return g;
+  return g.WithEdges(extra);
+}
+
+std::string StableSpineAdversary::name() const {
+  std::ostringstream os;
+  os << "spine[" << options_.spine.Name() << ",era=" << era_length_
+     << ",vol=" << options_.volatile_edges << "]";
+  return os.str();
+}
+
+}  // namespace sdn::adversary

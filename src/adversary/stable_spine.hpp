@@ -1,0 +1,67 @@
+// The workhorse oblivious adversary.
+//
+// Time is split into eras of `era_length` rounds. Era k has a spine S_k (a
+// connected spanning subgraph drawn from the SpineSpec). Round r's topology:
+//
+//   G_r = S_k ∪ (S_{k-1} if r is within the first T-1 rounds of era k)
+//         ∪ fresh volatile random edges (redrawn every round)
+//
+// Sliding-window correctness: every window of T consecutive rounds fits
+// inside the "extended life" of some spine — S_k is present from the start of
+// era k through the first T-1 rounds of era k+1, i.e. for era_length + T - 1
+// consecutive rounds — so the window's intersection contains a connected
+// spanning subgraph. (Changing spines at era boundaries WITHOUT the overlap
+// would violate the promise for windows straddling the boundary; the
+// T-interval property is a sliding-window property. Tests pin this down.)
+//
+// Volatile edges change every round, so topologies genuinely differ
+// round-to-round even inside an era.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "adversary/spine.hpp"
+#include "net/adversary.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::adversary {
+
+struct StableSpineOptions {
+  SpineSpec spine;
+  /// Era length in rounds; default (0) means T.
+  std::int64_t era_length = 0;
+  /// Volatile random edges added per round (sampled uniformly, duplicates
+  /// with spine edges are harmless).
+  std::int64_t volatile_edges = 0;
+};
+
+class StableSpineAdversary final : public net::Adversary {
+ public:
+  StableSpineAdversary(graph::NodeId n, int T, StableSpineOptions options,
+                       std::uint64_t seed);
+
+  [[nodiscard]] graph::NodeId num_nodes() const override { return n_; }
+  [[nodiscard]] int interval() const override { return t_; }
+  graph::Graph TopologyFor(std::int64_t round,
+                           const net::AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The spine active in `round`'s era (for tests and d-calibration).
+  [[nodiscard]] const graph::Graph& SpineForRound(std::int64_t round);
+
+ private:
+  const graph::Graph& SpineForEra(std::int64_t era);
+
+  graph::NodeId n_;
+  int t_;
+  StableSpineOptions options_;
+  std::int64_t era_length_;
+  util::Rng seed_rng_;
+  util::Rng volatile_rng_;
+  std::int64_t current_era_ = -1;
+  std::optional<graph::Graph> current_spine_;
+  std::optional<graph::Graph> previous_spine_;
+};
+
+}  // namespace sdn::adversary

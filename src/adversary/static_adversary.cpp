@@ -1,0 +1,30 @@
+#include "adversary/static_adversary.hpp"
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace sdn::adversary {
+
+StaticAdversary::StaticAdversary(graph::Graph g, int T)
+    : g_(std::move(g)), t_(T) {
+  SDN_CHECK(t_ >= 1);
+  SDN_CHECK_MSG(graph::IsConnected(g_), "static adversary graph disconnected");
+}
+
+graph::NodeId StaticAdversary::num_nodes() const { return g_.num_nodes(); }
+
+graph::Graph StaticAdversary::TopologyFor(std::int64_t round,
+                                          const net::AdversaryView&) {
+  SDN_CHECK(round >= 1);
+  return g_;
+}
+
+std::string StaticAdversary::name() const {
+  std::ostringstream os;
+  os << "static[n=" << g_.num_nodes() << ",m=" << g_.num_edges() << "]";
+  return os.str();
+}
+
+}  // namespace sdn::adversary

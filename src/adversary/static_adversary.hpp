@@ -1,0 +1,29 @@
+// Static adversary: the same topology every round.
+//
+// A static connected graph satisfies T-interval connectivity for every T;
+// it is the baseline sanity environment and the worst case for flooding when
+// the graph is a path (d = N-1).
+#pragma once
+
+#include "net/adversary.hpp"
+
+namespace sdn::adversary {
+
+class StaticAdversary final : public net::Adversary {
+ public:
+  /// `g` must be connected (checked); `T` is the interval the adversary
+  /// advertises (any value is honest for a static connected graph).
+  StaticAdversary(graph::Graph g, int T = 1);
+
+  [[nodiscard]] graph::NodeId num_nodes() const override;
+  [[nodiscard]] int interval() const override { return t_; }
+  graph::Graph TopologyFor(std::int64_t round,
+                           const net::AdversaryView& view) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  graph::Graph g_;
+  int t_;
+};
+
+}  // namespace sdn::adversary

@@ -1,0 +1,166 @@
+#include "algo/codecs.hpp"
+
+#include "util/check.hpp"
+
+namespace sdn::algo {
+
+namespace {
+
+void EncodeOptionalId(NodeId id, util::BitWriter& out) {
+  out.Write(id >= 0 ? 1 : 0, 1);
+  if (id >= 0) out.WriteVarint(static_cast<std::uint64_t>(id));
+}
+
+NodeId DecodeOptionalId(util::BitReader& in) {
+  if (in.Read(1) == 0) return -1;
+  return static_cast<NodeId>(in.ReadVarint());
+}
+
+}  // namespace
+
+void EncodeIdSet(const IdSet& set, util::BitWriter& out) {
+  out.WriteVarint(static_cast<std::uint64_t>(set.size()));
+  const int width = set.size() == 0
+                        ? 0
+                        : util::BitWidth(static_cast<std::uint64_t>(set.max_id()));
+  out.Write(static_cast<std::uint64_t>(width), 6);
+  for (const graph::NodeId id : set.ToVector()) {
+    out.Write(static_cast<std::uint64_t>(id), width);
+  }
+}
+
+IdSet DecodeIdSet(util::BitReader& in) {
+  const auto count = in.ReadVarint();
+  const auto width = static_cast<int>(in.Read(6));
+  IdSet set;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    set.Insert(static_cast<graph::NodeId>(in.Read(width)));
+  }
+  return set;
+}
+
+void EncodeMessage(const CensusProgram::Message& m, util::BitWriter& out) {
+  out.Write(static_cast<std::uint64_t>(m.tag), 2);
+  if (m.tag == CensusProgram::Tag::kVerify) {
+    out.Write(m.hash, 48);
+    out.Write(m.flag ? 1 : 0, 1);
+    return;
+  }
+  EncodeOptionalId(m.token, out);
+  out.WriteVarint(static_cast<std::uint64_t>(m.min_id));
+  out.WriteSignedVarint(m.min_id_value);
+  out.WriteSignedVarint(m.max_value);
+}
+
+CensusProgram::Message DecodeCensusMessage(util::BitReader& in) {
+  CensusProgram::Message m;
+  m.tag = static_cast<CensusProgram::Tag>(in.Read(2));
+  if (m.tag == CensusProgram::Tag::kVerify) {
+    m.hash = in.Read(48);
+    m.flag = in.Read(1) != 0;
+    return m;
+  }
+  m.token = DecodeOptionalId(in);
+  m.min_id = static_cast<NodeId>(in.ReadVarint());
+  m.min_id_value = in.ReadSignedVarint();
+  m.max_value = in.ReadSignedVarint();
+  return m;
+}
+
+void EncodeMessage(const KloCommitteeProgram::Message& m,
+                   util::BitWriter& out) {
+  using Tag = KloCommitteeProgram::Tag;
+  out.Write(static_cast<std::uint64_t>(m.tag), 2);
+  out.WriteVarint(static_cast<std::uint64_t>(m.leader));
+  out.WriteSignedVarint(m.leader_value);
+  out.WriteSignedVarint(m.max_value);
+  switch (m.tag) {
+    case Tag::kPoll:
+      EncodeOptionalId(m.poll, out);
+      break;
+    case Tag::kInvite:
+      EncodeOptionalId(m.invitee, out);
+      break;
+    case Tag::kVerify:
+      EncodeOptionalId(m.committee, out);
+      out.Write(m.flag ? 1 : 0, 1);
+      break;
+    case Tag::kSize:
+      out.WriteVarint(static_cast<std::uint64_t>(m.size));
+      break;
+  }
+}
+
+KloCommitteeProgram::Message DecodeCommitteeMessage(util::BitReader& in) {
+  using Tag = KloCommitteeProgram::Tag;
+  KloCommitteeProgram::Message m;
+  m.tag = static_cast<Tag>(in.Read(2));
+  m.leader = static_cast<NodeId>(in.ReadVarint());
+  m.leader_value = in.ReadSignedVarint();
+  m.max_value = in.ReadSignedVarint();
+  switch (m.tag) {
+    case Tag::kPoll:
+      m.poll = DecodeOptionalId(in);
+      break;
+    case Tag::kInvite:
+      m.invitee = DecodeOptionalId(in);
+      break;
+    case Tag::kVerify:
+      m.committee = DecodeOptionalId(in);
+      m.flag = in.Read(1) != 0;
+      break;
+    case Tag::kSize:
+      m.size = static_cast<std::int64_t>(in.ReadVarint());
+      break;
+  }
+  return m;
+}
+
+void EncodeMessage(const HjswyProgram::Message& m, util::BitWriter& out) {
+  out.WriteVarint(static_cast<std::uint64_t>(m.coord_base));
+  for (std::int32_t i = 0; i < m.num_coords; ++i) {
+    out.Write(m.coords[static_cast<std::size_t>(i)], 32);
+  }
+  out.Write(m.has_sum ? 1 : 0, 1);
+  if (m.has_sum) {
+    for (std::int32_t i = 0; i < m.num_coords; ++i) {
+      out.Write(m.sum_coords[static_cast<std::size_t>(i)], 32);
+    }
+  }
+  out.WriteVarint(static_cast<std::uint64_t>(m.min_id));
+  out.WriteSignedVarint(m.min_id_value);
+  out.WriteSignedVarint(m.max_value);
+  out.Write(m.fingerprint, 48);
+  out.Write(m.alarm ? 1 : 0, 1);
+  if (m.census != nullptr) EncodeIdSet(*m.census, out);
+}
+
+HjswyProgram::Message DecodeHjswyMessage(util::BitReader& in, int num_coords,
+                                         bool has_census) {
+  SDN_CHECK(num_coords >= 0 && num_coords <= HjswyProgram::kMaxCoordsPerMsg);
+  HjswyProgram::Message m;
+  m.coord_base = static_cast<std::int32_t>(in.ReadVarint());
+  m.num_coords = num_coords;
+  for (int i = 0; i < num_coords; ++i) {
+    m.coords[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>(in.Read(32));
+  }
+  m.has_sum = in.Read(1) != 0;
+  if (m.has_sum) {
+    for (int i = 0; i < num_coords; ++i) {
+      m.sum_coords[static_cast<std::size_t>(i)] =
+          static_cast<std::uint32_t>(in.Read(32));
+    }
+  }
+  m.min_id = static_cast<NodeId>(in.ReadVarint());
+  m.min_id_value = in.ReadSignedVarint();
+  m.max_value = in.ReadSignedVarint();
+  m.fingerprint = in.Read(48);
+  m.alarm = in.Read(1) != 0;
+  if (has_census) {
+    m.census = std::make_shared<const IdSet>(DecodeIdSet(in));
+  }
+  return m;
+}
+
+}  // namespace sdn::algo

@@ -1,0 +1,42 @@
+// Wire codecs for every message type.
+//
+// The engine charges algorithms via their static MessageBits; these codecs
+// implement the actual bit layouts and exist to *prove* that accounting is
+// honest: tests encode random messages and assert (a) the bit count equals
+// MessageBits exactly, and (b) decode(encode(m)) == m. No simulation hot
+// path serializes — messages travel as typed values — but any claim about
+// O(log N)-bit messages in the benches is backed by a real encoding.
+//
+// Fields that both endpoints can derive from the deterministic global
+// schedule are not on the wire and therefore not charged: the hjswy
+// coordinate count (from L, coords_per_msg and coord_base) and the census
+// presence flag (from the exact_census mode); decoders take them as
+// parameters.
+#pragma once
+
+#include "algo/census.hpp"
+#include "algo/hjswy.hpp"
+#include "algo/klo_committee.hpp"
+#include "util/bitio.hpp"
+
+namespace sdn::algo {
+
+void EncodeMessage(const CensusProgram::Message& m, util::BitWriter& out);
+CensusProgram::Message DecodeCensusMessage(util::BitReader& in);
+
+void EncodeMessage(const KloCommitteeProgram::Message& m,
+                   util::BitWriter& out);
+KloCommitteeProgram::Message DecodeCommitteeMessage(util::BitReader& in);
+
+void EncodeMessage(const HjswyProgram::Message& m, util::BitWriter& out);
+/// `num_coords` and `has_census` come from the protocol parameters (see
+/// file comment).
+HjswyProgram::Message DecodeHjswyMessage(util::BitReader& in, int num_coords,
+                                         bool has_census);
+
+/// Canonical IdSet layout: varint(count) + 6-bit id width + fixed-width ids.
+/// Matches IdSet::EncodedBits exactly.
+void EncodeIdSet(const IdSet& set, util::BitWriter& out);
+IdSet DecodeIdSet(util::BitReader& in);
+
+}  // namespace sdn::algo

@@ -1,0 +1,15 @@
+#include "algo/common.hpp"
+
+namespace sdn::algo {
+
+std::size_t IdBits(NodeId id) {
+  return util::VarintBits(static_cast<std::uint64_t>(id < 0 ? 0 : id));
+}
+
+std::size_t ValueBits(Value v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  const auto zigzag = (u << 1) ^ static_cast<std::uint64_t>(v >> 63);
+  return util::VarintBits(zigzag);
+}
+
+}  // namespace sdn::algo

@@ -1,0 +1,38 @@
+// Shared vocabulary for the algorithm node programs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "net/program.hpp"
+#include "util/bitio.hpp"
+
+namespace sdn::algo {
+
+using graph::NodeId;
+using net::Round;
+
+/// Input value type used by Max/Consensus (64-bit is enough for the model;
+/// inputs are O(log N)-bit in the literature).
+using Value = std::int64_t;
+
+constexpr Value kValueMin = std::numeric_limits<Value>::min();
+
+/// Wire size of one id field: varint bits of the id (ids are < N so this is
+/// O(log N)).
+std::size_t IdBits(NodeId id);
+
+/// Wire size of a signed value field.
+std::size_t ValueBits(Value v);
+
+/// Common algorithm identification for report rows.
+struct AlgoInfo {
+  std::string name;
+  bool randomized = false;
+  bool needs_n = false;       // requires a priori knowledge of N
+  bool unbounded_msgs = false;  // requires the unbounded bandwidth regime
+};
+
+}  // namespace sdn::algo

@@ -1,0 +1,93 @@
+#include "algo/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sdn::algo {
+
+CardinalityEstimator::CardinalityEstimator(int L, util::Rng& rng,
+                                           bool quantize_float32) {
+  SDN_CHECK_MSG(L >= 3, "estimator needs L >= 3 (variance is undefined below)");
+  mins_.resize(static_cast<std::size_t>(L));
+  for (auto& m : mins_) {
+    m = rng.Exponential(1.0);
+    if (quantize_float32) m = static_cast<double>(static_cast<float>(m));
+  }
+}
+
+CardinalityEstimator CardinalityEstimator::ForWeight(std::uint64_t weight,
+                                                     int L, util::Rng& rng,
+                                                     bool quantize_float32) {
+  CardinalityEstimator sketch(L, rng, quantize_float32);
+  if (weight == 0) {
+    for (auto& m : sketch.mins_) m = std::numeric_limits<double>::infinity();
+    return sketch;
+  }
+  for (auto& m : sketch.mins_) {
+    m = rng.Exponential(static_cast<double>(weight));
+    if (quantize_float32) m = static_cast<double>(static_cast<float>(m));
+  }
+  return sketch;
+}
+
+bool CardinalityEstimator::MergeCoord(std::size_t i, double v) {
+  SDN_CHECK(i < mins_.size());
+  if (v < mins_[i]) {
+    mins_[i] = v;
+    return true;
+  }
+  return false;
+}
+
+bool CardinalityEstimator::Merge(std::span<const double> other) {
+  SDN_CHECK(other.size() == mins_.size());
+  bool changed = false;
+  for (std::size_t i = 0; i < mins_.size(); ++i) {
+    if (other[i] < mins_[i]) {
+      mins_[i] = other[i];
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+double CardinalityEstimator::Estimate() const {
+  double sum = 0.0;
+  for (const double m : mins_) sum += m;
+  if (std::isinf(sum)) return 0.0;  // all-zero-weight network
+  SDN_CHECK(sum > 0.0);
+  return static_cast<double>(mins_.size() - 1) / sum;
+}
+
+std::uint64_t CardinalityEstimator::Fingerprint() const {
+  // FNV-ish accumulation over the raw bit patterns; coordinate order is part
+  // of the hash (sketches are positional).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const double m : mins_) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof m);
+    __builtin_memcpy(&bits, &m, sizeof bits);
+    h ^= bits;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+double CardinalityEstimator::RelativeStddev(int L) {
+  SDN_CHECK(L >= 3);
+  // (L-1)/S with S ~ Gamma(L, 1/N): Var = N²·(L-1)²/((L-1)²(L-2)) - ... which
+  // reduces to relative stddev sqrt((L-1)/(L-2)² · ...) ≈ 1/sqrt(L-2).
+  return 1.0 / std::sqrt(static_cast<double>(L - 2));
+}
+
+int CardinalityEstimator::RepetitionsFor(double eps) {
+  SDN_CHECK(eps > 0.0);
+  const double l = 2.0 + 1.0 / (eps * eps);
+  return std::max(3, static_cast<int>(std::ceil(l)));
+}
+
+}  // namespace sdn::algo

@@ -1,0 +1,69 @@
+// Probabilistic cardinality estimation via exponential minima.
+//
+// Every node draws L i.i.d. Exp(1) variates. The coordinate-wise minimum over
+// any set S of nodes is a vector of L i.i.d. Exp(|S|) variates, and minima
+// compose under set union by pointwise min — i.e. they flood through a
+// dynamic network like a max/min aggregate. From the converged vector,
+// (L-1)/Σ_i min_i is an unbiased estimate of |S| with relative standard
+// deviation ≈ 1/sqrt(L-2) (Mosk-Aoyama–Shah style gossip counting).
+//
+// This is the O(polylog)-bit aggregate that lets the hjswy reconstruction
+// learn the network size without moving Ω(N) identifiers — the step that
+// removes the Ω(N) term from the round complexity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdn::algo {
+
+class CardinalityEstimator {
+ public:
+  /// L >= 3 sketch coordinates drawn from `rng`. With `quantize_float32`
+  /// every draw is rounded to float precision, so coordinates survive a
+  /// 32-bit wire encoding exactly (required by the bounded-bandwidth
+  /// algorithms: min-merging must be bit-stable across hops).
+  CardinalityEstimator(int L, util::Rng& rng, bool quantize_float32 = false);
+
+  /// Weighted variant: the converged minima estimate Σ weights instead of a
+  /// count. A node of integer weight w contributes Exp(w)-distributed
+  /// coordinates (distributed like the min of w unit exponentials), so the
+  /// pointwise network minima are Exp(Σw) and Estimate() returns ≈ Σw.
+  /// Weight 0 contributes +infinity coordinates (no effect on minima);
+  /// Estimate() returns 0 if the whole network carried weight 0.
+  static CardinalityEstimator ForWeight(std::uint64_t weight, int L,
+                                        util::Rng& rng,
+                                        bool quantize_float32 = false);
+
+  /// Pointwise-min merge of another sketch (must have equal length).
+  /// Returns true if any coordinate decreased (i.e. new information).
+  bool Merge(std::span<const double> other);
+
+  /// Min-merge of a single coordinate; returns true if it decreased.
+  bool MergeCoord(std::size_t i, double v);
+
+  /// Current cardinality estimate (L-1)/Σ mins.
+  [[nodiscard]] double Estimate() const;
+
+  [[nodiscard]] std::span<const double> mins() const { return mins_; }
+  [[nodiscard]] int size() const { return static_cast<int>(mins_.size()); }
+
+  /// Order-insensitive 64-bit hash of the sketch, used as the convergence
+  /// fingerprint nodes compare during verification.
+  [[nodiscard]] std::uint64_t Fingerprint() const;
+
+  /// Analytic relative standard deviation of the estimate: ~1/sqrt(L-2).
+  static double RelativeStddev(int L);
+
+  /// Smallest L whose relative stddev is <= eps (so z·stddev-style bounds can
+  /// be dialed by callers).
+  static int RepetitionsFor(double eps);
+
+ private:
+  std::vector<double> mins_;
+};
+
+}  // namespace sdn::algo

@@ -1,0 +1,51 @@
+#include "algo/flood_max.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sdn::algo {
+
+FloodMaxKnownN::FloodMaxKnownN(NodeId id, NodeId n, Value input)
+    : n_(n), best_(input) {
+  SDN_CHECK(id >= 0 && id < n);
+  if (n_ <= 1) decided_ = best_;
+}
+
+std::optional<FloodMaxKnownN::Message> FloodMaxKnownN::OnSend(Round) {
+  if (decided_.has_value()) return std::nullopt;
+  return Message{best_};
+}
+
+void FloodMaxKnownN::OnReceive(Round r, std::span<const Message> inbox) {
+  if (decided_.has_value()) return;
+  for (const Message& m : inbox) best_ = std::max(best_, m.value);
+  // After round N-1, the running max has traversed any 1-interval-connected
+  // sequence: the informed set grows by >= 1 node per round until it spans.
+  if (r >= n_ - 1) decided_ = best_;
+}
+
+ConsensusFloodKnownN::ConsensusFloodKnownN(NodeId id, NodeId n, Value input)
+    : n_(n), leader_(id), leader_value_(input) {
+  SDN_CHECK(id >= 0 && id < n);
+  if (n_ <= 1) decided_ = leader_value_;
+}
+
+std::optional<ConsensusFloodKnownN::Message> ConsensusFloodKnownN::OnSend(
+    Round) {
+  if (decided_.has_value()) return std::nullopt;
+  return Message{leader_, leader_value_};
+}
+
+void ConsensusFloodKnownN::OnReceive(Round r, std::span<const Message> inbox) {
+  if (decided_.has_value()) return;
+  for (const Message& m : inbox) {
+    if (m.leader < leader_) {
+      leader_ = m.leader;
+      leader_value_ = m.value;
+    }
+  }
+  if (r >= n_ - 1) decided_ = leader_value_;
+}
+
+}  // namespace sdn::algo

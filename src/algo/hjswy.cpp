@@ -1,0 +1,240 @@
+#include "algo/hjswy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sdn::algo {
+
+namespace {
+
+constexpr std::uint64_t kFingerprintMask = (1ULL << 48) - 1;
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0x100000001b3ULL;
+  return h ^ (h >> 29);
+}
+
+std::uint32_t FloatBits(double v) {
+  const auto f = static_cast<float>(v);
+  return std::bit_cast<std::uint32_t>(f);
+}
+
+double BitsToDouble(std::uint32_t bits) {
+  return static_cast<double>(std::bit_cast<float>(bits));
+}
+
+}  // namespace
+
+HjswyProgram::HjswyProgram(NodeId id, Value input, HjswyOptions options,
+                           util::Rng rng)
+    : options_(options),
+      id_(id),
+      sketch_(options.sketch_len, rng, /*quantize_float32=*/true),
+      agg_min_id_(id),
+      agg_min_value_(input),
+      agg_max_value_(input) {
+  SDN_CHECK(id >= 0);
+  SDN_CHECK(options_.T >= 1);
+  SDN_CHECK(options_.coords_per_msg >= 1 &&
+            options_.coords_per_msg <= kMaxCoordsPerMsg);
+  SDN_CHECK(options_.gamma > 0.0);
+  SDN_CHECK(options_.beta > 0.0);
+  SDN_CHECK(options_.initial_horizon >= 1);
+  if (options_.exact_census) {
+    census_.Insert(id);
+    RefreshCensusSnapshot();
+  }
+  if (options_.track_sum) {
+    const auto weight =
+        input > 0 ? static_cast<std::uint64_t>(input) : std::uint64_t{0};
+    sum_sketch_ = CardinalityEstimator::ForWeight(
+        weight, options_.sketch_len, rng, /*quantize_float32=*/true);
+  }
+}
+
+std::int64_t HjswyProgram::DisseminationLength(std::int64_t horizon) const {
+  return static_cast<std::int64_t>(
+      std::ceil(options_.gamma *
+                static_cast<double>(horizon + 2 * options_.T)));
+}
+
+std::int64_t HjswyProgram::SuffixLength(std::int64_t horizon) const {
+  const double lg = std::log2(static_cast<double>(horizon + 2));
+  return static_cast<std::int64_t>(
+      std::ceil(options_.beta * (static_cast<double>(options_.T) + lg)));
+}
+
+HjswyProgram::Position HjswyProgram::Locate(Round r) const {
+  SDN_CHECK(r >= 1);
+  std::int64_t offset = r - 1;
+  std::int64_t phase = 0;
+  std::int64_t horizon = options_.initial_horizon;
+  while (true) {
+    const std::int64_t total =
+        DisseminationLength(horizon) + SuffixLength(horizon);
+    if (offset < total) {
+      Position pos;
+      pos.phase = phase;
+      pos.horizon = horizon;
+      pos.round_in_phase = offset;
+      pos.in_suffix = offset >= DisseminationLength(horizon);
+      pos.last_round_of_phase = (offset == total - 1);
+      return pos;
+    }
+    offset -= total;
+    ++phase;
+    SDN_CHECK_MSG(horizon < (std::int64_t{1} << 50), "hjswy horizon overflow");
+    horizon *= 2;
+  }
+}
+
+std::uint64_t HjswyProgram::StateFingerprint() const {
+  if (fingerprint_cache_.has_value()) return *fingerprint_cache_;
+  std::uint64_t h = sketch_.Fingerprint();
+  if (sum_sketch_.has_value()) h = Mix(h, sum_sketch_->Fingerprint());
+  h = Mix(h, static_cast<std::uint64_t>(agg_min_id_));
+  h = Mix(h, static_cast<std::uint64_t>(agg_min_value_));
+  h = Mix(h, static_cast<std::uint64_t>(agg_max_value_));
+  if (options_.exact_census) h = Mix(h, census_.Hash());
+  h &= kFingerprintMask;
+  fingerprint_cache_ = h;
+  return h;
+}
+
+void HjswyProgram::RefreshCensusSnapshot() {
+  census_snapshot_ = std::make_shared<const IdSet>(census_);
+}
+
+std::optional<HjswyProgram::Message> HjswyProgram::OnSend(Round r) {
+  // Decided nodes keep broadcasting their (final) state: laggards must still
+  // converge to the same aggregates, and a decided region must not look like
+  // a hole in the network.
+  const Position pos = Locate(r);
+  if (alarm_phase_ != pos.phase) {
+    alarm_phase_ = pos.phase;
+    alarm_ = false;
+  }
+
+  Message m;
+  const int L = sketch_.size();
+  const int c = std::min({options_.coords_per_msg, L, kMaxCoordsPerMsg});
+  const int groups = (L + c - 1) / c;
+  m.coord_base = static_cast<std::int32_t>((r % groups) * c);
+  const auto mins = sketch_.mins();
+  for (int i = 0; i < c && m.coord_base + i < L; ++i) {
+    m.coords[static_cast<std::size_t>(m.num_coords++)] =
+        FloatBits(mins[static_cast<std::size_t>(m.coord_base + i)]);
+  }
+  if (sum_sketch_.has_value()) {
+    m.has_sum = true;
+    const auto sum_mins = sum_sketch_->mins();
+    for (int i = 0; i < m.num_coords; ++i) {
+      m.sum_coords[static_cast<std::size_t>(i)] =
+          FloatBits(sum_mins[static_cast<std::size_t>(m.coord_base + i)]);
+    }
+  }
+  m.min_id = agg_min_id_;
+  m.min_id_value = agg_min_value_;
+  m.max_value = agg_max_value_;
+  m.fingerprint = StateFingerprint();
+  m.alarm = alarm_ && !decided_.has_value();
+  if (options_.exact_census) m.census = census_snapshot_;
+  return m;
+}
+
+void HjswyProgram::OnReceive(Round r, std::span<const Message> inbox) {
+  const Position pos = Locate(r);
+  const std::uint64_t my_fingerprint = StateFingerprint();
+
+  bool changed = false;
+  bool neighbor_divergent = false;
+  bool neighbor_alarm = false;
+  bool census_changed = false;
+  for (const Message& m : inbox) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m.num_coords); ++i) {
+      const auto idx = static_cast<std::size_t>(m.coord_base) + i;
+      if (idx < static_cast<std::size_t>(sketch_.size())) {
+        changed |= sketch_.MergeCoord(idx, BitsToDouble(m.coords[i]));
+        if (m.has_sum && sum_sketch_.has_value()) {
+          changed |=
+              sum_sketch_->MergeCoord(idx, BitsToDouble(m.sum_coords[i]));
+        }
+      }
+    }
+    if (m.min_id < agg_min_id_) {
+      agg_min_id_ = m.min_id;
+      agg_min_value_ = m.min_id_value;
+      changed = true;
+    }
+    if (m.max_value > agg_max_value_) {
+      agg_max_value_ = m.max_value;
+      changed = true;
+    }
+    if (options_.exact_census && m.census != nullptr &&
+        m.census.get() != &census_) {
+      census_changed |= census_.UnionWith(*m.census);
+    }
+    if (m.fingerprint != my_fingerprint) neighbor_divergent = true;
+    if (m.alarm) neighbor_alarm = true;
+  }
+  changed |= census_changed;
+  if (census_changed) RefreshCensusSnapshot();
+  if (changed) fingerprint_cache_.reset();
+
+  if (decided_.has_value()) return;
+
+  if (pos.in_suffix && (changed || neighbor_divergent || neighbor_alarm)) {
+    alarm_ = true;
+  }
+
+  if (pos.last_round_of_phase && !alarm_) {
+    const double estimate = sketch_.Estimate();
+    if (options_.strict &&
+        static_cast<double>(pos.horizon) < options_.strict_mult * estimate) {
+      return;  // strict mode: horizon not yet provably sufficient
+    }
+    HjswyOutput out;
+    out.count_estimate = estimate;
+    if (sum_sketch_.has_value()) out.sum_estimate = sum_sketch_->Estimate();
+    out.count = options_.exact_census ? census_.size()
+                                      : std::llround(estimate);
+    out.max_value = agg_max_value_;
+    out.consensus_value = agg_min_value_;
+    out.accepted_phase = pos.phase;
+    out.accepted_horizon = pos.horizon;
+    decided_ = out;
+  }
+}
+
+double HjswyProgram::PublicState() const {
+  return options_.exact_census ? static_cast<double>(census_.size())
+                               : sketch_.Estimate();
+}
+
+std::size_t HjswyProgram::MessageBits(const Message& m) {
+  std::size_t bits = util::VarintBits(static_cast<std::uint64_t>(m.coord_base));
+  bits += static_cast<std::size_t>(m.num_coords) * 32;
+  bits += 1;  // has_sum flag
+  if (m.has_sum) bits += static_cast<std::size_t>(m.num_coords) * 32;
+  bits += IdBits(m.min_id) + ValueBits(m.min_id_value) +
+          ValueBits(m.max_value);
+  bits += 48 + 1;  // fingerprint + alarm
+  if (m.census != nullptr) bits += m.census->EncodedBits();
+  return bits;
+}
+
+AlgoInfo HjswyProgram::InfoFor(const HjswyOptions& options) {
+  std::ostringstream os;
+  os << "hjswy(T=" << options.T
+     << (options.exact_census ? ",census" : ",estimate")
+     << (options.strict ? ",strict" : "") << ")";
+  return {os.str(), /*randomized=*/true, /*needs_n=*/false,
+          /*unbounded_msgs=*/options.exact_census};
+}
+
+}  // namespace sdn::algo

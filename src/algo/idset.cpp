@@ -1,0 +1,164 @@
+#include "algo/idset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bitio.hpp"
+#include "util/check.hpp"
+
+namespace sdn::algo {
+
+void IdSet::Insert(graph::NodeId id) {
+  SDN_CHECK(id >= 0);
+  const auto word = static_cast<std::size_t>(id) / 64;
+  const auto bit = static_cast<unsigned>(id) % 64;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  const std::uint64_t mask = 1ULL << bit;
+  if ((words_[word] & mask) == 0) {
+    words_[word] |= mask;
+    ++count_;
+    max_id_ = std::max(max_id_, id);
+  }
+}
+
+bool IdSet::Contains(graph::NodeId id) const {
+  if (id < 0) return false;
+  const auto word = static_cast<std::size_t>(id) / 64;
+  if (word >= words_.size()) return false;
+  return (words_[word] >> (static_cast<unsigned>(id) % 64)) & 1ULL;
+}
+
+bool IdSet::UnionWith(const IdSet& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  bool grew = false;
+  for (std::size_t w = 0; w < other.words_.size(); ++w) {
+    const std::uint64_t fresh = other.words_[w] & ~words_[w];
+    if (fresh != 0) {
+      words_[w] |= fresh;
+      count_ += std::popcount(fresh);
+      grew = true;
+    }
+  }
+  if (grew) max_id_ = std::max(max_id_, other.max_id_);
+  return grew;
+}
+
+graph::NodeId IdSet::UnionWithMinNew(const IdSet& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  graph::NodeId min_new = -1;
+  for (std::size_t w = 0; w < other.words_.size(); ++w) {
+    const std::uint64_t fresh = other.words_[w] & ~words_[w];
+    if (fresh != 0) {
+      words_[w] |= fresh;
+      count_ += std::popcount(fresh);
+      if (min_new < 0) {
+        min_new = static_cast<graph::NodeId>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(fresh)));
+      }
+    }
+  }
+  if (min_new >= 0) max_id_ = std::max(max_id_, other.max_id_);
+  return min_new;
+}
+
+graph::NodeId IdSet::SelectKth(std::int64_t k) const {
+  if (k < 0 || k >= count_) return -1;
+  std::int64_t remaining = k;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const int pop = std::popcount(words_[w]);
+    if (remaining >= pop) {
+      remaining -= pop;
+      continue;
+    }
+    std::uint64_t bits = words_[w];
+    while (remaining > 0) {
+      bits &= bits - 1;
+      --remaining;
+    }
+    return static_cast<graph::NodeId>(
+        w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+  }
+  return -1;
+}
+
+graph::NodeId IdSet::NextAtLeast(graph::NodeId from) const {
+  if (from < 0) from = 0;
+  auto w = static_cast<std::size_t>(from) / 64;
+  if (w >= words_.size()) return -1;
+  std::uint64_t bits = words_[w] >> (static_cast<unsigned>(from) % 64)
+                                        << (static_cast<unsigned>(from) % 64);
+  while (true) {
+    if (bits != 0) {
+      return static_cast<graph::NodeId>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+    }
+    ++w;
+    if (w >= words_.size()) return -1;
+    bits = words_[w];
+  }
+}
+
+std::uint64_t IdSet::Hash() const {
+  // Position-keyed mixing; trailing zero words must not affect the hash.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] == 0) continue;
+    std::uint64_t x = words_[w] ^ (0xbf58476d1ce4e5b9ULL * (w + 1));
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    h ^= x ^ (x >> 31);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<graph::NodeId> IdSet::ToVector() const {
+  std::vector<graph::NodeId> out;
+  out.reserve(static_cast<std::size_t>(count_));
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      out.push_back(static_cast<graph::NodeId>(w * 64 + static_cast<std::size_t>(b)));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+graph::NodeId IdSet::Min() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<graph::NodeId>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(words_[w])));
+    }
+  }
+  return -1;
+}
+
+std::size_t IdSet::EncodedBits() const {
+  const std::size_t header =
+      util::VarintBits(static_cast<std::uint64_t>(count_)) + 6;
+  if (count_ == 0) return header;
+  const auto width =
+      static_cast<std::size_t>(util::BitWidth(static_cast<std::uint64_t>(max_id_)));
+  return header + static_cast<std::size_t>(count_) * width;
+}
+
+bool operator==(const IdSet& a, const IdSet& b) {
+  const std::size_t common = std::min(a.words_.size(), b.words_.size());
+  for (std::size_t w = 0; w < common; ++w) {
+    if (a.words_[w] != b.words_[w]) return false;
+  }
+  const auto& longer = a.words_.size() > b.words_.size() ? a.words_ : b.words_;
+  for (std::size_t w = common; w < longer.size(); ++w) {
+    if (longer[w] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace sdn::algo

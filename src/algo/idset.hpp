@@ -1,0 +1,63 @@
+// Growable bitset of node ids.
+//
+// Census-style algorithms union id sets along every edge every round; a
+// word-parallel bitset makes that O(n/64) per merge instead of O(n log n),
+// which is what keeps unbounded-census simulations at N=4096 tractable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sdn::algo {
+
+class IdSet {
+ public:
+  IdSet() = default;
+
+  void Insert(graph::NodeId id);
+  [[nodiscard]] bool Contains(graph::NodeId id) const;
+
+  /// Set union; returns true if this set gained any element.
+  bool UnionWith(const IdSet& other);
+
+  /// Set union; returns the smallest element newly gained, or -1 if none.
+  graph::NodeId UnionWithMinNew(const IdSet& other);
+
+  /// Id of the k-th smallest element (0-based); -1 if k >= size().
+  [[nodiscard]] graph::NodeId SelectKth(std::int64_t k) const;
+
+  /// Smallest element >= from; -1 if none.
+  [[nodiscard]] graph::NodeId NextAtLeast(graph::NodeId from) const;
+
+  [[nodiscard]] std::int64_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Largest id ever inserted; -1 when empty.
+  [[nodiscard]] graph::NodeId max_id() const { return max_id_; }
+
+  /// Order-insensitive content hash (equal sets -> equal hash).
+  [[nodiscard]] std::uint64_t Hash() const;
+
+  /// Elements in increasing order.
+  [[nodiscard]] std::vector<graph::NodeId> ToVector() const;
+
+  /// Smallest element; -1 when empty.
+  [[nodiscard]] graph::NodeId Min() const;
+
+  /// Wire size of the canonical encoding (varint count + 6-bit id width +
+  /// count fixed-width ids) — the honest charge for shipping this set in
+  /// the unbounded regime. algo/codecs.cpp implements exactly this layout
+  /// and tests pin the two to each other.
+  [[nodiscard]] std::size_t EncodedBits() const;
+
+  friend bool operator==(const IdSet& a, const IdSet& b);
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::int64_t count_ = 0;
+  graph::NodeId max_id_ = -1;
+};
+
+}  // namespace sdn::algo

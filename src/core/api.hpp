@@ -1,0 +1,113 @@
+// Public facade: one-call experiment runs.
+//
+// sdn::RunAlgorithm builds the adversary, instantiates the chosen node
+// program at every node, executes the lock-step engine, and grades the
+// outputs against ground truth (the harness knows N and the inputs; the
+// nodes of course do not). Benches, examples and integration tests all go
+// through this API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adversary/factory.hpp"
+#include "algo/census.hpp"
+#include "algo/common.hpp"
+#include "algo/hjswy.hpp"
+#include "net/bandwidth.hpp"
+#include "net/metrics.hpp"
+
+namespace sdn {
+
+/// The algorithm zoo (DESIGN.md §4).
+enum class Algorithm {
+  /// O(N) Max baseline; requires known N.
+  kFloodMaxKnownN,
+  /// O(N) Consensus baseline; requires known N.
+  kFloodConsensusKnownN,
+  /// The original KLO k-committee protocol (STOC'10), faithful structure:
+  /// exact, deterministic, O(N²).
+  kKloCommittee,
+  /// KLO-style census, pipeline window 1: the O(N²) classic baseline.
+  kKloCensus1,
+  /// KLO-style census using the adversary's T: O(N + N²/T) shape.
+  kKloCensusT,
+  /// hjswy reconstruction, bounded O(log N)-bit messages: Max/Consensus
+  /// exact whp, Count (1±ε). Õ(T·d·polylog N) rounds.
+  kHjswyEstimate,
+  /// hjswy with unbounded census messages: Count exact whp too.
+  kHjswyCensus,
+  /// hjswy strict fallback: accepts only once the horizon covers the
+  /// estimated N (linear-safe envelope).
+  kHjswyStrict,
+};
+
+const char* ToString(Algorithm algorithm);
+std::vector<Algorithm> AllAlgorithms();
+
+struct RunConfig {
+  graph::NodeId n = 64;
+  int T = 2;
+  std::uint64_t seed = 1;
+  /// Adversary selection; n/T/seed are overwritten from the fields above.
+  adversary::AdversaryConfig adversary{};
+  /// Node inputs; empty -> pseudo-random values derived from `seed`.
+  std::vector<algo::Value> inputs;
+  std::int64_t max_rounds = 5'000'000;
+  /// Bounded-regime budget multiplier (bits = multiplier·log2 N).
+  double bandwidth_multiplier = 64.0;
+  int flood_probes = 4;
+  /// Streaming T-interval validation of the adversary. Costs O(T·E) per
+  /// round; property tests cover every adversary kind, so long bench runs
+  /// may turn this off.
+  bool validate_tinterval = true;
+  /// Knobs for the hjswy suite (T / exact_census / strict are synced from
+  /// the algorithm choice and the T above).
+  algo::HjswyOptions hjswy{};
+  /// Knobs for the census baselines (pipeline_T synced from the choice).
+  algo::CensusOptions census{};
+};
+
+/// Graded result of one run.
+struct RunResult {
+  std::string algorithm;
+  std::string adversary;
+  graph::NodeId n = 0;
+  int T = 1;
+  std::uint64_t seed = 0;
+  net::RunStats stats;
+
+  /// Ground truth.
+  std::int64_t expected_count = 0;
+  algo::Value expected_max = 0;
+
+  /// Per-problem grading; nullopt = the algorithm does not answer it.
+  std::optional<bool> count_exact;       // every node output == N
+  std::optional<double> count_max_rel_error;  // estimate algorithms
+  std::optional<bool> max_correct;
+  /// track_sum extension: worst relative error of the Σ max(0,input)
+  /// estimate across nodes.
+  std::optional<double> sum_max_rel_error;
+  std::optional<bool> consensus_agreement;    // all outputs equal
+  std::optional<bool> consensus_valid;        // decided value is some input
+
+  /// True when every node decided and every applicable problem was solved
+  /// correctly (estimates don't count against this; see count_max_rel_error).
+  [[nodiscard]] bool Ok() const;
+};
+
+/// Deterministic pseudo-random inputs for n nodes.
+std::vector<algo::Value> MakeInputs(graph::NodeId n, std::uint64_t seed);
+
+/// Executes one run. CheckError on invalid configuration.
+RunResult RunAlgorithm(Algorithm algorithm, const RunConfig& config);
+
+/// Runs `seeds.size()` independent trials (config.seed replaced per trial),
+/// using up to `threads` worker threads (0 = hardware concurrency).
+std::vector<RunResult> RunTrials(Algorithm algorithm, const RunConfig& config,
+                                 const std::vector<std::uint64_t>& seeds,
+                                 int threads = 0);
+
+}  // namespace sdn

@@ -1,0 +1,84 @@
+// Type-erased step-wise simulation.
+//
+// sdn::RunAlgorithm runs to completion; Simulation exposes the same runs one
+// round at a time, with mid-run inspection — per-node decision state and
+// published values, the current topology, live metrics. Useful for
+// debugging node programs, animating executions, and writing tools that
+// react to the run (the adversary_playground-style binaries).
+//
+//   sdn::Simulation sim(sdn::Algorithm::kHjswyCensus, config);
+//   while (sim.Step()) {
+//     if (sim.Round() % 100 == 0) Report(sim.Stats());
+//   }
+//   const sdn::RunResult result = sim.Finish();
+#pragma once
+
+#include <memory>
+
+#include "core/api.hpp"
+#include "graph/graph.hpp"
+#include "net/metrics.hpp"
+
+namespace sdn {
+
+namespace detail {
+
+/// Internal interface implemented per node-program type (see api.cpp).
+class SimBase {
+ public:
+  virtual ~SimBase() = default;
+  virtual bool Step() = 0;
+  [[nodiscard]] virtual net::RunStats Stats() const = 0;
+  [[nodiscard]] virtual bool Finished() const = 0;
+  [[nodiscard]] virtual std::int64_t Round() const = 0;
+  [[nodiscard]] virtual graph::NodeId NumNodes() const = 0;
+  [[nodiscard]] virtual bool NodeDecided(graph::NodeId u) const = 0;
+  [[nodiscard]] virtual double NodePublicState(graph::NodeId u) const = 0;
+  [[nodiscard]] virtual const graph::Graph& CurrentTopology() const = 0;
+  [[nodiscard]] virtual RunResult Grade() const = 0;
+};
+
+std::unique_ptr<SimBase> MakeSim(Algorithm algorithm, const RunConfig& config);
+
+}  // namespace detail
+
+class Simulation {
+ public:
+  Simulation(Algorithm algorithm, const RunConfig& config)
+      : impl_(detail::MakeSim(algorithm, config)) {}
+
+  /// Executes one round; false once the run is over.
+  bool Step() { return impl_->Step(); }
+  /// Runs the remaining rounds.
+  void RunToCompletion() {
+    while (Step()) {
+    }
+  }
+
+  [[nodiscard]] bool Finished() const { return impl_->Finished(); }
+  /// Rounds executed so far.
+  [[nodiscard]] std::int64_t Round() const { return impl_->Round(); }
+  [[nodiscard]] graph::NodeId NumNodes() const { return impl_->NumNodes(); }
+  /// Live metrics snapshot.
+  [[nodiscard]] net::RunStats Stats() const { return impl_->Stats(); }
+  [[nodiscard]] bool NodeDecided(graph::NodeId u) const {
+    return impl_->NodeDecided(u);
+  }
+  /// The node's published scalar (what adaptive adversaries see).
+  [[nodiscard]] double NodePublicState(graph::NodeId u) const {
+    return impl_->NodePublicState(u);
+  }
+  /// Topology of the most recently executed round.
+  [[nodiscard]] const graph::Graph& CurrentTopology() const {
+    return impl_->CurrentTopology();
+  }
+
+  /// Grades the run against ground truth (callable any time; correctness
+  /// fields reflect the nodes that have decided so far).
+  [[nodiscard]] RunResult Finish() const { return impl_->Grade(); }
+
+ private:
+  std::unique_ptr<detail::SimBase> impl_;
+};
+
+}  // namespace sdn

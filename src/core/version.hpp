@@ -1,0 +1,13 @@
+// Library version constants.
+#pragma once
+
+namespace sdn {
+
+constexpr int kVersionMajor = 1;
+constexpr int kVersionMinor = 0;
+constexpr int kVersionPatch = 0;
+
+/// "major.minor.patch".
+const char* VersionString();
+
+}  // namespace sdn

@@ -1,0 +1,50 @@
+// Classic graph algorithms used by generators, validators and metrics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sdn::graph {
+
+/// Disjoint-set union with union-by-size and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  NodeId Find(NodeId x);
+  /// Returns true if x and y were in different sets (i.e. a merge happened).
+  bool Union(NodeId x, NodeId y);
+  [[nodiscard]] std::size_t num_components() const { return components_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::int32_t> size_;
+  std::size_t components_ = 0;
+};
+
+/// BFS hop distances from `source`; unreachable nodes get -1.
+std::vector<std::int32_t> BfsDistances(const Graph& g, NodeId source);
+
+bool IsConnected(const Graph& g);
+
+/// Component label per node (labels are representative node ids, dense order
+/// of first appearance is NOT guaranteed).
+std::vector<NodeId> ComponentLabels(const Graph& g);
+
+/// Max BFS distance from `source` to any node; -1 if g is disconnected.
+std::int32_t Eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter via all-sources BFS (O(N·E) — fine at simulator scales);
+/// -1 if disconnected, 0 for a single node.
+std::int32_t Diameter(const Graph& g);
+
+/// Edges of a BFS spanning tree rooted at `root`.
+/// Returns nullopt if g is disconnected.
+std::optional<std::vector<Edge>> BfsSpanningTree(const Graph& g, NodeId root);
+
+/// Number of edges in a maximal spanning forest (n - #components).
+std::int64_t SpanningForestSize(const Graph& g);
+
+}  // namespace sdn::graph

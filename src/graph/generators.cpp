@@ -1,0 +1,229 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace sdn::graph {
+
+Graph Path(NodeId n) {
+  SDN_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph(n, edges);
+}
+
+Graph Cycle(NodeId n) {
+  SDN_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  edges.emplace_back(NodeId{0}, n - 1);
+  return Graph(n, edges);
+}
+
+Graph Star(NodeId n) {
+  SDN_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  for (NodeId i = 1; i < n; ++i) edges.emplace_back(NodeId{0}, i);
+  return Graph(n, edges);
+}
+
+Graph Complete(NodeId n) {
+  SDN_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph(n, edges);
+}
+
+Graph GridGraph(NodeId rows, NodeId cols) {
+  SDN_CHECK(rows >= 1 && cols >= 1);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph(rows * cols, edges);
+}
+
+Graph BinaryTree(NodeId n) {
+  SDN_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  for (NodeId i = 1; i < n; ++i) edges.emplace_back(i, (i - 1) / 2);
+  return Graph(n, edges);
+}
+
+Graph Hypercube(int dim) {
+  SDN_CHECK(dim >= 0 && dim < 30);
+  const NodeId n = NodeId{1} << dim;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (int b = 0; b < dim; ++b) {
+      const NodeId v = u ^ (NodeId{1} << b);
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph Barbell(NodeId n) {
+  SDN_CHECK(n >= 2);
+  const NodeId left = (n + 1) / 2;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < left; ++u) {
+    for (NodeId v = u + 1; v < left; ++v) edges.emplace_back(u, v);
+  }
+  for (NodeId u = left; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  edges.emplace_back(left - 1, left);
+  return Graph(n, edges);
+}
+
+Graph RandomTree(NodeId n, util::Rng& rng) {
+  SDN_CHECK(n >= 1);
+  if (n == 1) return Graph(1);
+  if (n == 2) {
+    const Edge e(0, 1);
+    return Graph(2, std::span<const Edge>(&e, 1));
+  }
+  // Decode a uniform random Prüfer sequence of length n-2.
+  std::vector<NodeId> prufer(static_cast<std::size_t>(n) - 2);
+  for (auto& p : prufer) p = static_cast<NodeId>(rng.UniformU64(static_cast<std::uint64_t>(n)));
+  std::vector<NodeId> degree(static_cast<std::size_t>(n), 1);
+  for (const NodeId p : prufer) ++degree[static_cast<std::size_t>(p)];
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  // ptr/leaf scan variant: O(n) total.
+  NodeId ptr = 0;
+  while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (const NodeId p : prufer) {
+    edges.emplace_back(leaf, p);
+    if (--degree[static_cast<std::size_t>(p)] == 1 && p < ptr) {
+      leaf = p;
+    } else {
+      ++ptr;
+      while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  edges.emplace_back(leaf, n - 1);
+  return Graph(n, edges);
+}
+
+Graph Gnp(NodeId n, double p, util::Rng& rng) {
+  SDN_CHECK(n >= 1);
+  SDN_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<Edge> edges;
+  if (p <= 0.0) return Graph(n);
+  if (p >= 1.0) return Complete(n);
+  // Geometric skipping over the edge enumeration: O(E) expected.
+  const auto total =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) / 2;
+  std::uint64_t idx = rng.Geometric(p);
+  while (idx < total) {
+    // Invert idx -> (u, v) over the upper triangle, row-major.
+    // Row u starts at offset u*n - u*(u+1)/2.
+    const auto fn = static_cast<double>(n);
+    auto u = static_cast<std::uint64_t>(
+        fn - 0.5 - std::sqrt((fn - 0.5) * (fn - 0.5) - 2.0 * static_cast<double>(idx)));
+    auto RowStart = [n](std::uint64_t row) {
+      return row * static_cast<std::uint64_t>(n) - row * (row + 1) / 2;
+    };
+    while (u + 1 < static_cast<std::uint64_t>(n) && RowStart(u + 1) <= idx) ++u;
+    while (u > 0 && RowStart(u) > idx) --u;
+    const std::uint64_t v = u + 1 + (idx - RowStart(u));
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    idx += 1 + rng.Geometric(p);
+  }
+  return Graph(n, edges);
+}
+
+Graph ConnectedGnp(NodeId n, double p, util::Rng& rng) {
+  Graph g = Gnp(n, p, rng);
+  UnionFind uf(static_cast<std::size_t>(n));
+  for (const Edge& e : g.Edges()) uf.Union(e.u, e.v);
+  if (uf.num_components() == 1) return g;
+  // Collect one representative per component, shuffle, and chain them.
+  std::vector<NodeId> reps;
+  for (NodeId u = 0; u < n; ++u) {
+    if (uf.Find(u) == u) reps.push_back(u);
+  }
+  rng.Shuffle(std::span<NodeId>(reps));
+  std::vector<Edge> repair;
+  for (std::size_t i = 0; i + 1 < reps.size(); ++i) {
+    repair.emplace_back(reps[i], reps[i + 1]);
+  }
+  return g.WithEdges(repair);
+}
+
+Graph RandomExpander(NodeId n, int cycles, util::Rng& rng) {
+  SDN_CHECK(n >= 3);
+  SDN_CHECK(cycles >= 1);
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::vector<Edge> edges;
+  for (int c = 0; c < cycles; ++c) {
+    for (NodeId i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    rng.Shuffle(std::span<NodeId>(order));
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const NodeId a = order[i];
+      const NodeId b = order[(i + 1) % order.size()];
+      if (a != b) edges.emplace_back(a, b);
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph PathOfCliques(NodeId num_cliques, NodeId clique_size) {
+  SDN_CHECK(num_cliques >= 1 && clique_size >= 1);
+  const NodeId n = num_cliques * clique_size;
+  std::vector<Edge> edges;
+  for (NodeId k = 0; k < num_cliques; ++k) {
+    const NodeId base = k * clique_size;
+    for (NodeId u = 0; u < clique_size; ++u) {
+      for (NodeId v = u + 1; v < clique_size; ++v) {
+        edges.emplace_back(base + u, base + v);
+      }
+    }
+    if (k + 1 < num_cliques) {
+      // Bridge: last node of clique k to first node of clique k+1.
+      edges.emplace_back(base + clique_size - 1, base + clique_size);
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph GeometricGraph(const std::vector<Point2D>& positions, double radius) {
+  const auto n = static_cast<NodeId>(positions.size());
+  const double r2 = radius * radius;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = positions[static_cast<std::size_t>(u)].x -
+                        positions[static_cast<std::size_t>(v)].x;
+      const double dy = positions[static_cast<std::size_t>(u)].y -
+                        positions[static_cast<std::size_t>(v)].y;
+      if (dx * dx + dy * dy <= r2) edges.emplace_back(u, v);
+    }
+  }
+  return Graph(n, edges);
+}
+
+std::vector<Point2D> RandomPoints(NodeId n, util::Rng& rng) {
+  std::vector<Point2D> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p.x = rng.UniformDouble();
+    p.y = rng.UniformDouble();
+  }
+  return pts;
+}
+
+}  // namespace sdn::graph

@@ -1,0 +1,60 @@
+// Topology generators.
+//
+// Deterministic families give known diameters for validator tests; random
+// families are the raw material the adversaries rewire every round/window.
+// All randomized generators take an explicit Rng so trials replay exactly.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::graph {
+
+Graph Path(NodeId n);
+Graph Cycle(NodeId n);
+/// Node 0 is the hub.
+Graph Star(NodeId n);
+Graph Complete(NodeId n);
+/// rows*cols nodes in a 4-neighbor lattice.
+Graph GridGraph(NodeId rows, NodeId cols);
+/// Heap-indexed complete-ish binary tree on n nodes (node i's parent is
+/// (i-1)/2); diameter ~2·log2(n).
+Graph BinaryTree(NodeId n);
+/// dim-dimensional hypercube on 2^dim nodes.
+Graph Hypercube(int dim);
+/// Two cliques of ⌈n/2⌉ and ⌊n/2⌋ nodes joined by one bridge edge.
+Graph Barbell(NodeId n);
+
+/// Uniform random labelled spanning tree (random Prüfer sequence).
+Graph RandomTree(NodeId n, util::Rng& rng);
+
+/// Erdős–Rényi G(n,p); may be disconnected.
+Graph Gnp(NodeId n, double p, util::Rng& rng);
+
+/// G(n,p) with connectivity repaired by adding one random inter-component
+/// edge per merge (so exactly #components-1 repair edges).
+Graph ConnectedGnp(NodeId n, double p, util::Rng& rng);
+
+/// Union of `cycles` random Hamiltonian cycles: a simple ~2·cycles-regular
+/// graph that is connected and an expander whp — O(log n) diameter.
+Graph RandomExpander(NodeId n, int cycles, util::Rng& rng);
+
+/// `num_cliques` cliques of `clique_size` nodes chained by bridge edges:
+/// diameter = 2·num_cliques - 1-ish; used to dial flooding time d
+/// independently of N (experiment F3).
+Graph PathOfCliques(NodeId num_cliques, NodeId clique_size);
+
+/// Unit-square random geometric graph over given positions: edge iff
+/// Euclidean distance <= radius.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+};
+Graph GeometricGraph(const std::vector<Point2D>& positions, double radius);
+
+/// n uniform points in the unit square.
+std::vector<Point2D> RandomPoints(NodeId n, util::Rng& rng);
+
+}  // namespace sdn::graph

@@ -1,0 +1,95 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sdn::graph {
+
+Edge::Edge(NodeId a, NodeId b) : u(std::min(a, b)), v(std::max(a, b)) {
+  SDN_CHECK_MSG(a != b, "self-loop at node " << a);
+}
+
+Graph::Graph(NodeId n) : n_(n) {
+  SDN_CHECK(n >= 0);
+  BuildAdjacency();
+}
+
+Graph::Graph(NodeId n, std::span<const Edge> edges)
+    : n_(n), edges_(edges.begin(), edges.end()) {
+  SDN_CHECK(n >= 0);
+  for (const Edge& e : edges_) {
+    SDN_CHECK_MSG(e.u >= 0 && e.v < n_, "edge (" << e.u << "," << e.v
+                                                 << ") out of range for n=" << n_);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  BuildAdjacency();
+}
+
+void Graph::BuildAdjacency() {
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  adjacency_.assign(edges_.size() * 2, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
+    adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++)] = e.u;
+  }
+  // Each bucket is built from a sorted edge list, but edges contribute to a
+  // node both as u and as v, so sort each bucket for deterministic order.
+  for (NodeId u = 0; u < n_; ++u) {
+    const auto begin = adjacency_.begin() + offsets_[static_cast<std::size_t>(u)];
+    const auto end = adjacency_.begin() + offsets_[static_cast<std::size_t>(u) + 1];
+    std::sort(begin, end);
+  }
+}
+
+std::span<const NodeId> Graph::Neighbors(NodeId u) const {
+  SDN_CHECK(u >= 0 && u < n_);
+  const auto begin = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u)]);
+  const auto end = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u) + 1]);
+  return {adjacency_.data() + begin, end - begin};
+}
+
+NodeId Graph::Degree(NodeId u) const {
+  return static_cast<NodeId>(Neighbors(u).size());
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Graph Graph::WithEdges(std::span<const Edge> extra) const {
+  std::vector<Edge> merged(edges_);
+  merged.insert(merged.end(), extra.begin(), extra.end());
+  return Graph(n_, merged);
+}
+
+Graph EdgeIntersection(std::span<const Graph> graphs) {
+  SDN_CHECK(!graphs.empty());
+  const NodeId n = graphs[0].num_nodes();
+  for (const Graph& g : graphs) {
+    SDN_CHECK_MSG(g.num_nodes() == n, "EdgeIntersection on mismatched sizes");
+  }
+  std::vector<Edge> common(graphs[0].Edges().begin(), graphs[0].Edges().end());
+  std::vector<Edge> next;
+  for (std::size_t i = 1; i < graphs.size() && !common.empty(); ++i) {
+    next.clear();
+    const auto other = graphs[i].Edges();
+    std::set_intersection(common.begin(), common.end(), other.begin(),
+                          other.end(), std::back_inserter(next));
+    common.swap(next);
+  }
+  return Graph(n, common);
+}
+
+}  // namespace sdn::graph

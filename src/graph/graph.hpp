@@ -1,0 +1,70 @@
+// Immutable undirected graph on nodes [0, N).
+//
+// This is the per-round topology type the adversary hands to the engine.
+// Adjacency is stored sorted so neighbor iteration is deterministic and
+// edge-set operations (intersection across a T-window) are linear merges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sdn::graph {
+
+using NodeId = std::int32_t;
+
+/// Undirected edge with the invariant u < v (normalized on construction).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  Edge() = default;
+  Edge(NodeId a, NodeId b);
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  /// Empty graph on n isolated nodes. Requires n >= 0.
+  explicit Graph(NodeId n = 0);
+
+  /// Graph on n nodes with the given edges; duplicates are collapsed and
+  /// self-loops rejected (CheckError).
+  Graph(NodeId n, std::span<const Edge> edges);
+
+  [[nodiscard]] NodeId num_nodes() const { return n_; }
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(edges_.size());
+  }
+
+  /// Sorted neighbor list of u.
+  [[nodiscard]] std::span<const NodeId> Neighbors(NodeId u) const;
+
+  [[nodiscard]] NodeId Degree(NodeId u) const;
+  [[nodiscard]] bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Sorted, deduplicated edge list.
+  [[nodiscard]] std::span<const Edge> Edges() const { return edges_; }
+
+  /// New graph = this plus `extra` edges (duplicates fine).
+  [[nodiscard]] Graph WithEdges(std::span<const Edge> extra) const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  void BuildAdjacency();
+
+  NodeId n_ = 0;
+  std::vector<Edge> edges_;             // sorted, unique
+  std::vector<NodeId> adjacency_;       // flattened CSR payload
+  std::vector<std::int64_t> offsets_;   // size n_+1
+};
+
+/// Intersection of the edge sets of `graphs` (all must share num_nodes).
+/// Returns the graph whose edges appear in every input — the "stable
+/// subgraph" of a T-window.
+Graph EdgeIntersection(std::span<const Graph> graphs);
+
+}  // namespace sdn::graph

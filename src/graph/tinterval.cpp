@@ -1,0 +1,57 @@
+#include "graph/tinterval.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace sdn::graph {
+
+TIntervalReport ValidateTInterval(std::span<const Graph> sequence, int T) {
+  SDN_CHECK(T >= 1);
+  TIntervalReport report;
+  if (sequence.empty()) return report;
+  const NodeId n = sequence[0].num_nodes();
+  for (const Graph& g : sequence) SDN_CHECK(g.num_nodes() == n);
+  report.min_stable_forest = n >= 1 ? n - 1 : 0;
+
+  const auto len = static_cast<std::int64_t>(sequence.size());
+  const std::int64_t window = std::min<std::int64_t>(T, len);
+  for (std::int64_t start = 0; start + window <= len; ++start) {
+    const Graph common = EdgeIntersection(
+        sequence.subspan(static_cast<std::size_t>(start),
+                         static_cast<std::size_t>(window)));
+    const std::int64_t forest = SpanningForestSize(common);
+    report.min_stable_forest = std::min(report.min_stable_forest, forest);
+    ++report.windows_checked;
+    if (!IsConnected(common) && report.ok) {
+      report.ok = false;
+      report.first_bad_window = start;
+    }
+  }
+  return report;
+}
+
+TIntervalChecker::TIntervalChecker(NodeId n, int T) : n_(n), t_(T) {
+  SDN_CHECK(T >= 1);
+  SDN_CHECK(n >= 1);
+}
+
+bool TIntervalChecker::Push(const Graph& g) {
+  SDN_CHECK(g.num_nodes() == n_);
+  window_.push_back(g);
+  if (window_.size() > static_cast<std::size_t>(t_)) {
+    window_.erase(window_.begin());
+  }
+  ++rounds_seen_;
+  if (window_.size() == static_cast<std::size_t>(t_)) {
+    const Graph common = EdgeIntersection(window_);
+    if (!IsConnected(common)) {
+      if (ok_) first_bad_window_ = rounds_seen_ - t_;
+      ok_ = false;
+    }
+  }
+  return ok_;
+}
+
+}  // namespace sdn::graph

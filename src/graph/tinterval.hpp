@@ -1,0 +1,63 @@
+// T-interval connectivity checking over dynamic graph sequences.
+//
+// The adversary contract is: for every window of T consecutive rounds, the
+// intersection of the window's topologies contains a connected spanning
+// subgraph (equivalently: the intersection graph itself is connected, since
+// any common spanning connected subgraph is a subgraph of the intersection).
+// Tests run every adversary through this validator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace sdn::graph {
+
+/// Result of validating one sequence.
+struct TIntervalReport {
+  bool ok = true;
+  /// First (0-based) window start whose intersection is disconnected.
+  std::int64_t first_bad_window = -1;
+  /// Number of windows checked.
+  std::int64_t windows_checked = 0;
+  /// Minimum over windows of the intersection's spanning-forest size
+  /// (n-1 for every window iff ok).
+  std::int64_t min_stable_forest = 0;
+};
+
+/// Checks T-interval connectivity of the full sequence. All graphs must have
+/// equal node counts; T >= 1; sequences shorter than T are checked over the
+/// windows that exist (a sequence with fewer than T rounds has none beyond
+/// its own length — we then require the whole-sequence intersection to be
+/// connected, matching the promise restricted to complete windows only when
+/// `partial_tail` is false).
+TIntervalReport ValidateTInterval(std::span<const Graph> sequence, int T);
+
+/// Incremental validator for streaming use (the engine validates as the
+/// adversary emits rounds, without storing the whole run).
+class TIntervalChecker {
+ public:
+  TIntervalChecker(NodeId n, int T);
+
+  /// Feeds the next round's topology; returns false on first violation
+  /// (and stays false afterwards).
+  bool Push(const Graph& g);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::int64_t rounds_seen() const { return rounds_seen_; }
+  [[nodiscard]] std::int64_t first_bad_window() const {
+    return first_bad_window_;
+  }
+
+ private:
+  NodeId n_;
+  int t_;
+  bool ok_ = true;
+  std::int64_t rounds_seen_ = 0;
+  std::int64_t first_bad_window_ = -1;
+  std::vector<Graph> window_;  // ring buffer of the last T graphs
+};
+
+}  // namespace sdn::graph

@@ -1,0 +1,50 @@
+// Adversary interface.
+//
+// The adversary owns the topology: each round the engine asks it for G_r.
+// Oblivious adversaries ignore the view; adaptive adversaries may inspect the
+// public per-node state the running algorithm exposes (DESIGN.md §1). The
+// engine independently verifies the T-interval promise with a streaming
+// checker, so a buggy adversary cannot silently invalidate an experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sdn::net {
+
+/// Read-only window an adaptive adversary gets into the execution.
+class AdversaryView {
+ public:
+  virtual ~AdversaryView() = default;
+
+  /// The round about to be executed (1-based).
+  [[nodiscard]] virtual std::int64_t round() const = 0;
+
+  /// Algorithm-published scalar per node (e.g. "how much has u learned");
+  /// 0 for algorithms that publish nothing.
+  [[nodiscard]] virtual double PublicState(graph::NodeId u) const = 0;
+
+  [[nodiscard]] virtual graph::NodeId num_nodes() const = 0;
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  [[nodiscard]] virtual graph::NodeId num_nodes() const = 0;
+
+  /// The T this adversary promises (>= 1).
+  [[nodiscard]] virtual int interval() const = 0;
+
+  /// Topology for round `round` (1-based). Must uphold the T-interval
+  /// promise across consecutive calls with round = 1, 2, 3, ...
+  virtual graph::Graph TopologyFor(std::int64_t round,
+                                   const AdversaryView& view) = 0;
+
+  /// Stable name for report rows.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace sdn::net

@@ -1,0 +1,31 @@
+#include "net/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sdn::net {
+
+std::int64_t BandwidthPolicy::BitLimit(graph::NodeId n) const {
+  if (mode == BandwidthMode::kUnbounded) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  SDN_CHECK(multiplier > 0.0);
+  const double logn = std::log2(static_cast<double>(std::max<graph::NodeId>(n, 2)));
+  return std::max(floor_bits,
+                  static_cast<std::int64_t>(std::ceil(multiplier * logn)));
+}
+
+const char* ToString(BandwidthMode mode) {
+  switch (mode) {
+    case BandwidthMode::kUnbounded:
+      return "unbounded";
+    case BandwidthMode::kBoundedLogN:
+      return "bounded-logN";
+  }
+  return "?";
+}
+
+}  // namespace sdn::net

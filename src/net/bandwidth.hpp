@@ -1,0 +1,44 @@
+// Bandwidth regimes.
+//
+// The model's interesting regime is O(log N)-bit messages (CONGEST-style);
+// the unbounded regime exists because exact Count fundamentally needs to move
+// Ω(N log N) bits across a cut and the abstract does not say which regime the
+// paper's Count uses (see DESIGN.md §0/§4.2). The engine *enforces* the
+// declared regime: any message whose encoded size exceeds the per-round limit
+// is a CheckError, so no algorithm can quietly cheat its complexity class.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace sdn::net {
+
+enum class BandwidthMode {
+  kUnbounded,
+  kBoundedLogN,
+};
+
+struct BandwidthPolicy {
+  BandwidthMode mode = BandwidthMode::kBoundedLogN;
+  /// Bounded regime limit = max(floor_bits, ceil(multiplier·log2(max(n,2)))).
+  double multiplier = 64.0;
+  /// The additive constant of the O(log N) bound: concrete encodings have
+  /// fixed-size fields (hashes, tags) that dominate at tiny N.
+  std::int64_t floor_bits = 256;
+
+  /// Per-message bit budget for an n-node network; INT64_MAX if unbounded.
+  [[nodiscard]] std::int64_t BitLimit(graph::NodeId n) const;
+
+  static BandwidthPolicy Unbounded() {
+    return {BandwidthMode::kUnbounded, 0.0, 0};
+  }
+  static BandwidthPolicy BoundedLogN(double multiplier = 64.0,
+                                     std::int64_t floor_bits = 256) {
+    return {BandwidthMode::kBoundedLogN, multiplier, floor_bits};
+  }
+};
+
+const char* ToString(BandwidthMode mode);
+
+}  // namespace sdn::net

@@ -1,0 +1,207 @@
+// The lock-step round engine.
+//
+// One Engine executes one algorithm instance (a vector of node programs)
+// against one adversary. Per round it:
+//   1. asks the adversary for G_r (and streams it through the T-interval
+//      checker and the flooding probes),
+//   2. collects every node's OnSend message, enforcing the bandwidth budget,
+//   3. delivers to each node the messages of its G_r-neighbors,
+//   4. records decisions.
+// The run ends when every node has decided or `max_rounds` is hit.
+//
+// The engine is templated on the node-program type so messages are plain
+// typed values (no serialization on the hot path); bit accounting goes
+// through the program's static MessageBits, which must report the size an
+// actual encoding would spend.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/tinterval.hpp"
+#include "net/adversary.hpp"
+#include "net/bandwidth.hpp"
+#include "net/metrics.hpp"
+#include "net/program.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::net {
+
+struct EngineOptions {
+  std::int64_t max_rounds = 2'000'000;
+  BandwidthPolicy bandwidth = BandwidthPolicy::Unbounded();
+  /// Verify the adversary's T-interval promise while running.
+  bool validate_tinterval = true;
+  /// Number of flooding probes (node 0 plus random sources, all start at
+  /// round 1) used to measure d alongside the run. 0 disables measurement.
+  int flood_probes = 4;
+  std::uint64_t probe_seed = 0x5eedULL;
+  /// When set, every round's topology is appended here (replay/debugging).
+  std::vector<graph::Graph>* record_topologies = nullptr;
+};
+
+template <NodeProgram A>
+class Engine final : private AdversaryView {
+ public:
+  Engine(std::vector<A> nodes, Adversary& adversary, EngineOptions options)
+      : nodes_(std::move(nodes)),
+        adversary_(adversary),
+        options_(options),
+        n_(static_cast<graph::NodeId>(nodes_.size())) {
+    SDN_CHECK(!nodes_.empty());
+    SDN_CHECK_MSG(adversary_.num_nodes() == n_,
+                  "adversary built for " << adversary_.num_nodes()
+                                         << " nodes, got " << nodes_.size());
+    SDN_CHECK(adversary_.interval() >= 1);
+    SDN_CHECK(options_.max_rounds >= 1);
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes one round. Returns false (and does nothing) once the run is
+  /// over — every node decided or max_rounds executed.
+  bool Step() {
+    EnsureStarted();
+    if (finished_) return false;
+    ++round_;
+
+    last_topology_ = adversary_.TopologyFor(round_, *this);
+    const graph::Graph& g = last_topology_;
+    SDN_CHECK_MSG(g.num_nodes() == n_, "adversary produced wrong-size graph");
+    if (options_.validate_tinterval) checker_->Push(g);
+    if (options_.record_topologies != nullptr) {
+      options_.record_topologies->push_back(g);
+    }
+    for (FloodProbe& p : probes_) p.Push(round_, g);
+
+    for (graph::NodeId u = 0; u < n_; ++u) {
+      auto& msg = outbox_[static_cast<std::size_t>(u)];
+      msg = nodes_[static_cast<std::size_t>(u)].OnSend(round_);
+      if (msg.has_value()) {
+        const auto bits = static_cast<std::int64_t>(A::MessageBits(*msg));
+        SDN_CHECK_MSG(bits <= stats_.bit_limit,
+                      "message of " << bits << " bits exceeds budget "
+                                    << stats_.bit_limit << " at node " << u
+                                    << " round " << round_);
+        ++stats_.messages_sent;
+        ++stats_.sends_per_node[static_cast<std::size_t>(u)];
+        stats_.total_message_bits += bits;
+        stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
+      }
+    }
+
+    std::vector<typename A::Message>& inbox = inbox_;
+    for (graph::NodeId u = 0; u < n_; ++u) {
+      inbox.clear();
+      for (const graph::NodeId v : g.Neighbors(u)) {
+        const auto& msg = outbox_[static_cast<std::size_t>(v)];
+        if (msg.has_value()) inbox.push_back(*msg);
+      }
+      A& node = nodes_[static_cast<std::size_t>(u)];
+      const bool was_decided = node.HasDecided();
+      node.OnReceive(round_, std::span<const typename A::Message>(inbox));
+      if (!was_decided && node.HasDecided()) {
+        RecordDecision(u, round_);
+      }
+    }
+    stats_.rounds = round_;
+    if (undecided_ == 0 || round_ >= options_.max_rounds) finished_ = true;
+    return true;
+  }
+
+  /// Drives Step() to completion; callable once per engine.
+  RunStats Run() {
+    SDN_CHECK_MSG(!run_called_, "Engine::Run called twice");
+    run_called_ = true;
+    while (Step()) {
+    }
+    return stats();
+  }
+
+  /// Snapshot of the metrics so far (valid mid-run and after completion).
+  [[nodiscard]] RunStats stats() const {
+    RunStats out = stats_;
+    out.all_decided = started_ && undecided_ == 0;
+    out.tinterval_ok = checker_.has_value() ? checker_->ok() : true;
+    out.flooding = SummarizeProbes(probes_);
+    return out;
+  }
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] std::int64_t current_round() const { return round_; }
+  /// Topology of the most recently executed round (empty before round 1).
+  [[nodiscard]] const graph::Graph& last_topology() const {
+    return last_topology_;
+  }
+
+  [[nodiscard]] const A& node(graph::NodeId u) const {
+    SDN_CHECK(u >= 0 && u < n_);
+    return nodes_[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] graph::NodeId num_nodes() const override { return n_; }
+
+ private:
+  // AdversaryView:
+  [[nodiscard]] std::int64_t round() const override { return round_; }
+  [[nodiscard]] double PublicState(graph::NodeId u) const override {
+    SDN_CHECK(u >= 0 && u < n_);
+    return nodes_[static_cast<std::size_t>(u)].PublicState();
+  }
+
+  void EnsureStarted() {
+    if (started_) return;
+    started_ = true;
+    stats_.decide_round.assign(static_cast<std::size_t>(n_), -1);
+    stats_.sends_per_node.assign(static_cast<std::size_t>(n_), 0);
+    stats_.bit_limit = options_.bandwidth.BitLimit(n_);
+    checker_.emplace(n_, adversary_.interval());
+    outbox_.resize(static_cast<std::size_t>(n_));
+    undecided_ = n_;
+    if (options_.flood_probes > 0) {
+      probes_.emplace_back(n_, graph::NodeId{0}, 1);
+      util::Rng rng(options_.probe_seed);
+      for (int i = 1; i < options_.flood_probes; ++i) {
+        const auto src = static_cast<graph::NodeId>(
+            rng.UniformU64(static_cast<std::uint64_t>(n_)));
+        probes_.emplace_back(n_, src, 1);
+      }
+    }
+    for (graph::NodeId u = 0; u < n_; ++u) {
+      if (nodes_[static_cast<std::size_t>(u)].HasDecided()) {
+        RecordDecision(u, 0);
+      }
+    }
+    if (undecided_ == 0) finished_ = true;
+  }
+
+  void RecordDecision(graph::NodeId u, std::int64_t at) {
+    stats_.decide_round[static_cast<std::size_t>(u)] = at;
+    if (stats_.first_decide_round < 0) stats_.first_decide_round = at;
+    stats_.last_decide_round = std::max(stats_.last_decide_round, at);
+    --undecided_;
+  }
+
+  std::vector<A> nodes_;
+  Adversary& adversary_;
+  EngineOptions options_;
+  graph::NodeId n_ = 0;
+
+  // Run state (lazily initialized by the first Step()).
+  bool started_ = false;
+  bool finished_ = false;
+  bool run_called_ = false;
+  std::int64_t round_ = 0;
+  std::int64_t undecided_ = 0;
+  RunStats stats_;
+  std::optional<graph::TIntervalChecker> checker_;
+  std::vector<FloodProbe> probes_;
+  std::vector<std::optional<typename A::Message>> outbox_;
+  std::vector<typename A::Message> inbox_;
+  graph::Graph last_topology_{0};
+};
+
+}  // namespace sdn::net

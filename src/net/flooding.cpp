@@ -1,0 +1,84 @@
+#include "net/flooding.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sdn::net {
+
+FloodProbe::FloodProbe(graph::NodeId n, graph::NodeId source,
+                       std::int64_t start_round)
+    : n_(n),
+      source_(source),
+      start_round_(start_round),
+      reached_(static_cast<std::size_t>(n), false) {
+  SDN_CHECK(source >= 0 && source < n);
+  SDN_CHECK(start_round >= 1);
+  reached_[static_cast<std::size_t>(source)] = true;
+  reached_count_ = 1;
+  informed_.push_back(source);
+  if (n_ == 1) completed_at_ = start_round_ - 1;  // trivially done, 0 rounds
+}
+
+void FloodProbe::Push(std::int64_t round, const graph::Graph& g) {
+  SDN_CHECK(g.num_nodes() == n_);
+  if (complete() || round < start_round_) return;
+  // Every informed node forwards every round: the nodes informed *after* this
+  // round are exactly the neighbors of the start-of-round informed set. Only
+  // scan the snapshot prefix of informed_ so a token moves one hop per round
+  // (nodes appended during the scan must not relay until next round). Old
+  // informed nodes must be rescanned every round — in a dynamic graph they
+  // may meet fresh neighbors at any time — hence the full prefix scan.
+  const std::size_t informed_before = informed_.size();
+  for (std::size_t i = 0; i < informed_before; ++i) {
+    const graph::NodeId u = informed_[i];
+    for (const graph::NodeId v : g.Neighbors(u)) {
+      if (!reached_[static_cast<std::size_t>(v)]) {
+        reached_[static_cast<std::size_t>(v)] = true;
+        informed_.push_back(v);
+      }
+    }
+  }
+  reached_count_ = static_cast<graph::NodeId>(informed_.size());
+  if (complete()) completed_at_ = round;
+}
+
+std::int64_t FloodProbe::completion_rounds() const {
+  if (!complete()) return -1;
+  return completed_at_ - start_round_ + 1;
+}
+
+FloodingSummary SummarizeProbes(const std::vector<FloodProbe>& probes) {
+  FloodingSummary s;
+  s.probes = static_cast<std::int64_t>(probes.size());
+  double total = 0.0;
+  for (const FloodProbe& p : probes) {
+    if (!p.complete()) continue;
+    ++s.completed;
+    const std::int64_t rounds = p.completion_rounds();
+    s.max_rounds = std::max(s.max_rounds, rounds);
+    total += static_cast<double>(rounds);
+  }
+  if (s.completed > 0) s.mean_rounds = total / static_cast<double>(s.completed);
+  return s;
+}
+
+std::int64_t DynamicFloodingTime(std::span<const graph::Graph> sequence) {
+  if (sequence.empty()) return -1;
+  const graph::NodeId n = sequence[0].num_nodes();
+  std::int64_t worst = 0;
+  for (graph::NodeId src = 0; src < n; ++src) {
+    FloodProbe probe(n, src, 1);
+    std::int64_t round = 1;
+    for (const graph::Graph& g : sequence) {
+      probe.Push(round, g);
+      if (probe.complete()) break;
+      ++round;
+    }
+    if (!probe.complete()) return -1;
+    worst = std::max(worst, probe.completion_rounds());
+  }
+  return worst;
+}
+
+}  // namespace sdn::net

@@ -1,0 +1,61 @@
+// Dynamic flooding time measurement.
+//
+// The paper-line complexity parameter d is the *dynamic flooding time* of the
+// executed graph sequence: how many rounds a token injected at node u in
+// round r needs to reach every node when every informed node forwards it
+// every round. The engine runs a handful of FloodProbes alongside the
+// algorithm so every report can state the d it was measured against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sdn::net {
+
+/// Tracks the spread of one token from (source, start_round).
+class FloodProbe {
+ public:
+  FloodProbe(graph::NodeId n, graph::NodeId source, std::int64_t start_round);
+
+  /// Feeds the topology of `round`; spread happens iff round >= start_round
+  /// and the probe is not yet complete.
+  void Push(std::int64_t round, const graph::Graph& g);
+
+  [[nodiscard]] bool complete() const { return reached_count_ == n_; }
+  /// Rounds elapsed from start to full coverage; -1 while incomplete.
+  [[nodiscard]] std::int64_t completion_rounds() const;
+  [[nodiscard]] graph::NodeId source() const { return source_; }
+  [[nodiscard]] std::int64_t start_round() const { return start_round_; }
+  [[nodiscard]] graph::NodeId reached_count() const { return reached_count_; }
+
+ private:
+  graph::NodeId n_;
+  graph::NodeId source_;
+  std::int64_t start_round_;
+  std::int64_t completed_at_ = -1;
+  graph::NodeId reached_count_ = 0;
+  std::vector<bool> reached_;
+  std::vector<graph::NodeId> informed_;  // in discovery order
+};
+
+/// Summary over a set of probes.
+struct FloodingSummary {
+  std::int64_t probes = 0;
+  std::int64_t completed = 0;
+  /// Max completion rounds over completed probes (the measured d); -1 if none
+  /// completed.
+  std::int64_t max_rounds = -1;
+  double mean_rounds = 0.0;
+};
+
+FloodingSummary SummarizeProbes(const std::vector<FloodProbe>& probes);
+
+/// Offline exact dynamic flooding time of a recorded sequence: max over all
+/// sources starting at round index 0. Returns -1 if some probe cannot finish
+/// within the sequence.
+std::int64_t DynamicFloodingTime(std::span<const graph::Graph> sequence);
+
+}  // namespace sdn::net

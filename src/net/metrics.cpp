@@ -1,0 +1,28 @@
+#include "net/metrics.hpp"
+
+#include <sstream>
+
+namespace sdn::net {
+
+double RunStats::AvgBitsPerMessage() const {
+  if (messages_sent == 0) return 0.0;
+  return static_cast<double>(total_message_bits) /
+         static_cast<double>(messages_sent);
+}
+
+double RunStats::BitsPerNodeRound(std::int64_t num_nodes) const {
+  if (num_nodes == 0 || rounds == 0) return 0.0;
+  return static_cast<double>(total_message_bits) /
+         (static_cast<double>(num_nodes) * static_cast<double>(rounds));
+}
+
+std::string RunStats::OneLine() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " decided=" << (all_decided ? "all" : "PARTIAL")
+     << " msgs=" << messages_sent << " bits=" << total_message_bits
+     << " d=" << flooding.max_rounds
+     << " tinterval=" << (tinterval_ok ? "ok" : "VIOLATED");
+  return os.str();
+}
+
+}  // namespace sdn::net

@@ -1,0 +1,46 @@
+// Execution metrics reported by the engine.
+//
+// Round complexity is the headline number (round in which the last node
+// decides). Message and bit counts make the bandwidth experiment (T6) honest,
+// and the flooding summary records the d the run was measured against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/flooding.hpp"
+
+namespace sdn::net {
+
+struct RunStats {
+  /// Rounds actually executed (= last decide round when all_decided).
+  std::int64_t rounds = 0;
+  bool all_decided = false;
+  std::int64_t first_decide_round = -1;
+  std::int64_t last_decide_round = -1;
+  /// Per-node decide round; -1 if the node never decided.
+  std::vector<std::int64_t> decide_round;
+
+  /// One "message" = one local broadcast by one node in one round.
+  std::int64_t messages_sent = 0;
+  /// Broadcasts per node (message complexity distribution; a node's silent
+  /// rounds = rounds - sends_per_node[u]).
+  std::vector<std::int64_t> sends_per_node;
+  std::int64_t total_message_bits = 0;
+  std::int64_t max_message_bits = 0;
+  /// The enforced per-message budget (INT64_MAX when unbounded).
+  std::int64_t bit_limit = 0;
+
+  /// Engine-side verification that the adversary kept its promise.
+  bool tinterval_ok = true;
+
+  FloodingSummary flooding;
+
+  [[nodiscard]] double AvgBitsPerMessage() const;
+  /// Total bits divided by (nodes × rounds): per-node per-round bandwidth.
+  [[nodiscard]] double BitsPerNodeRound(std::int64_t num_nodes) const;
+  [[nodiscard]] std::string OneLine() const;
+};
+
+}  // namespace sdn::net

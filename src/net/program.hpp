@@ -1,0 +1,44 @@
+// The node-program contract.
+//
+// An algorithm is a per-node state machine type A satisfying NodeProgram:
+//
+//   using Message = ...;   // what a node broadcasts each round
+//   using Output  = ...;   // what a node eventually decides
+//   std::optional<Message> OnSend(Round r);                 // may be silent
+//   void OnReceive(Round r, std::span<const Message> in);   // neighbor msgs
+//   bool HasDecided() const;
+//   std::optional<Output> output() const;
+//   double PublicState() const;          // what adaptive adversaries may see
+//   static std::size_t MessageBits(const Message&);  // honest wire size
+//
+// The engine calls OnSend for every node, then delivers each node the
+// multiset of its current neighbors' messages (anonymous local broadcast),
+// then calls OnReceive. A decided node keeps participating (helping others
+// terminate) unless the algorithm itself chooses to go silent.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace sdn::net {
+
+using Round = std::int64_t;
+
+template <typename A>
+concept NodeProgram = requires(
+    A a, const A ca, Round r,
+    std::span<const typename A::Message> inbox,
+    const typename A::Message& msg) {
+  typename A::Message;
+  typename A::Output;
+  { a.OnSend(r) } -> std::same_as<std::optional<typename A::Message>>;
+  { a.OnReceive(r, inbox) } -> std::same_as<void>;
+  { ca.HasDecided() } -> std::convertible_to<bool>;
+  { ca.output() } -> std::same_as<std::optional<typename A::Output>>;
+  { ca.PublicState() } -> std::convertible_to<double>;
+  { A::MessageBits(msg) } -> std::convertible_to<std::size_t>;
+};
+
+}  // namespace sdn::net

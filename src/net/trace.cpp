@@ -1,0 +1,106 @@
+#include "net/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sdn::net {
+
+void SaveTrace(const std::string& path, std::span<const graph::Graph> rounds,
+               int interval) {
+  SDN_CHECK(!rounds.empty());
+  SDN_CHECK(interval >= 1);
+  const graph::NodeId n = rounds.front().num_nodes();
+  for (const graph::Graph& g : rounds) SDN_CHECK(g.num_nodes() == n);
+
+  std::ofstream out(path);
+  SDN_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "sdn-trace 1\n";
+  out << "nodes " << n << " interval " << interval << " rounds "
+      << rounds.size() << "\n";
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    const auto edges = rounds[r].Edges();
+    out << "round " << (r + 1) << " edges " << edges.size() << "\n";
+    for (const graph::Edge& e : edges) {
+      out << e.u << " " << e.v << "\n";
+    }
+  }
+  SDN_CHECK_MSG(out.good(), "write failed for " << path);
+}
+
+namespace {
+
+/// Next non-comment, non-blank line.
+bool NextLine(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Trace LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  SDN_CHECK_MSG(in.good(), "cannot open " << path);
+
+  std::string line;
+  SDN_CHECK_MSG(NextLine(in, line), "empty trace " << path);
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    SDN_CHECK_MSG(magic == "sdn-trace" && version == 1,
+                  "bad trace header in " << path << ": " << line);
+  }
+
+  graph::NodeId n = 0;
+  Trace trace;
+  std::int64_t round_count = 0;
+  {
+    SDN_CHECK_MSG(NextLine(in, line), "missing trace size line");
+    std::istringstream sizes(line);
+    std::string nodes_kw;
+    std::string interval_kw;
+    std::string rounds_kw;
+    sizes >> nodes_kw >> n >> interval_kw >> trace.interval >> rounds_kw >>
+        round_count;
+    SDN_CHECK_MSG(nodes_kw == "nodes" && interval_kw == "interval" &&
+                      rounds_kw == "rounds" && !sizes.fail(),
+                  "bad trace size line: " << line);
+    SDN_CHECK(n >= 1 && trace.interval >= 1 && round_count >= 1);
+  }
+
+  for (std::int64_t r = 1; r <= round_count; ++r) {
+    SDN_CHECK_MSG(NextLine(in, line), "trace truncated at round " << r);
+    std::istringstream round_header(line);
+    std::string round_kw;
+    std::string edges_kw;
+    std::int64_t round_id = 0;
+    std::int64_t edge_count = 0;
+    round_header >> round_kw >> round_id >> edges_kw >> edge_count;
+    SDN_CHECK_MSG(round_kw == "round" && edges_kw == "edges" &&
+                      !round_header.fail() && round_id == r && edge_count >= 0,
+                  "bad round header: " << line);
+    std::vector<graph::Edge> edges;
+    edges.reserve(static_cast<std::size_t>(edge_count));
+    for (std::int64_t e = 0; e < edge_count; ++e) {
+      SDN_CHECK_MSG(NextLine(in, line), "trace truncated in round " << r);
+      std::istringstream edge_line(line);
+      graph::NodeId u = 0;
+      graph::NodeId v = 0;
+      edge_line >> u >> v;
+      SDN_CHECK_MSG(!edge_line.fail(), "bad edge line: " << line);
+      edges.emplace_back(u, v);
+    }
+    trace.rounds.emplace_back(n, edges);
+  }
+  return trace;
+}
+
+}  // namespace sdn::net

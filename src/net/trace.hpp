@@ -1,0 +1,41 @@
+// Topology trace files.
+//
+// A trace is a recorded dynamic-graph sequence plus the T it was generated
+// under. Traces make failures reproducible across machines, allow paired
+// algorithm comparisons on identical dynamics, and let external topology
+// data (e.g. converted mobility traces) drive the simulator through
+// ReplayAdversary.
+//
+// Text format (line oriented, '#' comments allowed):
+//   sdn-trace 1
+//   nodes <N> interval <T> rounds <R>
+//   round <r> edges <m>
+//   <u> <v>
+//   ...
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sdn::net {
+
+struct Trace {
+  int interval = 1;
+  std::vector<graph::Graph> rounds;
+
+  [[nodiscard]] graph::NodeId num_nodes() const {
+    return rounds.empty() ? 0 : rounds.front().num_nodes();
+  }
+};
+
+/// Writes the sequence; CheckError on I/O failure or empty/ragged input.
+void SaveTrace(const std::string& path, std::span<const graph::Graph> rounds,
+               int interval);
+
+/// Parses a trace file; CheckError on malformed input.
+Trace LoadTrace(const std::string& path);
+
+}  // namespace sdn::net

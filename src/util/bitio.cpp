@@ -1,0 +1,97 @@
+#include "util/bitio.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace sdn::util {
+
+void BitWriter::Write(std::uint64_t value, int bits) {
+  SDN_CHECK(bits >= 0 && bits <= 64);
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = bit_count_ / 8;
+    const unsigned offset = static_cast<unsigned>(bit_count_ % 8);
+    if (byte == bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1ULL) {
+      bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | (1u << offset));
+    }
+    ++bit_count_;
+  }
+}
+
+void BitWriter::WriteVarint(std::uint64_t value) {
+  while (true) {
+    const auto group = static_cast<std::uint64_t>(value & 0x7fULL);
+    value >>= 7;
+    if (value == 0) {
+      Write(group, 7);
+      Write(0, 1);
+      return;
+    }
+    Write(group, 7);
+    Write(1, 1);
+  }
+}
+
+void BitWriter::WriteSignedVarint(std::int64_t value) {
+  const auto u = static_cast<std::uint64_t>(value);
+  WriteVarint((u << 1) ^ static_cast<std::uint64_t>(value >> 63));
+}
+
+void BitWriter::WriteDouble(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  Write(bits, 64);
+}
+
+std::uint64_t BitReader::Read(int bits) {
+  SDN_CHECK(bits >= 0 && bits <= 64);
+  SDN_CHECK_MSG(pos_ + static_cast<std::size_t>(bits) <= bytes_.size() * 8,
+                "BitReader past end");
+  std::uint64_t value = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = pos_ / 8;
+    const unsigned offset = static_cast<unsigned>(pos_ % 8);
+    if ((bytes_[byte] >> offset) & 1u) value |= (1ULL << i);
+    ++pos_;
+  }
+  return value;
+}
+
+std::uint64_t BitReader::ReadVarint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint64_t group = Read(7);
+    const std::uint64_t more = Read(1);
+    value |= group << shift;
+    if (more == 0) return value;
+    shift += 7;
+    SDN_CHECK_MSG(shift < 64, "varint too long");
+  }
+}
+
+std::int64_t BitReader::ReadSignedVarint() {
+  const std::uint64_t u = ReadVarint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+double BitReader::ReadDouble() {
+  const std::uint64_t bits = Read(64);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+int BitWidth(std::uint64_t value) {
+  return value == 0 ? 1 : static_cast<int>(std::bit_width(value));
+}
+
+std::size_t VarintBits(std::uint64_t value) {
+  std::size_t groups = 1;
+  while (value >>= 7) ++groups;
+  return groups * 8;
+}
+
+}  // namespace sdn::util

@@ -1,0 +1,62 @@
+// Bit-level serialization used for honest message-size accounting.
+//
+// Algorithms in the bounded-bandwidth regime must encode their per-round
+// message through BitWriter; the resulting bit count is what the engine
+// charges against the bandwidth policy. Varint/zigzag encodings match what a
+// real wire format would spend, so the T6 bandwidth table is meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sdn::util {
+
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value` (LSB-first). bits in [0,64].
+  void Write(std::uint64_t value, int bits);
+
+  /// LEB128-style varint: 7 value bits + 1 continuation bit per byte-group.
+  void WriteVarint(std::uint64_t value);
+
+  /// Zigzag-mapped signed varint.
+  void WriteSignedVarint(std::int64_t value);
+
+  /// IEEE-754 double, 64 bits.
+  void WriteDouble(double value);
+
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Reads `bits` bits (LSB-first); throws CheckError past the end.
+  std::uint64_t Read(int bits);
+  std::uint64_t ReadVarint();
+  std::int64_t ReadSignedVarint();
+  double ReadDouble();
+
+  [[nodiscard]] std::size_t bit_position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Bits needed to represent `value` (>=1 even for 0, as a wire field).
+int BitWidth(std::uint64_t value);
+
+/// Size in bits of the varint encoding of `value`.
+std::size_t VarintBits(std::uint64_t value);
+
+}  // namespace sdn::util

@@ -1,0 +1,50 @@
+// Always-on invariant checks.
+//
+// Simulation correctness is the product here, so internal invariants stay on
+// in release builds. A failed check throws sdn::util::CheckError carrying the
+// failing expression and location, which tests can assert on and executables
+// surface as a fatal diagnostic.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sdn::util {
+
+/// Error thrown by SDN_CHECK on a violated invariant.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "SDN_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace sdn::util
+
+/// Check `cond`; on failure throw CheckError with the expression text.
+#define SDN_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::sdn::util::detail::CheckFail(#cond, __FILE__, __LINE__, "");      \
+  } while (false)
+
+/// Check `cond`; on failure throw CheckError with a streamed message.
+#define SDN_CHECK_MSG(cond, msgexpr)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream sdn_check_os_;                                   \
+      sdn_check_os_ << msgexpr;                                           \
+      ::sdn::util::detail::CheckFail(#cond, __FILE__, __LINE__,           \
+                                     sdn_check_os_.str());                \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,161 @@
+#include "util/flags.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sdn::util {
+
+namespace {
+
+bool LooksLikeFlag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!LooksLikeFlag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = body.substr(0, eq);
+      SDN_CHECK_MSG(!name.empty(), "malformed flag: " << arg);
+      values_[name] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !LooksLikeFlag(argv[i + 1])) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> Flags::Raw(const std::string& name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+void Flags::Register(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  const bool known = std::any_of(registry_.begin(), registry_.end(),
+                                 [&](const auto& e) { return e.name == name; });
+  if (!known) registry_.push_back({name, def, help});
+}
+
+std::int64_t Flags::GetInt(const std::string& name, std::int64_t def,
+                           const std::string& help) {
+  Register(name, std::to_string(def), help);
+  const auto raw = Raw(name);
+  if (!raw) return def;
+  std::size_t pos = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(*raw, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  SDN_CHECK_MSG(pos == raw->size() && !raw->empty(),
+                "flag --" << name << " is not an integer: " << *raw);
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double def,
+                        const std::string& help) {
+  Register(name, std::to_string(def), help);
+  const auto raw = Raw(name);
+  if (!raw) return def;
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(*raw, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  SDN_CHECK_MSG(pos == raw->size() && !raw->empty(),
+                "flag --" << name << " is not a number: " << *raw);
+  return v;
+}
+
+bool Flags::GetBool(const std::string& name, bool def,
+                    const std::string& help) {
+  Register(name, def ? "true" : "false", help);
+  const auto raw = Raw(name);
+  if (!raw) return def;
+  if (*raw == "true" || *raw == "1" || *raw == "yes") return true;
+  if (*raw == "false" || *raw == "0" || *raw == "no") return false;
+  SDN_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << *raw);
+  return def;
+}
+
+std::string Flags::GetString(const std::string& name, const std::string& def,
+                             const std::string& help) {
+  Register(name, def, help);
+  const auto raw = Raw(name);
+  return raw.value_or(def);
+}
+
+std::vector<std::int64_t> Flags::GetIntList(
+    const std::string& name, const std::vector<std::int64_t>& def,
+    const std::string& help) {
+  std::ostringstream defstr;
+  for (std::size_t i = 0; i < def.size(); ++i) {
+    if (i > 0) defstr << ',';
+    defstr << def[i];
+  }
+  Register(name, defstr.str(), help);
+  const auto raw = Raw(name);
+  if (!raw) return def;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(*raw);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    std::size_t pos = 0;
+    std::int64_t v = 0;
+    try {
+      v = std::stoll(item, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    SDN_CHECK_MSG(pos == item.size(),
+                  "flag --" << name << " has a non-integer item: " << item);
+    out.push_back(v);
+  }
+  SDN_CHECK_MSG(!out.empty(), "flag --" << name << " is an empty list");
+  return out;
+}
+
+std::vector<std::string> Flags::UnconsumedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (consumed_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::string Flags::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& e : registry_) {
+    os << "  --" << e.name << " (default " << e.def << ")";
+    if (!e.help.empty()) os << "  " << e.help;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sdn::util

@@ -1,0 +1,65 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Syntax: --name=value or --name value; bare --name is a boolean true.
+// Unknown leading non-flag tokens are kept as positional arguments.
+// Typed getters fall back to a caller-supplied default and record the flag in
+// a help registry so every binary can print its accepted flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sdn::util {
+
+class Flags {
+ public:
+  Flags() = default;
+  /// Parses argv; throws CheckError on malformed input (e.g. "--=x").
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool Has(const std::string& name) const;
+
+  /// Typed getters; also register (name, default, help) for Usage().
+  std::int64_t GetInt(const std::string& name, std::int64_t def,
+                      const std::string& help = "");
+  double GetDouble(const std::string& name, double def,
+                   const std::string& help = "");
+  bool GetBool(const std::string& name, bool def, const std::string& help = "");
+  std::string GetString(const std::string& name, const std::string& def,
+                        const std::string& help = "");
+
+  /// Comma-separated integer list, e.g. --n=16,32,64.
+  std::vector<std::int64_t> GetIntList(const std::string& name,
+                                       const std::vector<std::int64_t>& def,
+                                       const std::string& help = "");
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Flags that were supplied but never queried — typo detection for benches.
+  [[nodiscard]] std::vector<std::string> UnconsumedFlags() const;
+
+  /// Human-readable usage text from everything registered by the getters.
+  [[nodiscard]] std::string Usage(const std::string& program) const;
+
+ private:
+  std::optional<std::string> Raw(const std::string& name);
+  void Register(const std::string& name, const std::string& def,
+                const std::string& help);
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+  struct HelpEntry {
+    std::string name;
+    std::string def;
+    std::string help;
+  };
+  std::vector<HelpEntry> registry_;
+};
+
+}  // namespace sdn::util

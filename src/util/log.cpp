@@ -1,0 +1,58 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace sdn::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+void InitFromEnv() {
+  const char* env = std::getenv("SDN_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
+}
+
+const char* Name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void SetLogLevel(LogLevel level) {
+  std::call_once(g_env_once, InitFromEnv);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(GetLogLevel())) return;
+  const std::scoped_lock lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", Name(level), message.c_str());
+}
+
+}  // namespace sdn::util

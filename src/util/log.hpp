@@ -1,0 +1,50 @@
+// Leveled logging to stderr.
+//
+// The simulator itself never logs on hot paths; logging is for harness
+// progress lines and diagnostics. Level is process-global and settable via
+// the SDN_LOG_LEVEL environment variable (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sdn::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current threshold; messages above it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Emits one line "[level] message" to stderr if `level` passes the filter.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Temporary stream that emits on destruction (enables SDN_LOG(...) << x).
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogLine(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace sdn::util
+
+#define SDN_LOG_ERROR ::sdn::util::detail::LogStream(::sdn::util::LogLevel::kError)
+#define SDN_LOG_WARN ::sdn::util::detail::LogStream(::sdn::util::LogLevel::kWarn)
+#define SDN_LOG_INFO ::sdn::util::detail::LogStream(::sdn::util::LogLevel::kInfo)
+#define SDN_LOG_DEBUG ::sdn::util::detail::LogStream(::sdn::util::LogLevel::kDebug)

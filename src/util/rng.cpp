@@ -1,0 +1,116 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sdn::util {
+
+std::uint64_t SplitMix64Next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t tag) {
+  // Feed the tag through one SplitMix64 step keyed by the seed; a plain
+  // xor would make Fork(a).Fork(b) collide with Fork(b).Fork(a).
+  std::uint64_t state = seed ^ (0x94d049bb133111ebULL * (tag + 1));
+  std::uint64_t mixed = SplitMix64Next(state);
+  state = mixed ^ seed;
+  return SplitMix64Next(state);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64Next(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork(std::uint64_t tag) const { return Rng(MixSeed(seed_, tag)); }
+
+std::uint64_t Rng::UniformU64(std::uint64_t bound) {
+  SDN_CHECK(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  SDN_CHECK(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Exponential(double rate) {
+  SDN_CHECK(rate > 0.0);
+  // -log(1-U)/rate; 1-U in (0,1] avoids log(0).
+  return -std::log1p(-UniformDouble()) / rate;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::uint64_t Rng::Geometric(double p) {
+  SDN_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  const double u = UniformDouble();
+  return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
+                                                         std::uint64_t k) {
+  SDN_CHECK(k <= n);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  // Floyd's algorithm: O(k) expected draws, produces a uniform k-subset.
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = UniformU64(j + 1);
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sdn::util

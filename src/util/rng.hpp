@@ -1,0 +1,90 @@
+// Deterministic random number generation.
+//
+// Everything in the simulator derives from explicit 64-bit seeds so every
+// trial is replayable from (seed, config) alone. We ship two tiny generators:
+//   * SplitMix64 — seed mixing / stream splitting,
+//   * Xoshiro256** — the workhorse generator (satisfies
+//     std::uniform_random_bit_generator).
+// Per-node and per-component streams are derived with Fork(), which mixes a
+// stream tag into the parent seed so sibling streams are statistically
+// independent and insertion-order independent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace sdn::util {
+
+/// SplitMix64 step: returns the next output and advances `state`.
+std::uint64_t SplitMix64Next(std::uint64_t& state);
+
+/// Mixes (seed, tag) into a new independent seed. Pure function.
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t tag);
+
+/// Xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator, so it can
+/// drive <random> distributions; we also provide allocation-free helpers for
+/// the distributions the simulator actually uses.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 as the authors recommend.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64 random bits.
+  result_type operator()();
+
+  /// Derives an independent child stream identified by `tag`.
+  /// Deterministic: same (parent seed, tag) -> same child.
+  [[nodiscard]] Rng Fork(std::uint64_t tag) const;
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (Lemire).
+  std::uint64_t UniformU64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Exponential(rate). Requires rate > 0.
+  double Exponential(double rate);
+
+  /// Bernoulli(p) trial; p clamped to [0,1].
+  bool Bernoulli(double p);
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  std::uint64_t Geometric(double p);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(UniformU64(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, n) (Floyd's algorithm),
+  /// returned sorted. Requires k <= n.
+  std::vector<std::uint64_t> SampleWithoutReplacement(std::uint64_t n,
+                                                      std::uint64_t k);
+
+  /// The seed this generator was constructed from (for reports/replay).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace sdn::util

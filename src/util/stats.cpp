@@ -1,0 +1,148 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::util {
+
+void Accumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double QuantileSorted(std::span<const double> sorted, double q) {
+  SDN_CHECK(!sorted.empty());
+  SDN_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  Accumulator acc;
+  for (double x : sorted) acc.Add(x);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p25 = QuantileSorted(sorted, 0.25);
+  s.median = QuantileSorted(sorted, 0.5);
+  s.p75 = QuantileSorted(sorted, 0.75);
+  s.p95 = QuantileSorted(sorted, 0.95);
+  return s;
+}
+
+Interval BootstrapMeanCI(std::span<const double> xs, double confidence,
+                         int resamples, Rng& rng) {
+  SDN_CHECK(confidence > 0.0 && confidence < 1.0);
+  SDN_CHECK(resamples > 0);
+  if (xs.empty()) return {};
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      sum += xs[rng.UniformU64(xs.size())];
+    }
+    means.push_back(sum / static_cast<double>(xs.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  return {QuantileSorted(means, alpha), QuantileSorted(means, 1.0 - alpha)};
+}
+
+double LogLogSlope(std::span<const double> x, std::span<const double> y) {
+  SDN_CHECK(x.size() == y.size());
+  std::vector<double> lx;
+  std::vector<double> ly;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  if (lx.size() < 2) return 0.0;
+  return FitLinear(lx, ly).slope;
+}
+
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y) {
+  SDN_CHECK(x.size() == y.size());
+  LinearFit fit;
+  const auto n = static_cast<double>(x.size());
+  if (x.size() < 2) return fit;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+std::string HumanCount(double v) {
+  const char* suffix = "";
+  double scaled = v;
+  if (std::fabs(v) >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (std::fabs(v) >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (std::fabs(v) >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "k";
+  }
+  char buf[32];
+  if (suffix[0] == '\0' && scaled == std::floor(scaled)) {
+    std::snprintf(buf, sizeof buf, "%.0f", scaled);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f%s", scaled, suffix);
+  }
+  return buf;
+}
+
+}  // namespace sdn::util

@@ -1,0 +1,83 @@
+// Descriptive statistics for experiment harnesses.
+//
+// Benches run many seeded trials per configuration and report summaries; this
+// header provides the summary math (moments, quantiles, bootstrap confidence
+// intervals, least-squares log-log slope fits for growth-exponent tables).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sdn::util {
+
+class Rng;
+
+/// One-pass moment accumulator (Welford).
+class Accumulator {
+ public:
+  void Add(double x);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Full summary of a sample; computed in one call for report rows.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes `xs` (copies and sorts internally; xs may be empty -> zeros).
+Summary Summarize(std::span<const double> xs);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0,1].
+double QuantileSorted(std::span<const double> sorted, double q);
+
+/// Percentile-bootstrap confidence interval for the mean.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval BootstrapMeanCI(std::span<const double> xs, double confidence,
+                         int resamples, Rng& rng);
+
+/// Least-squares slope of log(y) against log(x): the empirical growth
+/// exponent b in y ≈ a·x^b. Pairs with x<=0 or y<=0 are skipped.
+/// Returns 0 when fewer than two usable points remain.
+double LogLogSlope(std::span<const double> x, std::span<const double> y);
+
+/// Ordinary least-squares fit y = a + b·x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y);
+
+/// Human-readable "12.3k / 4.56M" formatting for table cells.
+std::string HumanCount(double v);
+
+}  // namespace sdn::util

@@ -1,0 +1,44 @@
+// Aligned console tables and CSV output for the experiment harnesses.
+//
+// Every bench binary prints the rows a paper table/figure would contain and
+// mirrors them to a CSV file so EXPERIMENTS.md numbers are regenerable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdn::util {
+
+/// Builds a fixed-column table; Print() right-aligns numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double v, int precision = 1);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column separators and a rule under the header.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void WriteCsv(const std::string& path) const;
+
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sdn::util

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "net/bandwidth.hpp"
+#include "net/metrics.hpp"
+#include "util/check.hpp"
+
+namespace sdn::net {
+namespace {
+
+TEST(BandwidthPolicy, UnboundedIsUnlimited) {
+  const BandwidthPolicy policy = BandwidthPolicy::Unbounded();
+  EXPECT_EQ(policy.BitLimit(2), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(policy.BitLimit(1 << 20),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(BandwidthPolicy, BoundedScalesWithLogN) {
+  const BandwidthPolicy policy = BandwidthPolicy::BoundedLogN(64.0, 1);
+  EXPECT_EQ(policy.BitLimit(2), 64);
+  EXPECT_EQ(policy.BitLimit(1024), 640);
+  EXPECT_EQ(policy.BitLimit(1 << 20), 64 * 20);
+}
+
+TEST(BandwidthPolicy, FloorDominatesAtTinyN) {
+  const BandwidthPolicy policy = BandwidthPolicy::BoundedLogN(64.0, 256);
+  EXPECT_EQ(policy.BitLimit(1), 256);
+  EXPECT_EQ(policy.BitLimit(4), 256);
+  // log term overtakes the floor at n = 16 (64·log2(16) = 256).
+  EXPECT_EQ(policy.BitLimit(16), 256);
+  EXPECT_GT(policy.BitLimit(32), 256);
+}
+
+TEST(BandwidthPolicy, NonIntegerLogRoundsUp) {
+  const BandwidthPolicy policy = BandwidthPolicy::BoundedLogN(10.0, 1);
+  // log2(3) ≈ 1.585 -> ceil(15.85) = 16.
+  EXPECT_EQ(policy.BitLimit(3), 16);
+}
+
+TEST(BandwidthPolicy, InvalidMultiplierRejected) {
+  BandwidthPolicy policy;
+  policy.multiplier = 0.0;
+  EXPECT_THROW((void)policy.BitLimit(8), util::CheckError);
+}
+
+TEST(BandwidthPolicy, ModeNames) {
+  EXPECT_STREQ(ToString(BandwidthMode::kUnbounded), "unbounded");
+  EXPECT_STREQ(ToString(BandwidthMode::kBoundedLogN), "bounded-logN");
+}
+
+TEST(RunStats, AverageBits) {
+  RunStats stats;
+  stats.messages_sent = 4;
+  stats.total_message_bits = 100;
+  EXPECT_DOUBLE_EQ(stats.AvgBitsPerMessage(), 25.0);
+  stats.messages_sent = 0;
+  EXPECT_DOUBLE_EQ(stats.AvgBitsPerMessage(), 0.0);
+}
+
+TEST(RunStats, BitsPerNodeRound) {
+  RunStats stats;
+  stats.total_message_bits = 1200;
+  stats.rounds = 10;
+  EXPECT_DOUBLE_EQ(stats.BitsPerNodeRound(12), 10.0);
+  EXPECT_DOUBLE_EQ(stats.BitsPerNodeRound(0), 0.0);
+  stats.rounds = 0;
+  EXPECT_DOUBLE_EQ(stats.BitsPerNodeRound(12), 0.0);
+}
+
+TEST(RunStats, OneLineMentionsKeyFields) {
+  RunStats stats;
+  stats.rounds = 42;
+  stats.all_decided = true;
+  stats.tinterval_ok = false;
+  const std::string line = stats.OneLine();
+  EXPECT_NE(line.find("rounds=42"), std::string::npos);
+  EXPECT_NE(line.find("VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdn::net

@@ -1,0 +1,106 @@
+#include "util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::util {
+namespace {
+
+TEST(BitIo, FixedWidthRoundTrip) {
+  BitWriter w;
+  w.Write(0b101, 3);
+  w.Write(0xffff, 16);
+  w.Write(0, 1);
+  w.Write(0x123456789abcdef0ULL, 64);
+  EXPECT_EQ(w.bit_count(), 84u);
+
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.Read(3), 0b101u);
+  EXPECT_EQ(r.Read(16), 0xffffu);
+  EXPECT_EQ(r.Read(1), 0u);
+  EXPECT_EQ(r.Read(64), 0x123456789abcdef0ULL);
+}
+
+TEST(BitIo, VarintRoundTripCorpus) {
+  const std::vector<std::uint64_t> corpus = {
+      0, 1, 127, 128, 300, 16383, 16384,
+      std::numeric_limits<std::uint32_t>::max(),
+      std::numeric_limits<std::uint64_t>::max()};
+  BitWriter w;
+  for (const auto v : corpus) w.WriteVarint(v);
+  BitReader r(w.bytes());
+  for (const auto v : corpus) EXPECT_EQ(r.ReadVarint(), v);
+}
+
+TEST(BitIo, SignedVarintRoundTrip) {
+  const std::vector<std::int64_t> corpus = {
+      0, -1, 1, -64, 63, -65, 1000000, -1000000,
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  BitWriter w;
+  for (const auto v : corpus) w.WriteSignedVarint(v);
+  BitReader r(w.bytes());
+  for (const auto v : corpus) EXPECT_EQ(r.ReadSignedVarint(), v);
+}
+
+TEST(BitIo, DoubleRoundTrip) {
+  const std::vector<double> corpus = {0.0, -0.0, 1.5, -3.25e300, 1e-300};
+  BitWriter w;
+  for (const double v : corpus) w.WriteDouble(v);
+  BitReader r(w.bytes());
+  for (const double v : corpus) EXPECT_EQ(r.ReadDouble(), v);
+}
+
+TEST(BitIo, RandomizedMixedRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::uint64_t> vals;
+    std::vector<int> widths;
+    for (int i = 0; i < 100; ++i) {
+      const int bits = static_cast<int>(rng.UniformU64(64)) + 1;
+      const std::uint64_t v =
+          rng() & (bits == 64 ? ~0ULL : ((1ULL << bits) - 1));
+      vals.push_back(v);
+      widths.push_back(bits);
+      w.Write(v, bits);
+    }
+    BitReader r(w.bytes());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(r.Read(widths[static_cast<std::size_t>(i)]),
+                vals[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.Write(1, 4);
+  BitReader r(w.bytes());
+  (void)r.Read(8);           // within the padded byte
+  EXPECT_THROW(r.Read(1), CheckError);
+}
+
+TEST(BitIo, VarintBitsMatchesWriter) {
+  for (const std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 1ULL << 62}) {
+    BitWriter w;
+    w.WriteVarint(v);
+    EXPECT_EQ(VarintBits(v), w.bit_count());
+  }
+}
+
+TEST(BitIo, BitWidth) {
+  EXPECT_EQ(BitWidth(0), 1);
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(2), 2);
+  EXPECT_EQ(BitWidth(255), 8);
+  EXPECT_EQ(BitWidth(256), 9);
+}
+
+}  // namespace
+}  // namespace sdn::util

@@ -1,0 +1,272 @@
+#include "algo/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "adversary/factory.hpp"
+#include "net/engine.hpp"
+
+namespace sdn::algo {
+namespace {
+
+struct CensusRun {
+  net::RunStats stats;
+  std::vector<CensusOutput> outputs;
+};
+
+CensusRun RunCensus(graph::NodeId n, int T, const std::string& kind,
+                    std::uint64_t seed, CensusOptions options) {
+  adversary::AdversaryConfig config;
+  config.kind = kind;
+  config.n = n;
+  config.T = T;
+  config.seed = seed;
+  const auto adv = adversary::MakeAdversary(config);
+
+  std::vector<CensusProgram> nodes;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    nodes.emplace_back(u, static_cast<Value>((u * 13) % 29 - 11), options);
+  }
+  net::EngineOptions opts;
+  opts.bandwidth = net::BandwidthPolicy::BoundedLogN(64.0);
+  opts.max_rounds = 10'000'000;
+  net::Engine<CensusProgram> engine(std::move(nodes), *adv, opts);
+  CensusRun run;
+  run.stats = engine.Run();
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const auto out = engine.node(u).output();
+    if (out.has_value()) run.outputs.push_back(*out);
+  }
+  return run;
+}
+
+using Param = std::tuple<graph::NodeId, int, std::string, std::uint64_t>;
+
+class CensusCorrectnessTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CensusCorrectnessTest, CountMaxConsensusAllExact) {
+  const auto& [n, T, kind, seed] = GetParam();
+  CensusOptions options;
+  options.pipeline_T = T;
+  const CensusRun run = RunCensus(n, T, kind, seed, options);
+  ASSERT_TRUE(run.stats.all_decided);
+  EXPECT_TRUE(run.stats.tinterval_ok);
+  ASSERT_EQ(run.outputs.size(), static_cast<std::size_t>(n));
+
+  Value expected_max = kValueMin;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    expected_max = std::max(expected_max, static_cast<Value>((u * 13) % 29 - 11));
+  }
+  const Value expected_consensus = -11;  // node 0's input
+  for (const CensusOutput& out : run.outputs) {
+    EXPECT_EQ(out.count, n);
+    EXPECT_EQ(out.max_value, expected_max);
+    EXPECT_EQ(out.consensus_value, expected_consensus);
+    // All-or-none decisions imply a common accepted guess.
+    EXPECT_EQ(out.accepted_guess, run.outputs.front().accepted_guess);
+    EXPECT_GE(out.accepted_guess, n);  // guess k >= n is needed to complete
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CensusCorrectnessTest,
+    ::testing::Combine(::testing::Values<graph::NodeId>(1, 2, 3, 17, 40),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values("static-path", "spine-rtree",
+                                         "spine-expander", "adaptive-desc"),
+                       ::testing::Values<std::uint64_t>(3, 77)),
+    [](const ::testing::TestParamInfo<Param>& pi) {
+      auto name = "n" + std::to_string(std::get<0>(pi.param)) + "_T" +
+                  std::to_string(std::get<1>(pi.param)) + "_" +
+                  std::get<2>(pi.param) + "_s" +
+                  std::to_string(std::get<3>(pi.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Census, LargerPipelineTReducesRounds) {
+  // The T-interval speedup: same network, larger T → fewer rounds.
+  const graph::NodeId n = 48;
+  CensusOptions t1;
+  t1.pipeline_T = 1;
+  CensusOptions t8;
+  t8.pipeline_T = 8;
+  const CensusRun slow = RunCensus(n, 8, "spine-rtree", 5, t1);
+  const CensusRun fast = RunCensus(n, 8, "spine-rtree", 5, t8);
+  ASSERT_TRUE(slow.stats.all_decided);
+  ASSERT_TRUE(fast.stats.all_decided);
+  EXPECT_LT(fast.stats.rounds, slow.stats.rounds);
+  EXPECT_EQ(fast.outputs.front().count, n);
+}
+
+TEST(Census, RoundGrowthIsSuperlinear) {
+  // The baseline's defining property: rounds grow ~quadratically in N.
+  CensusOptions options;
+  options.pipeline_T = 1;
+  const CensusRun small = RunCensus(12, 1, "spine-expander", 2, options);
+  const CensusRun large = RunCensus(48, 1, "spine-expander", 2, options);
+  ASSERT_TRUE(small.stats.all_decided);
+  ASSERT_TRUE(large.stats.all_decided);
+  // 4x nodes should cost clearly more than 4x rounds.
+  EXPECT_GT(large.stats.rounds, 6 * small.stats.rounds);
+}
+
+TEST(Census, ScheduleLocateIsConsistent) {
+  CensusOptions options;
+  options.pipeline_T = 3;
+  const CensusProgram node(0, 0, options);
+  std::int64_t last_guess = 0;
+  std::int64_t verify_rounds_seen = 0;
+  bool seen_last = false;
+  for (net::Round r = 1; r <= 2000; ++r) {
+    const auto pos = node.Locate(r);
+    EXPECT_GE(pos.guess_k, last_guess);
+    if (pos.guess_k > last_guess) {
+      // Guesses double.
+      if (last_guess > 0) {
+        EXPECT_EQ(pos.guess_k, 2 * last_guess);
+      }
+      last_guess = pos.guess_k;
+    }
+    if (pos.verifying) ++verify_rounds_seen;
+    seen_last |= pos.last_round_of_guess;
+    if (!pos.verifying) {
+      EXPECT_LT(pos.stage * node.band_size(), pos.guess_k + node.band_size());
+    }
+  }
+  EXPECT_GT(verify_rounds_seen, 0);
+  EXPECT_TRUE(seen_last);
+}
+
+TEST(Census, StageLengthIsMultipleOfT) {
+  CensusOptions options;
+  options.pipeline_T = 7;
+  const CensusProgram node(0, 0, options);
+  for (const std::int64_t k : {1, 2, 8, 64, 1024}) {
+    EXPECT_EQ(node.StageLength(k) % 7, 0);
+    EXPECT_GE(node.StageLength(k), 2 * k);
+  }
+}
+
+TEST(Census, ScheduleIsContiguousAndMonotone) {
+  // Every round maps to exactly one position; guesses change only at a
+  // last_round_of_guess boundary, and segment order is stages->verification.
+  for (const int T : {1, 2, 5}) {
+    CensusOptions options;
+    options.pipeline_T = T;
+    const CensusProgram node(0, 0, options);
+    auto prev = node.Locate(1);
+    for (net::Round r = 2; r <= 3000; ++r) {
+      const auto pos = node.Locate(r);
+      if (pos.guess_k != prev.guess_k) {
+        EXPECT_TRUE(prev.last_round_of_guess) << "T=" << T << " r=" << r;
+        EXPECT_FALSE(pos.verifying);
+        EXPECT_EQ(pos.stage, 0);
+      } else if (prev.verifying) {
+        EXPECT_TRUE(pos.verifying);  // verification is the final segment
+        EXPECT_EQ(pos.verify_round, prev.verify_round + 1);
+      } else if (pos.verifying) {
+        EXPECT_EQ(pos.verify_round, 0);
+      } else {
+        EXPECT_GE(pos.stage, prev.stage);
+        EXPECT_GE(pos.window, prev.window);
+      }
+      prev = pos;
+    }
+  }
+}
+
+TEST(Census, WindowsAlignWithPipelineT) {
+  CensusOptions options;
+  options.pipeline_T = 4;
+  const CensusProgram node(0, 0, options);
+  // Within a guess, window index advances exactly every T rounds.
+  std::int64_t last_window = -1;
+  std::int64_t rounds_in_window = 0;
+  for (net::Round r = 1; r <= 500; ++r) {
+    const auto pos = node.Locate(r);
+    if (pos.verifying) continue;
+    if (pos.window != last_window) {
+      if (last_window >= 0 && pos.window == last_window + 1) {
+        EXPECT_EQ(rounds_in_window, 4);
+      }
+      last_window = pos.window;
+      rounds_in_window = 0;
+    }
+    ++rounds_in_window;
+  }
+}
+
+TEST(Census, MessageBitsWithinLogBudget) {
+  CensusProgram::Message token;
+  token.tag = CensusProgram::Tag::kToken;
+  token.token = 4095;
+  token.min_id = 4095;
+  token.min_id_value = -1000000;
+  token.max_value = 1000000;
+  EXPECT_LE(CensusProgram::MessageBits(token), 120u);
+  CensusProgram::Message verify;
+  verify.tag = CensusProgram::Tag::kVerify;
+  verify.hash = (1ULL << 48) - 1;
+  EXPECT_LE(CensusProgram::MessageBits(verify), 51u);
+}
+
+TEST(Census, KnowledgeIsMonotoneAndSaturatesBeforeDeciding) {
+  // Dissemination progress property on a worst-case static path: total
+  // network knowledge (Σ |census_u|, readable via PublicState) never
+  // shrinks, reaches full saturation N², and only then do nodes decide —
+  // with the exact count. Uses the engine's step API for mid-run probing.
+  const graph::NodeId n = 12;
+  const int T = 4;
+  adversary::AdversaryConfig config;
+  config.kind = "static-path";
+  config.n = n;
+  config.T = T;
+  const auto adv = adversary::MakeAdversary(config);
+  CensusOptions options;
+  options.pipeline_T = T;
+  std::vector<CensusProgram> nodes;
+  for (graph::NodeId u = 0; u < n; ++u) nodes.emplace_back(u, 0, options);
+  net::EngineOptions opts;
+  opts.max_rounds = 100000;
+  net::Engine<CensusProgram> engine(std::move(nodes), *adv, opts);
+
+  const auto knowledge = [&] {
+    double total = 0;
+    for (graph::NodeId u = 0; u < n; ++u) total += engine.node(u).PublicState();
+    return total;
+  };
+  const double saturated = static_cast<double>(n) * n;
+  double last = knowledge();
+  bool was_saturated_before_decide = false;
+  while (engine.Step()) {
+    const double now = knowledge();
+    EXPECT_GE(now, last) << "round " << engine.current_round();
+    last = now;
+    if (engine.node(0).HasDecided()) {
+      was_saturated_before_decide = (now >= saturated);
+      break;
+    }
+  }
+  EXPECT_TRUE(was_saturated_before_decide);
+  while (engine.Step()) {
+  }
+  EXPECT_TRUE(engine.stats().all_decided);
+  EXPECT_EQ(engine.node(0).output()->count, n);
+}
+
+TEST(Census, SingleNodeDecidesQuickly) {
+  CensusOptions options;
+  options.pipeline_T = 1;
+  const CensusRun run = RunCensus(1, 1, "static-path", 1, options);
+  ASSERT_TRUE(run.stats.all_decided);
+  EXPECT_EQ(run.outputs.front().count, 1);
+  EXPECT_LE(run.stats.rounds, 16);
+}
+
+}  // namespace
+}  // namespace sdn::algo

@@ -1,0 +1,52 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sdn::util {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  SDN_CHECK(1 + 1 == 2);
+  SDN_CHECK_MSG(true, "never rendered");
+}
+
+TEST(Check, FailureThrowsWithExpressionText) {
+  try {
+    SDN_CHECK(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsStreamedIntoError) {
+  const int n = 42;
+  try {
+    SDN_CHECK_MSG(n < 0, "n was " << n << " (wanted negative)");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n was 42"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageExpressionNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  SDN_CHECK_MSG(true, count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Check, CheckErrorIsALogicError) {
+  EXPECT_THROW(SDN_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sdn::util

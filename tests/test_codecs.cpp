@@ -1,0 +1,183 @@
+// Codec/bit-accounting honesty: for every message type, the encoded size in
+// bits must equal MessageBits exactly (the number the engine charges), and
+// decoding must reproduce the message. Randomized over message contents.
+#include "algo/codecs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sdn::algo {
+namespace {
+
+util::Rng& Rng() {
+  static util::Rng rng(0xc0dec5);
+  return rng;
+}
+
+NodeId RandomId() {
+  return static_cast<NodeId>(Rng().UniformU64(100000));
+}
+
+Value RandomValue() { return Rng().UniformInt(-3000000, 3000000); }
+
+IdSet RandomIdSet(int max_elems) {
+  IdSet set;
+  const auto n = Rng().UniformU64(static_cast<std::uint64_t>(max_elems) + 1);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    set.Insert(static_cast<graph::NodeId>(Rng().UniformU64(5000)));
+  }
+  return set;
+}
+
+TEST(Codecs, IdSetRoundTripAndExactBits) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const IdSet set = RandomIdSet(100);
+    util::BitWriter out;
+    EncodeIdSet(set, out);
+    EXPECT_EQ(out.bit_count(), set.EncodedBits());
+    util::BitReader in(out.bytes());
+    EXPECT_TRUE(DecodeIdSet(in) == set);
+    EXPECT_EQ(in.bit_position(), out.bit_count());
+  }
+}
+
+TEST(Codecs, CensusTokenMessages) {
+  for (int trial = 0; trial < 200; ++trial) {
+    CensusProgram::Message m;
+    m.tag = CensusProgram::Tag::kToken;
+    m.token = Rng().Bernoulli(0.8) ? RandomId() : -1;
+    m.min_id = RandomId();
+    m.min_id_value = RandomValue();
+    m.max_value = RandomValue();
+
+    util::BitWriter out;
+    EncodeMessage(m, out);
+    EXPECT_EQ(out.bit_count(), CensusProgram::MessageBits(m));
+    util::BitReader in(out.bytes());
+    const auto back = DecodeCensusMessage(in);
+    EXPECT_EQ(back.tag, m.tag);
+    EXPECT_EQ(back.token, m.token);
+    EXPECT_EQ(back.min_id, m.min_id);
+    EXPECT_EQ(back.min_id_value, m.min_id_value);
+    EXPECT_EQ(back.max_value, m.max_value);
+  }
+}
+
+TEST(Codecs, CensusVerifyMessages) {
+  for (int trial = 0; trial < 100; ++trial) {
+    CensusProgram::Message m;
+    m.tag = CensusProgram::Tag::kVerify;
+    m.hash = Rng()() & ((1ULL << 48) - 1);
+    m.flag = Rng().Bernoulli(0.5);
+
+    util::BitWriter out;
+    EncodeMessage(m, out);
+    EXPECT_EQ(out.bit_count(), CensusProgram::MessageBits(m));
+    util::BitReader in(out.bytes());
+    const auto back = DecodeCensusMessage(in);
+    EXPECT_EQ(back.hash, m.hash);
+    EXPECT_EQ(back.flag, m.flag);
+  }
+}
+
+TEST(Codecs, CommitteeMessagesAllTags) {
+  using Tag = KloCommitteeProgram::Tag;
+  for (const Tag tag : {Tag::kPoll, Tag::kInvite, Tag::kVerify, Tag::kSize}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      KloCommitteeProgram::Message m;
+      m.tag = tag;
+      m.leader = RandomId();
+      m.leader_value = RandomValue();
+      m.max_value = RandomValue();
+      m.poll = Rng().Bernoulli(0.5) ? RandomId() : -1;
+      m.invitee = Rng().Bernoulli(0.5) ? RandomId() : -1;
+      m.committee = Rng().Bernoulli(0.5) ? RandomId() : -1;
+      m.flag = Rng().Bernoulli(0.5);
+      m.size = static_cast<std::int64_t>(Rng().UniformU64(100000));
+
+      util::BitWriter out;
+      EncodeMessage(m, out);
+      EXPECT_EQ(out.bit_count(), KloCommitteeProgram::MessageBits(m));
+      util::BitReader in(out.bytes());
+      const auto back = DecodeCommitteeMessage(in);
+      EXPECT_EQ(back.tag, m.tag);
+      EXPECT_EQ(back.leader, m.leader);
+      EXPECT_EQ(back.leader_value, m.leader_value);
+      EXPECT_EQ(back.max_value, m.max_value);
+      switch (tag) {
+        case Tag::kPoll:
+          EXPECT_EQ(back.poll, m.poll);
+          break;
+        case Tag::kInvite:
+          EXPECT_EQ(back.invitee, m.invitee);
+          break;
+        case Tag::kVerify:
+          EXPECT_EQ(back.committee, m.committee);
+          EXPECT_EQ(back.flag, m.flag);
+          break;
+        case Tag::kSize:
+          EXPECT_EQ(back.size, m.size);
+          break;
+      }
+    }
+  }
+}
+
+TEST(Codecs, HjswyMessagesWithAndWithoutExtras) {
+  for (int trial = 0; trial < 200; ++trial) {
+    HjswyProgram::Message m;
+    m.num_coords = static_cast<std::int32_t>(Rng().UniformU64(
+        static_cast<std::uint64_t>(HjswyProgram::kMaxCoordsPerMsg) + 1));
+    m.coord_base = static_cast<std::int32_t>(Rng().UniformU64(256));
+    for (std::int32_t i = 0; i < m.num_coords; ++i) {
+      m.coords[static_cast<std::size_t>(i)] =
+          static_cast<std::uint32_t>(Rng()());
+    }
+    m.has_sum = Rng().Bernoulli(0.5);
+    if (m.has_sum) {
+      for (std::int32_t i = 0; i < m.num_coords; ++i) {
+        m.sum_coords[static_cast<std::size_t>(i)] =
+            static_cast<std::uint32_t>(Rng()());
+      }
+    }
+    m.min_id = RandomId();
+    m.min_id_value = RandomValue();
+    m.max_value = RandomValue();
+    m.fingerprint = Rng()() & ((1ULL << 48) - 1);
+    m.alarm = Rng().Bernoulli(0.3);
+    const bool has_census = Rng().Bernoulli(0.5);
+    if (has_census) {
+      m.census = std::make_shared<const IdSet>(RandomIdSet(60));
+    }
+
+    util::BitWriter out;
+    EncodeMessage(m, out);
+    EXPECT_EQ(out.bit_count(), HjswyProgram::MessageBits(m));
+    util::BitReader in(out.bytes());
+    const auto back = DecodeHjswyMessage(in, m.num_coords, has_census);
+    EXPECT_EQ(back.coord_base, m.coord_base);
+    EXPECT_EQ(back.num_coords, m.num_coords);
+    for (std::int32_t i = 0; i < m.num_coords; ++i) {
+      EXPECT_EQ(back.coords[static_cast<std::size_t>(i)],
+                m.coords[static_cast<std::size_t>(i)]);
+      if (m.has_sum) {
+        EXPECT_EQ(back.sum_coords[static_cast<std::size_t>(i)],
+                  m.sum_coords[static_cast<std::size_t>(i)]);
+      }
+    }
+    EXPECT_EQ(back.has_sum, m.has_sum);
+    EXPECT_EQ(back.min_id, m.min_id);
+    EXPECT_EQ(back.min_id_value, m.min_id_value);
+    EXPECT_EQ(back.max_value, m.max_value);
+    EXPECT_EQ(back.fingerprint, m.fingerprint);
+    EXPECT_EQ(back.alarm, m.alarm);
+    if (has_census) {
+      ASSERT_NE(back.census, nullptr);
+      EXPECT_TRUE(*back.census == *m.census);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdn::algo

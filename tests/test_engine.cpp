@@ -1,0 +1,242 @@
+#include "net/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adversary/factory.hpp"
+#include "adversary/replay.hpp"
+#include "adversary/static_adversary.hpp"
+#include "algo/flood_max.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace sdn::net {
+namespace {
+
+using adversary::StaticAdversary;
+using algo::FloodMaxKnownN;
+
+/// Minimal test program: counts how many neighbor messages it has ever seen
+/// and decides after a fixed number of rounds.
+class InboxCounter {
+ public:
+  struct Message {
+    std::int32_t payload = 7;
+  };
+  using Output = std::int64_t;
+
+  InboxCounter(Round decide_after, bool silent = false)
+      : decide_after_(decide_after), silent_(silent) {}
+
+  std::optional<Message> OnSend(Round) {
+    if (silent_) return std::nullopt;
+    return Message{};
+  }
+  void OnReceive(Round r, std::span<const Message> inbox) {
+    seen_ += static_cast<std::int64_t>(inbox.size());
+    if (r >= decide_after_) decided_ = true;
+  }
+  [[nodiscard]] bool HasDecided() const { return decided_; }
+  [[nodiscard]] std::optional<Output> output() const {
+    return decided_ ? std::optional<Output>(seen_) : std::nullopt;
+  }
+  [[nodiscard]] double PublicState() const {
+    return static_cast<double>(seen_);
+  }
+  static std::size_t MessageBits(const Message&) { return 32; }
+
+ private:
+  Round decide_after_;
+  bool silent_;
+  std::int64_t seen_ = 0;
+  bool decided_ = false;
+};
+
+static_assert(NodeProgram<InboxCounter>);
+static_assert(NodeProgram<FloodMaxKnownN>);
+
+TEST(Engine, DeliversToNeighborsOnly) {
+  // Path 0-1-2: after 1 round, middle node saw 2 messages, ends saw 1.
+  StaticAdversary adv(graph::Path(3));
+  std::vector<InboxCounter> nodes(3, InboxCounter(1));
+  Engine<InboxCounter> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_TRUE(stats.all_decided);
+  EXPECT_EQ(stats.rounds, 1);
+  EXPECT_EQ(engine.node(0).output(), 1);
+  EXPECT_EQ(engine.node(1).output(), 2);
+  EXPECT_EQ(engine.node(2).output(), 1);
+}
+
+TEST(Engine, SilentNodesSendNothing) {
+  StaticAdversary adv(graph::Complete(4));
+  std::vector<InboxCounter> nodes;
+  nodes.emplace_back(1, false);
+  nodes.emplace_back(1, true);
+  nodes.emplace_back(1, true);
+  nodes.emplace_back(1, true);
+  Engine<InboxCounter> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_EQ(stats.messages_sent, 1);
+  ASSERT_EQ(stats.sends_per_node.size(), 4u);
+  EXPECT_EQ(stats.sends_per_node[0], 1);
+  EXPECT_EQ(stats.sends_per_node[1], 0);
+  EXPECT_EQ(engine.node(0).output(), 0);  // others silent
+  EXPECT_EQ(engine.node(1).output(), 1);
+}
+
+TEST(Engine, CountsBitsAndMessages) {
+  StaticAdversary adv(graph::Path(3));
+  std::vector<InboxCounter> nodes(3, InboxCounter(2));
+  Engine<InboxCounter> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_EQ(stats.rounds, 2);
+  EXPECT_EQ(stats.messages_sent, 6);
+  EXPECT_EQ(stats.total_message_bits, 6 * 32);
+  EXPECT_EQ(stats.max_message_bits, 32);
+  EXPECT_DOUBLE_EQ(stats.AvgBitsPerMessage(), 32.0);
+  EXPECT_DOUBLE_EQ(stats.BitsPerNodeRound(3), 32.0);
+}
+
+TEST(Engine, BandwidthBudgetEnforced) {
+  StaticAdversary adv(graph::Path(3));
+  std::vector<InboxCounter> nodes(3, InboxCounter(1));
+  EngineOptions opts;
+  // 32-bit messages against a ~1.6-bit budget (floor 1) must trip the check.
+  opts.bandwidth = BandwidthPolicy::BoundedLogN(1.0, 1);
+  Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+  EXPECT_THROW(engine.Run(), util::CheckError);
+}
+
+TEST(Engine, MaxRoundsStopsUndecidedRun) {
+  StaticAdversary adv(graph::Path(3));
+  std::vector<InboxCounter> nodes(3, InboxCounter(1000));
+  EngineOptions opts;
+  opts.max_rounds = 10;
+  Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+  const RunStats stats = engine.Run();
+  EXPECT_FALSE(stats.all_decided);
+  EXPECT_EQ(stats.rounds, 10);
+  EXPECT_EQ(stats.decide_round[0], -1);
+}
+
+TEST(Engine, DecideRoundsRecorded) {
+  StaticAdversary adv(graph::Path(4));
+  std::vector<InboxCounter> nodes;
+  for (Round r = 1; r <= 4; ++r) nodes.emplace_back(r);
+  Engine<InboxCounter> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_TRUE(stats.all_decided);
+  EXPECT_EQ(stats.first_decide_round, 1);
+  EXPECT_EQ(stats.last_decide_round, 4);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(stats.decide_round[static_cast<std::size_t>(i)], i + 1);
+  }
+}
+
+TEST(Engine, RecordsTopologies) {
+  StaticAdversary adv(graph::Cycle(5));
+  std::vector<InboxCounter> nodes(5, InboxCounter(3));
+  EngineOptions opts;
+  std::vector<graph::Graph> trace;
+  opts.record_topologies = &trace;
+  Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+  (void)engine.Run();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], graph::Cycle(5));
+}
+
+TEST(Engine, RecordedRunReplaysIdentically) {
+  // Record the topologies of one run, replay them through ReplayAdversary:
+  // a deterministic algorithm must produce the identical execution.
+  adversary::AdversaryConfig config;
+  config.kind = "spine-rtree";
+  config.n = 12;
+  config.T = 2;
+  config.seed = 31;
+  const auto original = adversary::MakeAdversary(config);
+
+  const auto make_nodes = [] {
+    std::vector<FloodMaxKnownN> nodes;
+    for (graph::NodeId u = 0; u < 12; ++u) {
+      nodes.emplace_back(u, 12, static_cast<algo::Value>((u * 5) % 7));
+    }
+    return nodes;
+  };
+
+  std::vector<graph::Graph> trace;
+  EngineOptions record_opts;
+  record_opts.record_topologies = &trace;
+  Engine<FloodMaxKnownN> first(make_nodes(), *original, record_opts);
+  const RunStats first_stats = first.Run();
+
+  adversary::ReplayAdversary replay(trace, 2);
+  Engine<FloodMaxKnownN> second(make_nodes(), replay, {});
+  const RunStats second_stats = second.Run();
+
+  EXPECT_EQ(first_stats.rounds, second_stats.rounds);
+  EXPECT_EQ(first_stats.messages_sent, second_stats.messages_sent);
+  EXPECT_EQ(first_stats.total_message_bits, second_stats.total_message_bits);
+  for (graph::NodeId u = 0; u < 12; ++u) {
+    EXPECT_EQ(first.node(u).output(), second.node(u).output());
+  }
+}
+
+TEST(Engine, MeasuresFloodingTime) {
+  StaticAdversary adv(graph::Path(8));
+  std::vector<InboxCounter> nodes(8, InboxCounter(20));
+  EngineOptions opts;
+  opts.flood_probes = 3;
+  Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+  const RunStats stats = engine.Run();
+  EXPECT_EQ(stats.flooding.probes, 3);
+  EXPECT_EQ(stats.flooding.completed, 3);
+  // Probe from node 0 on a path takes exactly 7 rounds; others at most 7.
+  EXPECT_EQ(stats.flooding.max_rounds, 7);
+}
+
+TEST(Engine, FloodMaxDecidesTrueMaxOnStaticPath) {
+  const graph::NodeId n = 16;
+  StaticAdversary adv(graph::Path(n));
+  std::vector<FloodMaxKnownN> nodes;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    nodes.emplace_back(u, n, static_cast<algo::Value>(u * 10 % 70));
+  }
+  Engine<FloodMaxKnownN> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_TRUE(stats.all_decided);
+  EXPECT_EQ(stats.rounds, n - 1);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(engine.node(u).output(), 60);
+  }
+}
+
+TEST(Engine, SingleNodeDecidesAtRoundZero) {
+  StaticAdversary adv(graph::Graph(1));
+  std::vector<FloodMaxKnownN> nodes;
+  nodes.emplace_back(0, 1, 42);
+  Engine<FloodMaxKnownN> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_TRUE(stats.all_decided);
+  EXPECT_EQ(stats.rounds, 0);
+  EXPECT_EQ(engine.node(0).output(), 42);
+}
+
+TEST(Engine, RunTwiceRejected) {
+  StaticAdversary adv(graph::Path(2));
+  std::vector<InboxCounter> nodes(2, InboxCounter(1));
+  Engine<InboxCounter> engine(std::move(nodes), adv, {});
+  (void)engine.Run();
+  EXPECT_THROW(engine.Run(), util::CheckError);
+}
+
+TEST(Engine, WrongSizeAdversaryRejected) {
+  StaticAdversary adv(graph::Path(3));
+  std::vector<InboxCounter> nodes(2, InboxCounter(1));
+  EXPECT_THROW((Engine<InboxCounter>(std::move(nodes), adv, {})),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace sdn::net

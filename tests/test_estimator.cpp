@@ -1,0 +1,158 @@
+#include "algo/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::algo {
+namespace {
+
+/// Simulates full convergence: merge all nodes' sketches into one.
+CardinalityEstimator ConvergedSketch(int n, int L, util::Rng& rng,
+                                     bool quantize = false) {
+  CardinalityEstimator merged(L, rng, quantize);
+  for (int i = 1; i < n; ++i) {
+    const CardinalityEstimator other(L, rng, quantize);
+    merged.Merge(other.mins());
+  }
+  return merged;
+}
+
+TEST(Estimator, RejectsTooFewCoordinates) {
+  util::Rng rng(1);
+  EXPECT_THROW(CardinalityEstimator(2, rng), util::CheckError);
+}
+
+TEST(Estimator, SingleNodeEstimatesNearOne) {
+  util::Rng rng(2);
+  double total = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    total += CardinalityEstimator(64, rng).Estimate();
+  }
+  EXPECT_NEAR(total / trials, 1.0, 0.08);
+}
+
+TEST(Estimator, ConvergedEstimateTracksN) {
+  util::Rng rng(3);
+  for (const int n : {10, 100, 1000}) {
+    double total = 0.0;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t) {
+      total += ConvergedSketch(n, 128, rng).Estimate();
+    }
+    const double mean = total / trials;
+    // Relative stddev ~ 1/sqrt(126) ≈ 0.09; 30 trials → sem ≈ 1.6%.
+    EXPECT_NEAR(mean, n, 0.08 * n) << "n=" << n;
+  }
+}
+
+TEST(Estimator, ErrorShrinksWithL) {
+  util::Rng rng(4);
+  const int n = 500;
+  const auto spread = [&](int L) {
+    double sum_sq = 0.0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+      const double rel = ConvergedSketch(n, L, rng).Estimate() / n - 1.0;
+      sum_sq += rel * rel;
+    }
+    return std::sqrt(sum_sq / trials);
+  };
+  const double rough = spread(8);
+  const double fine = spread(128);
+  EXPECT_LT(fine, rough * 0.6);
+  EXPECT_NEAR(fine, CardinalityEstimator::RelativeStddev(128), 0.06);
+}
+
+TEST(Estimator, MergeIsIdempotentAndCommutative) {
+  util::Rng rng(5);
+  CardinalityEstimator a(16, rng);
+  CardinalityEstimator b(16, rng);
+  CardinalityEstimator a2 = a;
+  EXPECT_TRUE(a.Merge(b.mins()) || true);  // merge once
+  const auto snapshot = std::vector<double>(a.mins().begin(), a.mins().end());
+  EXPECT_FALSE(a.Merge(b.mins()));  // idempotent
+  // Commutativity: b ∪ a == a ∪ b.
+  b.Merge(a2.mins());
+  EXPECT_TRUE(std::equal(snapshot.begin(), snapshot.end(), b.mins().begin()));
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(Estimator, MergeCoordOnlyTouchesOneCoordinate) {
+  util::Rng rng(6);
+  CardinalityEstimator a(8, rng);
+  const double tiny = 1e-9;
+  EXPECT_TRUE(a.MergeCoord(3, tiny));
+  EXPECT_DOUBLE_EQ(a.mins()[3], tiny);
+  EXPECT_FALSE(a.MergeCoord(3, 1.0));  // not smaller
+  EXPECT_THROW(a.MergeCoord(8, 0.5), util::CheckError);
+}
+
+TEST(Estimator, FingerprintDetectsAnyChange) {
+  util::Rng rng(7);
+  CardinalityEstimator a(32, rng);
+  const std::uint64_t before = a.Fingerprint();
+  a.MergeCoord(31, a.mins()[31] / 2);
+  EXPECT_NE(a.Fingerprint(), before);
+}
+
+TEST(Estimator, QuantizedSurvivesFloatRoundTrip) {
+  util::Rng rng(8);
+  CardinalityEstimator a(64, rng, /*quantize_float32=*/true);
+  for (const double m : a.mins()) {
+    EXPECT_EQ(m, static_cast<double>(static_cast<float>(m)));
+  }
+}
+
+TEST(Estimator, WeightedSketchEstimatesSum) {
+  util::Rng rng(10);
+  const std::vector<std::uint64_t> weights = {5, 0, 120, 7, 0, 368, 1};
+  std::uint64_t total = 0;
+  for (const auto w : weights) total += w;
+  double sum = 0.0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    CardinalityEstimator merged =
+        CardinalityEstimator::ForWeight(weights[0], 128, rng);
+    for (std::size_t i = 1; i < weights.size(); ++i) {
+      merged.Merge(CardinalityEstimator::ForWeight(weights[i], 128, rng).mins());
+    }
+    sum += merged.Estimate();
+  }
+  EXPECT_NEAR(sum / trials, static_cast<double>(total),
+              0.08 * static_cast<double>(total));
+}
+
+TEST(Estimator, AllZeroWeightsEstimateZero) {
+  util::Rng rng(11);
+  CardinalityEstimator a = CardinalityEstimator::ForWeight(0, 8, rng);
+  const CardinalityEstimator b = CardinalityEstimator::ForWeight(0, 8, rng);
+  a.Merge(b.mins());
+  EXPECT_EQ(a.Estimate(), 0.0);
+}
+
+TEST(Estimator, ZeroWeightNeverLowersMinima) {
+  util::Rng rng(12);
+  CardinalityEstimator weighted = CardinalityEstimator::ForWeight(9, 16, rng);
+  const auto before =
+      std::vector<double>(weighted.mins().begin(), weighted.mins().end());
+  const CardinalityEstimator zero = CardinalityEstimator::ForWeight(0, 16, rng);
+  EXPECT_FALSE(weighted.Merge(zero.mins()));
+  EXPECT_TRUE(std::equal(before.begin(), before.end(),
+                         weighted.mins().begin()));
+}
+
+TEST(Estimator, RepetitionsForMatchesStddevTarget) {
+  EXPECT_EQ(CardinalityEstimator::RepetitionsFor(1.0), 3);
+  const int L = CardinalityEstimator::RepetitionsFor(0.1);
+  EXPECT_LE(CardinalityEstimator::RelativeStddev(L), 0.1);
+  EXPECT_GT(CardinalityEstimator::RelativeStddev(L - 1), 0.1);
+}
+
+}  // namespace
+}  // namespace sdn::algo

@@ -1,0 +1,92 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace sdn::util {
+namespace {
+
+Flags Make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = Make({"--n=128", "--eps=0.25", "--name=hello"});
+  EXPECT_EQ(f.GetInt("n", 0), 128);
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps", 0.0), 0.25);
+  EXPECT_EQ(f.GetString("name", ""), "hello");
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = Make({"--n", "64", "--name", "x"});
+  EXPECT_EQ(f.GetInt("n", 0), 64);
+  EXPECT_EQ(f.GetString("name", ""), "x");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  Flags f = Make({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.GetBool("quiet", false));
+}
+
+TEST(Flags, BoolSpellings) {
+  EXPECT_TRUE(Make({"--a=yes"}).GetBool("a", false));
+  EXPECT_TRUE(Make({"--a=1"}).GetBool("a", false));
+  EXPECT_FALSE(Make({"--a=no"}).GetBool("a", true));
+  EXPECT_FALSE(Make({"--a=0"}).GetBool("a", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Flags f = Make({});
+  EXPECT_EQ(f.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(f.GetString("s", "d"), "d");
+}
+
+TEST(Flags, IntList) {
+  Flags f = Make({"--sizes=16,32,64"});
+  const auto v = f.GetIntList("sizes", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 16);
+  EXPECT_EQ(v[2], 64);
+}
+
+TEST(Flags, IntListDefault) {
+  Flags f = Make({});
+  const auto v = f.GetIntList("sizes", {1, 2});
+  ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(Flags, PositionalArgsPreserved) {
+  Flags f = Make({"input.txt", "--n=1", "other"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "other");
+}
+
+TEST(Flags, MalformedIntThrows) {
+  Flags f = Make({"--n=abc"});
+  EXPECT_THROW(f.GetInt("n", 0), CheckError);
+}
+
+TEST(Flags, UnconsumedDetection) {
+  Flags f = Make({"--n=1", "--typo=2"});
+  (void)f.GetInt("n", 0);
+  const auto unconsumed = f.UnconsumedFlags();
+  ASSERT_EQ(unconsumed.size(), 1u);
+  EXPECT_EQ(unconsumed[0], "typo");
+}
+
+TEST(Flags, UsageListsRegisteredFlags) {
+  Flags f = Make({});
+  (void)f.GetInt("n", 5, "node count");
+  const std::string usage = f.Usage("prog");
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("node count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdn::util

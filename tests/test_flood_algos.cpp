@@ -1,0 +1,105 @@
+#include "algo/flood_max.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "adversary/factory.hpp"
+#include "net/engine.hpp"
+
+namespace sdn::algo {
+namespace {
+
+using Param = std::tuple<graph::NodeId, std::string, std::uint64_t>;
+
+class FloodAlgoTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(FloodAlgoTest, MaxIsExactAndLinearRound) {
+  const auto& [n, kind, seed] = GetParam();
+  adversary::AdversaryConfig config;
+  config.kind = kind;
+  config.n = n;
+  config.T = 1;
+  config.seed = seed;
+  const auto adv = adversary::MakeAdversary(config);
+
+  std::vector<FloodMaxKnownN> nodes;
+  Value expected = kValueMin;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const Value input = (u * 37) % 101 - 50;
+    expected = std::max(expected, input);
+    nodes.emplace_back(u, n, input);
+  }
+  net::Engine<FloodMaxKnownN> engine(std::move(nodes), *adv, {});
+  const net::RunStats stats = engine.Run();
+  ASSERT_TRUE(stats.all_decided);
+  EXPECT_TRUE(stats.tinterval_ok);
+  EXPECT_EQ(stats.rounds, n - 1);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(engine.node(u).output(), expected) << "node " << u;
+  }
+}
+
+TEST_P(FloodAlgoTest, ConsensusAgreesOnMinIdValue) {
+  const auto& [n, kind, seed] = GetParam();
+  adversary::AdversaryConfig config;
+  config.kind = kind;
+  config.n = n;
+  config.T = 1;
+  config.seed = seed + 17;
+  const auto adv = adversary::MakeAdversary(config);
+
+  std::vector<ConsensusFloodKnownN> nodes;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    nodes.emplace_back(u, n, static_cast<Value>(1000 + u));
+  }
+  net::Engine<ConsensusFloodKnownN> engine(std::move(nodes), *adv, {});
+  const net::RunStats stats = engine.Run();
+  ASSERT_TRUE(stats.all_decided);
+  // Min id is 0, so everyone must decide node 0's input.
+  for (graph::NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(engine.node(u).output(), 1000) << "node " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FloodAlgoTest,
+    ::testing::Combine(::testing::Values<graph::NodeId>(2, 5, 32, 100),
+                       ::testing::Values("static-path", "spine-rtree",
+                                         "spine-expander", "mobile",
+                                         "adaptive-desc"),
+                       ::testing::Values<std::uint64_t>(1, 99)),
+    [](const ::testing::TestParamInfo<Param>& pi) {
+      auto name = "n" + std::to_string(std::get<0>(pi.param)) + "_" +
+                  std::get<1>(pi.param) + "_s" +
+                  std::to_string(std::get<2>(pi.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(FloodMax, MessageBitsAreLogarithmic) {
+  const FloodMaxKnownN::Message small{1};
+  const FloodMaxKnownN::Message large{1 << 20};
+  EXPECT_LE(FloodMaxKnownN::MessageBits(small), 16u);
+  EXPECT_LE(FloodMaxKnownN::MessageBits(large), 40u);
+}
+
+TEST(FloodMax, NegativeInputsSupported) {
+  adversary::AdversaryConfig config;
+  config.kind = "static-path";
+  config.n = 4;
+  const auto adv = adversary::MakeAdversary(config);
+  std::vector<FloodMaxKnownN> nodes;
+  for (graph::NodeId u = 0; u < 4; ++u) nodes.emplace_back(u, 4, -100 - u);
+  net::Engine<FloodMaxKnownN> engine(std::move(nodes), *adv, {});
+  (void)engine.Run();
+  for (graph::NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(engine.node(u).output(), -100);
+  }
+}
+
+}  // namespace
+}  // namespace sdn::algo

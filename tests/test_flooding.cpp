@@ -1,0 +1,94 @@
+#include "net/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace sdn::net {
+namespace {
+
+using graph::Graph;
+
+TEST(FloodProbe, SingleNodeCompletesInstantly) {
+  const FloodProbe p(1, 0, 1);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.completion_rounds(), 0);
+}
+
+TEST(FloodProbe, PathFromEndTakesNMinus1Rounds) {
+  const Graph g = graph::Path(6);
+  FloodProbe p(6, 0, 1);
+  std::int64_t round = 1;
+  while (!p.complete()) {
+    p.Push(round, g);
+    ++round;
+  }
+  EXPECT_EQ(p.completion_rounds(), 5);
+}
+
+TEST(FloodProbe, StarFromLeafTakesTwoRounds) {
+  const Graph g = graph::Star(8);
+  FloodProbe p(8, 3, 1);
+  p.Push(1, g);
+  EXPECT_FALSE(p.complete());
+  p.Push(2, g);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.completion_rounds(), 2);
+}
+
+TEST(FloodProbe, IgnoresRoundsBeforeStart) {
+  const Graph g = graph::Complete(4);
+  FloodProbe p(4, 0, 3);
+  p.Push(1, g);
+  p.Push(2, g);
+  EXPECT_FALSE(p.complete());
+  p.Push(3, g);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.completion_rounds(), 1);
+}
+
+TEST(FloodProbe, DynamicSequenceUsesEachRoundsTopology) {
+  // Round 1: only 0-1 exists. Round 2: only 1-2. Round 3: only 2-3.
+  const graph::NodeId n = 4;
+  std::vector<Graph> seq;
+  seq.emplace_back(n, std::vector<graph::Edge>{{0, 1}, {2, 3}});
+  seq.emplace_back(n, std::vector<graph::Edge>{{1, 2}, {0, 1}});
+  seq.emplace_back(n, std::vector<graph::Edge>{{2, 3}, {0, 1}});
+  FloodProbe p(n, 0, 1);
+  for (std::int64_t r = 1; r <= 3; ++r) {
+    p.Push(r, seq[static_cast<std::size_t>(r - 1)]);
+  }
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.completion_rounds(), 3);
+}
+
+TEST(SummarizeProbes, AggregatesCompletions) {
+  const Graph g = graph::Complete(5);
+  std::vector<FloodProbe> probes;
+  probes.emplace_back(5, 0, 1);
+  probes.emplace_back(5, 2, 1);
+  probes.emplace_back(5, 1, 100);  // never starts
+  for (auto& p : probes) p.Push(1, g);
+  const FloodingSummary s = SummarizeProbes(probes);
+  EXPECT_EQ(s.probes, 3);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.max_rounds, 1);
+  EXPECT_DOUBLE_EQ(s.mean_rounds, 1.0);
+}
+
+TEST(DynamicFloodingTime, StaticGraphEqualsDiameterish) {
+  const auto seq = std::vector<Graph>(10, graph::Path(5));
+  EXPECT_EQ(DynamicFloodingTime(seq), 4);
+  const auto star = std::vector<Graph>(10, graph::Star(5));
+  EXPECT_EQ(DynamicFloodingTime(star), 2);
+}
+
+TEST(DynamicFloodingTime, TooShortSequenceReturnsMinusOne) {
+  const auto seq = std::vector<Graph>(2, graph::Path(5));
+  EXPECT_EQ(DynamicFloodingTime(seq), -1);
+}
+
+}  // namespace
+}  // namespace sdn::net

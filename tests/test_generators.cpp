@@ -1,0 +1,153 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::graph {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = Path(5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(Diameter(g), 4);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(2), 2);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = Cycle(6);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(Diameter(g), 3);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.Degree(u), 2);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = Star(7);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.Degree(0), 6);
+  EXPECT_EQ(Diameter(g), 2);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = Complete(5);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_EQ(Diameter(g), 1);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = GridGraph(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_EQ(Diameter(g), 5);
+}
+
+TEST(Generators, BinaryTreeShape) {
+  const Graph g = BinaryTree(7);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(Diameter(g), 4);
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = Hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_EQ(g.num_edges(), 32);
+  EXPECT_EQ(Diameter(g), 4);
+}
+
+TEST(Generators, BarbellShape) {
+  const Graph g = Barbell(10);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(Diameter(g), 3);  // across the bridge
+}
+
+TEST(Generators, RandomTreeIsSpanningTree) {
+  util::Rng rng(1);
+  for (const NodeId n : {1, 2, 3, 10, 100}) {
+    const Graph g = RandomTree(n, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(IsConnected(g));
+  }
+}
+
+TEST(Generators, RandomTreeVaries) {
+  util::Rng rng(2);
+  const Graph a = RandomTree(50, rng);
+  const Graph b = RandomTree(50, rng);
+  EXPECT_NE(a, b);  // overwhelmingly likely
+}
+
+TEST(Generators, GnpEdgeCountNearExpectation) {
+  util::Rng rng(3);
+  const NodeId n = 200;
+  const double p = 0.1;
+  double total = 0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(Gnp(n, p, rng).num_edges());
+  }
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(total / trials, expected, expected * 0.1);
+}
+
+TEST(Generators, GnpExtremes) {
+  util::Rng rng(4);
+  EXPECT_EQ(Gnp(10, 0.0, rng).num_edges(), 0);
+  EXPECT_EQ(Gnp(10, 1.0, rng).num_edges(), 45);
+}
+
+TEST(Generators, ConnectedGnpAlwaysConnected) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    EXPECT_TRUE(IsConnected(ConnectedGnp(64, 0.01, rng)));
+    EXPECT_TRUE(IsConnected(ConnectedGnp(64, 0.0, rng)));
+  }
+}
+
+TEST(Generators, RandomExpanderConnectedWithLogDiameter) {
+  util::Rng rng(6);
+  const Graph g = RandomExpander(256, 2, rng);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_LE(Diameter(g), 20);  // ~log n for a union of 2 random cycles
+}
+
+TEST(Generators, PathOfCliquesDiameterScalesWithCliqueCount) {
+  const Graph g = PathOfCliques(8, 4);
+  EXPECT_EQ(g.num_nodes(), 32);
+  EXPECT_TRUE(IsConnected(g));
+  // Bridges chain cliques: diameter grows ~2 per clique.
+  EXPECT_GE(Diameter(g), 8);
+  EXPECT_LE(Diameter(g), 16);
+}
+
+TEST(Generators, GeometricGraphRadiusControlsEdges) {
+  util::Rng rng(7);
+  const auto pts = RandomPoints(50, rng);
+  const Graph tight = GeometricGraph(pts, 0.05);
+  const Graph loose = GeometricGraph(pts, 0.5);
+  EXPECT_LT(tight.num_edges(), loose.num_edges());
+  EXPECT_EQ(GeometricGraph(pts, 2.0).num_edges(), 50 * 49 / 2);
+}
+
+class TreeFamilyTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(TreeFamilyTest, AllTreesHaveNMinus1EdgesAndConnect) {
+  const NodeId n = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n));
+  for (const Graph& g :
+       {Path(n), Star(n), BinaryTree(n), RandomTree(n, rng)}) {
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(IsConnected(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeFamilyTest,
+                         ::testing::Values(2, 3, 5, 17, 64, 257));
+
+}  // namespace
+}  // namespace sdn::graph

@@ -1,0 +1,175 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include <cstdlib>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::graph {
+namespace {
+
+TEST(Edge, NormalizesEndpointOrder) {
+  const Edge e(5, 2);
+  EXPECT_EQ(e.u, 2);
+  EXPECT_EQ(e.v, 5);
+}
+
+TEST(Edge, SelfLoopRejected) { EXPECT_THROW(Edge(3, 3), util::CheckError); }
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(4);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+}
+
+TEST(Graph, DuplicateEdgesCollapse) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {0, 1}, {1, 2}};
+  const Graph g(3, edges);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+}
+
+TEST(Graph, NeighborsSortedAndSymmetric) {
+  const std::vector<Edge> edges = {{2, 0}, {0, 1}, {2, 1}};
+  const Graph g(3, edges);
+  const auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1);
+  EXPECT_EQ(n0[1], 2);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(Graph, OutOfRangeEdgeRejected) {
+  const std::vector<Edge> edges = {{0, 3}};
+  EXPECT_THROW(Graph(3, edges), util::CheckError);
+}
+
+TEST(Graph, WithEdgesMerges) {
+  const std::vector<Edge> base = {{0, 1}};
+  const Graph g(4, base);
+  const std::vector<Edge> extra = {{1, 2}, {0, 1}};
+  const Graph h = g.WithEdges(extra);
+  EXPECT_EQ(h.num_edges(), 2);
+  EXPECT_EQ(g.num_edges(), 1);  // original untouched
+}
+
+TEST(EdgeIntersection, KeepsOnlyCommonEdges) {
+  const std::vector<Edge> e1 = {{0, 1}, {1, 2}, {2, 3}};
+  const std::vector<Edge> e2 = {{0, 1}, {2, 3}, {0, 3}};
+  const std::vector<Graph> gs = {Graph(4, e1), Graph(4, e2)};
+  const Graph common = EdgeIntersection(gs);
+  EXPECT_EQ(common.num_edges(), 2);
+  EXPECT_TRUE(common.HasEdge(0, 1));
+  EXPECT_TRUE(common.HasEdge(2, 3));
+  EXPECT_FALSE(common.HasEdge(1, 2));
+}
+
+TEST(EdgeIntersection, MismatchedSizesRejected) {
+  const std::vector<Graph> gs = {Graph(3), Graph(4)};
+  EXPECT_THROW(EdgeIntersection(gs), util::CheckError);
+}
+
+TEST(UnionFind, MergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(4));
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}};
+  const Graph g(4, edges);
+  const auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[3], 3);
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const Graph g(3, edges);
+  const auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(Connectivity, SingleNodeIsConnected) { EXPECT_TRUE(IsConnected(Graph(1))); }
+
+TEST(Diameter, KnownValues) {
+  const std::vector<Edge> path = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(Diameter(Graph(4, path)), 3);
+  const std::vector<Edge> star = {{0, 1}, {0, 2}, {0, 3}};
+  EXPECT_EQ(Diameter(Graph(4, star)), 2);
+  EXPECT_EQ(Diameter(Graph(2, std::vector<Edge>{{0, 1}})), 1);
+  EXPECT_EQ(Diameter(Graph(1)), 0);
+  EXPECT_EQ(Diameter(Graph(2)), -1);  // disconnected
+}
+
+TEST(BfsSpanningTree, CoversConnectedGraph) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {2, 3}};
+  const auto tree = BfsSpanningTree(Graph(4, edges), 0);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->size(), 3u);
+  // A spanning tree of a connected graph connects everything.
+  EXPECT_TRUE(IsConnected(Graph(4, *tree)));
+}
+
+TEST(BfsSpanningTree, DisconnectedReturnsNullopt) {
+  EXPECT_FALSE(BfsSpanningTree(Graph(3, std::vector<Edge>{{0, 1}}), 0).has_value());
+}
+
+TEST(ComponentLabels, GroupsByComponent) {
+  const std::vector<Edge> edges = {{0, 1}, {2, 3}};
+  const auto labels = ComponentLabels(Graph(5, edges));
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[4], labels[0]);
+}
+
+TEST(Bfs, DistancesAreLipschitzAcrossEdges) {
+  // Property: |dist(u) - dist(v)| <= 1 for every edge (u,v), on random
+  // connected graphs.
+  util::Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = ConnectedGnp(60, 0.06, rng);
+    const auto src = static_cast<NodeId>(rng.UniformU64(60));
+    const auto dist = BfsDistances(g, src);
+    for (const Edge& e : g.Edges()) {
+      EXPECT_LE(std::abs(dist[static_cast<std::size_t>(e.u)] -
+                         dist[static_cast<std::size_t>(e.v)]),
+                1);
+    }
+    // And every non-source node has a neighbor strictly closer.
+    for (NodeId u = 0; u < 60; ++u) {
+      if (u == src) continue;
+      bool has_closer = false;
+      for (const NodeId v : g.Neighbors(u)) {
+        has_closer |= dist[static_cast<std::size_t>(v)] ==
+                      dist[static_cast<std::size_t>(u)] - 1;
+      }
+      EXPECT_TRUE(has_closer) << "node " << u;
+    }
+  }
+}
+
+TEST(SpanningForestSize, CountsTreeEdges) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}, {3, 4}};
+  EXPECT_EQ(SpanningForestSize(Graph(5, edges)), 3);
+  EXPECT_EQ(SpanningForestSize(Graph(5)), 0);
+}
+
+}  // namespace
+}  // namespace sdn::graph

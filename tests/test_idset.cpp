@@ -1,0 +1,148 @@
+#include "algo/idset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdn::algo {
+namespace {
+
+TEST(IdSet, InsertAndContains) {
+  IdSet s;
+  EXPECT_TRUE(s.empty());
+  s.Insert(5);
+  s.Insert(64);
+  s.Insert(5);  // duplicate
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_FALSE(s.Contains(6));
+  EXPECT_FALSE(s.Contains(1000));
+  EXPECT_EQ(s.max_id(), 64);
+}
+
+TEST(IdSet, UnionWithReportsGrowth) {
+  IdSet a;
+  a.Insert(1);
+  a.Insert(2);
+  IdSet b;
+  b.Insert(2);
+  b.Insert(130);
+  EXPECT_TRUE(a.UnionWith(b));
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_FALSE(a.UnionWith(b));  // already a superset
+}
+
+TEST(IdSet, UnionWithMinNewReturnsSmallestGain) {
+  IdSet a;
+  a.Insert(10);
+  IdSet b;
+  b.Insert(3);
+  b.Insert(10);
+  b.Insert(700);
+  EXPECT_EQ(a.UnionWithMinNew(b), 3);
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_EQ(a.UnionWithMinNew(b), -1);
+}
+
+TEST(IdSet, MinAndSelect) {
+  IdSet s;
+  for (const graph::NodeId id : {200, 3, 67, 64, 65}) s.Insert(id);
+  EXPECT_EQ(s.Min(), 3);
+  EXPECT_EQ(s.SelectKth(0), 3);
+  EXPECT_EQ(s.SelectKth(1), 64);
+  EXPECT_EQ(s.SelectKth(2), 65);
+  EXPECT_EQ(s.SelectKth(3), 67);
+  EXPECT_EQ(s.SelectKth(4), 200);
+  EXPECT_EQ(s.SelectKth(5), -1);
+  EXPECT_EQ(s.SelectKth(-1), -1);
+}
+
+TEST(IdSet, NextAtLeast) {
+  IdSet s;
+  for (const graph::NodeId id : {5, 63, 64, 200}) s.Insert(id);
+  EXPECT_EQ(s.NextAtLeast(0), 5);
+  EXPECT_EQ(s.NextAtLeast(5), 5);
+  EXPECT_EQ(s.NextAtLeast(6), 63);
+  EXPECT_EQ(s.NextAtLeast(64), 64);
+  EXPECT_EQ(s.NextAtLeast(65), 200);
+  EXPECT_EQ(s.NextAtLeast(201), -1);
+}
+
+TEST(IdSet, EmptySetBehaviour) {
+  const IdSet s;
+  EXPECT_EQ(s.Min(), -1);
+  EXPECT_EQ(s.SelectKth(0), -1);
+  EXPECT_EQ(s.NextAtLeast(0), -1);
+  EXPECT_EQ(s.max_id(), -1);
+  EXPECT_EQ(s.EncodedBits(), 14u);  // varint(0) + 6-bit width header
+}
+
+TEST(IdSet, HashEqualityMatchesSetEquality) {
+  IdSet a;
+  IdSet b;
+  for (const graph::NodeId id : {1, 99, 500}) a.Insert(id);
+  for (const graph::NodeId id : {500, 1, 99}) b.Insert(id);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_TRUE(a == b);
+  b.Insert(2);
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(IdSet, EqualityIgnoresTrailingZeroWords) {
+  IdSet a;
+  a.Insert(1);
+  IdSet b;
+  b.Insert(1);
+  b.Insert(1000);
+  // Force b to allocate far words, then compare against a set that never did.
+  IdSet only_one;
+  only_one.Insert(1);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a == only_one);
+}
+
+TEST(IdSet, ToVectorSorted) {
+  IdSet s;
+  for (const graph::NodeId id : {77, 3, 128, 127}) s.Insert(id);
+  const auto v = s.ToVector();
+  const std::vector<graph::NodeId> expected = {3, 77, 127, 128};
+  EXPECT_EQ(v, expected);
+}
+
+TEST(IdSet, EncodedBitsUsesMaxIdWidth) {
+  IdSet s;
+  s.Insert(0);
+  s.Insert(255);  // width 8
+  const std::size_t header = 8u + 6u;  // varint(count<128) + width field
+  EXPECT_EQ(s.EncodedBits(), header + 2u * 8u);
+  s.Insert(256);  // width 9
+  EXPECT_EQ(s.EncodedBits(), header + 3u * 9u);
+}
+
+TEST(IdSet, RandomizedAgainstStdSet) {
+  util::Rng rng(321);
+  IdSet s;
+  std::set<graph::NodeId> ref;
+  for (int i = 0; i < 2000; ++i) {
+    const auto id = static_cast<graph::NodeId>(rng.UniformU64(3000));
+    s.Insert(id);
+    ref.insert(id);
+  }
+  EXPECT_EQ(s.size(), static_cast<std::int64_t>(ref.size()));
+  const auto v = s.ToVector();
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), ref.begin(), ref.end()));
+  // Select agrees with sorted order.
+  std::int64_t k = 0;
+  for (const graph::NodeId id : ref) {
+    EXPECT_EQ(s.SelectKth(k), id);
+    ++k;
+  }
+}
+
+}  // namespace
+}  // namespace sdn::algo

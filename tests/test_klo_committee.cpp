@@ -1,0 +1,127 @@
+#include "algo/klo_committee.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "adversary/factory.hpp"
+#include "net/engine.hpp"
+
+namespace sdn::algo {
+namespace {
+
+struct CommitteeRun {
+  net::RunStats stats;
+  std::vector<KloCommitteeProgram::Output> outputs;
+};
+
+CommitteeRun RunCommittee(graph::NodeId n, int T, const std::string& kind,
+                          std::uint64_t seed) {
+  adversary::AdversaryConfig config;
+  config.kind = kind;
+  config.n = n;
+  config.T = T;
+  config.seed = seed;
+  const auto adv = adversary::MakeAdversary(config);
+  std::vector<KloCommitteeProgram> nodes;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    nodes.emplace_back(u, static_cast<Value>((u * 31) % 17 - 5));
+  }
+  net::EngineOptions opts;
+  opts.bandwidth = net::BandwidthPolicy::BoundedLogN(64.0);
+  opts.max_rounds = 10'000'000;
+  net::Engine<KloCommitteeProgram> engine(std::move(nodes), *adv, opts);
+  CommitteeRun run;
+  run.stats = engine.Run();
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (const auto out = engine.node(u).output(); out.has_value()) {
+      run.outputs.push_back(*out);
+    }
+  }
+  return run;
+}
+
+using Param = std::tuple<graph::NodeId, std::string, std::uint64_t>;
+
+class KloCommitteeTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(KloCommitteeTest, ExactCountMaxConsensus) {
+  const auto& [n, kind, seed] = GetParam();
+  const CommitteeRun run = RunCommittee(n, 2, kind, seed);
+  ASSERT_TRUE(run.stats.all_decided);
+  EXPECT_TRUE(run.stats.tinterval_ok);
+  ASSERT_EQ(run.outputs.size(), static_cast<std::size_t>(n));
+
+  Value expected_max = kValueMin;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    expected_max = std::max(expected_max, static_cast<Value>((u * 31) % 17 - 5));
+  }
+  for (const auto& out : run.outputs) {
+    EXPECT_EQ(out.count, n);
+    EXPECT_EQ(out.max_value, expected_max);
+    EXPECT_EQ(out.consensus_value, -5);  // node 0's input
+    EXPECT_EQ(out.accepted_guess, run.outputs.front().accepted_guess);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KloCommitteeTest,
+    ::testing::Combine(::testing::Values<graph::NodeId>(1, 2, 3, 9, 25, 40),
+                       ::testing::Values("static-path", "spine-rtree",
+                                         "spine-expander", "adaptive-desc",
+                                         "mobile"),
+                       ::testing::Values<std::uint64_t>(4, 44)),
+    [](const ::testing::TestParamInfo<Param>& pi) {
+      auto name = "n" + std::to_string(std::get<0>(pi.param)) + "_" +
+                  std::get<1>(pi.param) + "_s" +
+                  std::to_string(std::get<2>(pi.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(KloCommittee, QuadraticGrowth) {
+  const CommitteeRun small = RunCommittee(10, 1, "spine-expander", 1);
+  const CommitteeRun large = RunCommittee(40, 1, "spine-expander", 1);
+  ASSERT_TRUE(small.stats.all_decided);
+  ASSERT_TRUE(large.stats.all_decided);
+  EXPECT_GT(large.stats.rounds, 6 * small.stats.rounds);
+}
+
+TEST(KloCommittee, ScheduleStructure) {
+  using Position = KloCommitteeProgram::Position;
+  // Guess 1: 2 cycle rounds + 4 verify + 4 size = 10 rounds.
+  EXPECT_EQ(KloCommitteeProgram::Locate(1).guess_k, 1);
+  EXPECT_TRUE(KloCommitteeProgram::Locate(1).first_round_of_guess);
+  EXPECT_EQ(KloCommitteeProgram::Locate(1).phase, Position::Phase::kPoll);
+  EXPECT_EQ(KloCommitteeProgram::Locate(2).phase, Position::Phase::kInvite);
+  EXPECT_EQ(KloCommitteeProgram::Locate(3).phase, Position::Phase::kVerify);
+  EXPECT_EQ(KloCommitteeProgram::Locate(7).phase, Position::Phase::kSize);
+  EXPECT_TRUE(KloCommitteeProgram::Locate(10).last_round_of_guess);
+  // Guess 2 starts at round 11: 8 cycle rounds + 6 verify + 6 size = 20.
+  EXPECT_EQ(KloCommitteeProgram::Locate(11).guess_k, 2);
+  EXPECT_TRUE(KloCommitteeProgram::Locate(30).last_round_of_guess);
+  EXPECT_EQ(KloCommitteeProgram::Locate(31).guess_k, 4);
+}
+
+TEST(KloCommittee, MessagesFitLogBudget) {
+  KloCommitteeProgram::Message m;
+  m.tag = KloCommitteeProgram::Tag::kPoll;
+  m.leader = 4095;
+  m.leader_value = -999999;
+  m.max_value = 999999;
+  m.poll = 4095;
+  EXPECT_LE(KloCommitteeProgram::MessageBits(m), 120u);
+}
+
+TEST(KloCommittee, SingleNodeFastPath) {
+  const CommitteeRun run = RunCommittee(1, 1, "static-path", 2);
+  ASSERT_TRUE(run.stats.all_decided);
+  EXPECT_EQ(run.outputs.front().count, 1);
+  EXPECT_LE(run.stats.rounds, 10);
+}
+
+}  // namespace
+}  // namespace sdn::algo

@@ -1,0 +1,196 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sdn::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(7);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  Rng c1_again = Rng(7).Fork(1);
+  EXPECT_EQ(c1(), c1_again());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (c1() == c2());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkChainsDoNotCommute) {
+  Rng parent(7);
+  EXPECT_NE(parent.Fork(1).Fork(2)(), parent.Fork(2).Fork(1)());
+}
+
+TEST(Rng, UniformU64InBounds) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformU64(bound), bound);
+  }
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> buckets(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++buckets[rng.UniformU64(10)];
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, trials / 10, trials / 100);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Exponential(0.0), CheckError);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.Geometric(0.25));
+  }
+  // Failures before first success: mean (1-p)/p = 3.
+  EXPECT_NEAR(sum / trials, 3.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(std::span<int>(v));
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctSortedSubset) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto s = rng.SampleWithoutReplacement(100, 10);
+    ASSERT_EQ(s.size(), 10u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_EQ(std::set<std::uint64_t>(s.begin(), s.end()).size(), 10u);
+    for (const auto x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(37);
+  const auto s = rng.SampleWithoutReplacement(5, 5);
+  ASSERT_EQ(s.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, LowSerialCorrelation) {
+  // Lag-1 autocorrelation of uniform doubles should be ~0.
+  Rng rng(41);
+  const int n = 100000;
+  double prev = rng.UniformDouble();
+  double sum_xy = 0.0;
+  double sum_x = 0.0;
+  double sum_x2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble();
+    sum_xy += prev * x;
+    sum_x += x;
+    sum_x2 += x * x;
+    prev = x;
+  }
+  const double mean = sum_x / n;
+  const double var = sum_x2 / n - mean * mean;
+  const double cov = sum_xy / n - mean * mean;
+  EXPECT_LT(std::fabs(cov / var), 0.02);
+}
+
+TEST(Rng, BitBalance) {
+  // Each of the 64 output bits should be ~50% ones.
+  Rng rng(43);
+  const int n = 20000;
+  int counts[64] = {};
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t x = rng();
+    for (int b = 0; b < 64; ++b) {
+      counts[b] += static_cast<int>((x >> b) & 1);
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(counts[b], n / 2, n / 25) << "bit " << b;
+  }
+}
+
+TEST(MixSeed, TagSensitivity) {
+  EXPECT_NE(MixSeed(1, 0), MixSeed(1, 1));
+  EXPECT_NE(MixSeed(0, 5), MixSeed(1, 5));
+  EXPECT_EQ(MixSeed(99, 3), MixSeed(99, 3));
+}
+
+}  // namespace
+}  // namespace sdn::util

@@ -1,0 +1,98 @@
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace sdn {
+namespace {
+
+RunConfig SmallConfig() {
+  RunConfig config;
+  config.n = 24;
+  config.T = 2;
+  config.seed = 9;
+  config.adversary.kind = "spine-rtree";
+  return config;
+}
+
+TEST(Simulation, StepwiseMatchesOneShotRun) {
+  const RunConfig config = SmallConfig();
+  Simulation sim(Algorithm::kHjswyCensus, config);
+  std::int64_t steps = 0;
+  while (sim.Step()) ++steps;
+  const RunResult stepped = sim.Finish();
+  const RunResult oneshot = RunAlgorithm(Algorithm::kHjswyCensus, config);
+  EXPECT_EQ(stepped.stats.rounds, oneshot.stats.rounds);
+  EXPECT_EQ(stepped.stats.rounds, steps);
+  EXPECT_EQ(stepped.stats.messages_sent, oneshot.stats.messages_sent);
+  EXPECT_EQ(stepped.Ok(), oneshot.Ok());
+  EXPECT_TRUE(stepped.Ok());
+}
+
+TEST(Simulation, MidRunInspection) {
+  Simulation sim(Algorithm::kFloodMaxKnownN, SmallConfig());
+  EXPECT_EQ(sim.Round(), 0);
+  EXPECT_FALSE(sim.Finished());
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.Round(), 1);
+  EXPECT_EQ(sim.NumNodes(), 24);
+  // Round-1 topology is a real connected graph on all nodes.
+  EXPECT_EQ(sim.CurrentTopology().num_nodes(), 24);
+  EXPECT_TRUE(graph::IsConnected(sim.CurrentTopology()));
+  // Nobody decides before round N-1 in flood-max.
+  for (graph::NodeId u = 0; u < 24; ++u) {
+    EXPECT_FALSE(sim.NodeDecided(u));
+  }
+  const net::RunStats mid = sim.Stats();
+  EXPECT_EQ(mid.rounds, 1);
+  EXPECT_FALSE(mid.all_decided);
+  EXPECT_EQ(mid.messages_sent, 24);
+}
+
+TEST(Simulation, RunToCompletionDecidesEveryone) {
+  Simulation sim(Algorithm::kKloCommittee, SmallConfig());
+  sim.RunToCompletion();
+  EXPECT_TRUE(sim.Finished());
+  for (graph::NodeId u = 0; u < 24; ++u) {
+    EXPECT_TRUE(sim.NodeDecided(u));
+  }
+  EXPECT_TRUE(sim.Finish().Ok());
+}
+
+TEST(Simulation, StepAfterFinishIsNoOp) {
+  Simulation sim(Algorithm::kFloodMaxKnownN, SmallConfig());
+  sim.RunToCompletion();
+  const std::int64_t final_round = sim.Round();
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.Round(), final_round);
+}
+
+TEST(Simulation, PublicStateEvolves) {
+  // flood-max publishes the running max; it must be non-decreasing and end
+  // at the global max everywhere.
+  RunConfig config = SmallConfig();
+  config.inputs.assign(24, 1);
+  config.inputs[17] = 500;
+  Simulation sim(Algorithm::kFloodMaxKnownN, config);
+  double before = sim.NodePublicState(0);
+  while (sim.Step()) {
+    const double now = sim.NodePublicState(0);
+    EXPECT_GE(now, before);
+    before = now;
+  }
+  for (graph::NodeId u = 0; u < 24; ++u) {
+    EXPECT_DOUBLE_EQ(sim.NodePublicState(u), 500.0);
+  }
+}
+
+TEST(Simulation, GradeMidRunReportsPartialState) {
+  Simulation sim(Algorithm::kFloodMaxKnownN, SmallConfig());
+  (void)sim.Step();
+  const RunResult mid = sim.Finish();
+  EXPECT_FALSE(mid.stats.all_decided);
+  EXPECT_FALSE(mid.Ok());
+}
+
+}  // namespace
+}  // namespace sdn

@@ -1,0 +1,105 @@
+#include "adversary/spine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::adversary {
+namespace {
+
+std::vector<SpineSpec> AllSpecs() {
+  std::vector<SpineSpec> specs;
+  for (const SpineKind kind :
+       {SpineKind::kPath, SpineKind::kStar, SpineKind::kBinaryTree,
+        SpineKind::kRandomTree, SpineKind::kGnp, SpineKind::kExpander,
+        SpineKind::kPathOfCliques}) {
+    SpineSpec spec;
+    spec.kind = kind;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+class SpineTest
+    : public ::testing::TestWithParam<std::tuple<int, graph::NodeId>> {};
+
+TEST_P(SpineTest, EverySpineIsConnectedAndSpanning) {
+  const auto& [spec_index, n] = GetParam();
+  const SpineSpec spec = AllSpecs()[static_cast<std::size_t>(spec_index)];
+  util::Rng rng(static_cast<std::uint64_t>(n) * 31 + 1);
+  for (int draw = 0; draw < 5; ++draw) {
+    const graph::Graph g = MakeSpine(spec, n, rng);
+    EXPECT_EQ(g.num_nodes(), n) << spec.Name();
+    EXPECT_TRUE(graph::IsConnected(g)) << spec.Name() << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpineTest,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values<graph::NodeId>(1, 2, 3, 7, 33, 64)));
+
+TEST(Spine, RelabeledShapesVaryAcrossDraws) {
+  SpineSpec spec;
+  spec.kind = SpineKind::kPath;
+  util::Rng rng(5);
+  const graph::Graph a = MakeSpine(spec, 30, rng);
+  const graph::Graph b = MakeSpine(spec, 30, rng);
+  EXPECT_NE(a, b);  // relabeling applied
+  // Still a path: two endpoints, rest degree 2.
+  int endpoints = 0;
+  for (graph::NodeId u = 0; u < 30; ++u) {
+    endpoints += (a.Degree(u) == 1);
+  }
+  EXPECT_EQ(endpoints, 2);
+}
+
+TEST(Spine, CliquesDiameterTracksCliqueCount) {
+  SpineSpec spec;
+  spec.kind = SpineKind::kPathOfCliques;
+  spec.clique_size = 8;
+  util::Rng rng(6);
+  const graph::Graph g = MakeSpine(spec, 64, rng);
+  EXPECT_TRUE(graph::IsConnected(g));
+  EXPECT_GE(graph::Diameter(g), 8);  // 8 cliques chained
+}
+
+TEST(Spine, CliquesWithRaggedRemainderCoverAllNodes) {
+  SpineSpec spec;
+  spec.kind = SpineKind::kPathOfCliques;
+  spec.clique_size = 8;
+  util::Rng rng(7);
+  // 61 = 7 full cliques + 5 leftover nodes.
+  const graph::Graph g = MakeSpine(spec, 61, rng);
+  EXPECT_EQ(g.num_nodes(), 61);
+  EXPECT_TRUE(graph::IsConnected(g));
+}
+
+TEST(Spine, GnpDefaultDensityConnects) {
+  SpineSpec spec;
+  spec.kind = SpineKind::kGnp;
+  util::Rng rng(8);
+  for (int draw = 0; draw < 10; ++draw) {
+    EXPECT_TRUE(graph::IsConnected(MakeSpine(spec, 200, rng)));
+  }
+}
+
+TEST(Spine, NamesAreDescriptive) {
+  SpineSpec gnp;
+  gnp.kind = SpineKind::kGnp;
+  gnp.gnp_p = 0.25;
+  EXPECT_EQ(gnp.Name(), "gnp(p=0.25)");
+  SpineSpec expander;
+  expander.kind = SpineKind::kExpander;
+  EXPECT_EQ(expander.Name(), "expander(c=2)");
+  SpineSpec cliques;
+  cliques.kind = SpineKind::kPathOfCliques;
+  cliques.clique_size = 4;
+  EXPECT_EQ(cliques.Name(), "cliques(m=4)");
+}
+
+}  // namespace
+}  // namespace sdn::adversary

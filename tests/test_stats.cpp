@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdn::util {
+namespace {
+
+TEST(Accumulator, MomentsMatchClosedForm) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance) {
+  Accumulator acc;
+  acc.Add(3.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, QuantilesOfArithmeticSequence) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(i);
+  const Summary s = Summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.p95, 96.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+}
+
+TEST(QuantileSorted, InterpolatesBetweenPoints) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(xs, 1.0), 10.0);
+}
+
+TEST(BootstrapMeanCI, CoversTrueMeanOfTightSample) {
+  Rng rng(1);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = 10.0 + rng.UniformDouble();
+  const Interval ci = BootstrapMeanCI(xs, 0.95, 500, rng);
+  EXPECT_LT(ci.lo, 10.55);
+  EXPECT_GT(ci.hi, 10.45);
+  EXPECT_LT(ci.hi - ci.lo, 0.2);
+}
+
+TEST(LogLogSlope, RecoversPowerLaw) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 2.0; v <= 1024.0; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.7));
+  }
+  EXPECT_NEAR(LogLogSlope(x, y), 1.7, 1e-9);
+}
+
+TEST(LogLogSlope, SkipsNonPositivePoints) {
+  const std::vector<double> x = {-1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> y = {5.0, 4.0, 8.0, 16.0};
+  EXPECT_NEAR(LogLogSlope(x, y), 1.0, 1e-9);
+}
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(HumanCount, Scales) {
+  EXPECT_EQ(HumanCount(12), "12");
+  EXPECT_EQ(HumanCount(1234), "1.23k");
+  EXPECT_EQ(HumanCount(5.6e6), "5.60M");
+  EXPECT_EQ(HumanCount(7.1e9), "7.10G");
+}
+
+}  // namespace
+}  // namespace sdn::util

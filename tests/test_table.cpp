@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sdn::util {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "rounds"});
+  t.AddRow({"alpha", "10"});
+  t.AddRow({"b", "12345"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  |"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Header + rule + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.data()[0].size(), 3u);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(Table, CsvRoundTripWithEscapes) {
+  Table t({"k", "v"});
+  t.AddRow({"plain", "1"});
+  t.AddRow({"with,comma", "with\"quote"});
+  const std::string path = "/tmp/sdn_test_table.csv";
+  t.WriteCsv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sdn::util

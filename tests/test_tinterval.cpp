@@ -1,0 +1,119 @@
+#include "graph/tinterval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::graph {
+namespace {
+
+std::vector<Graph> Repeat(const Graph& g, int times) {
+  return std::vector<Graph>(static_cast<std::size_t>(times), g);
+}
+
+TEST(ValidateTInterval, StaticConnectedPassesAnyT) {
+  const auto seq = Repeat(Path(6), 10);
+  for (const int T : {1, 2, 3, 10}) {
+    const auto report = ValidateTInterval(seq, T);
+    EXPECT_TRUE(report.ok) << "T=" << T;
+    EXPECT_EQ(report.min_stable_forest, 5);
+  }
+}
+
+TEST(ValidateTInterval, DisconnectedRoundFailsT1) {
+  std::vector<Graph> seq = Repeat(Path(4), 3);
+  seq[1] = Graph(4, std::vector<Edge>{{0, 1}});  // disconnected round
+  const auto report = ValidateTInterval(seq, 1);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.first_bad_window, 1);
+}
+
+TEST(ValidateTInterval, SlidingWindowViolationDetected) {
+  // Two alternating spanning trees that share no edges: each round is
+  // connected (T=1 fine) but no 2-window has a common connected subgraph.
+  const Graph a = Path(4);                                      // 0-1-2-3
+  const Graph b(4, std::vector<Edge>{{0, 2}, {2, 1}, {1, 3}});  // disjoint path
+  const std::vector<Graph> seq = {a, b, a, b};
+  EXPECT_TRUE(ValidateTInterval(seq, 1).ok);
+  const auto report = ValidateTInterval(seq, 2);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.first_bad_window, 0);
+}
+
+TEST(ValidateTInterval, AlignedRewireWithoutOverlapViolatesSlidingPromise) {
+  // The naive "new spine every T rounds" adversary: windows straddling the
+  // boundary fail. This pins down why adversaries need the overlap trick.
+  util::Rng rng(1);
+  const Graph s1 = RandomTree(16, rng);
+  Graph s2 = RandomTree(16, rng);
+  while (EdgeIntersection(std::vector<Graph>{s1, s2}).num_edges() >= 15) {
+    s2 = RandomTree(16, rng);  // ensure the spines actually differ
+  }
+  const std::vector<Graph> seq = {s1, s1, s1, s2, s2, s2};
+  const auto report = ValidateTInterval(seq, 3);
+  EXPECT_FALSE(report.ok);
+  EXPECT_GE(report.first_bad_window, 1);
+}
+
+TEST(ValidateTInterval, OverlapRepairsStraddlingWindows) {
+  util::Rng rng(2);
+  const Graph s1 = RandomTree(16, rng);
+  const Graph s2 = RandomTree(16, rng);
+  const Graph both = s1.WithEdges(s2.Edges());
+  // Era length 3, T=3: first T-1=2 rounds of era 2 carry both spines.
+  const std::vector<Graph> seq = {s1, s1, s1, both, both, s2};
+  EXPECT_TRUE(ValidateTInterval(seq, 3).ok);
+}
+
+TEST(ValidateTInterval, ShortSequenceUsesAvailableWindows) {
+  const auto report = ValidateTInterval(Repeat(Path(4), 2), 5);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.windows_checked, 1);
+}
+
+TEST(ValidateTInterval, MinStableForestMeasuresIntersectionRichness) {
+  // Static path: every window's intersection is the full spanning tree.
+  const auto path_seq = Repeat(Path(5), 6);
+  EXPECT_EQ(ValidateTInterval(path_seq, 3).min_stable_forest, 4);
+  // Drop to a single shared edge in one window: forest size 1.
+  std::vector<Graph> seq = Repeat(Path(4), 4);
+  seq[2] = Graph(4, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}});  // star
+  const auto report = ValidateTInterval(seq, 2);
+  EXPECT_FALSE(report.ok);  // path ∩ star = {(0,1)} is not spanning
+  EXPECT_EQ(report.min_stable_forest, 1);
+}
+
+TEST(TIntervalChecker, StreamingMatchesBatch) {
+  const Graph a = Path(4);
+  const Graph b(4, std::vector<Edge>{{0, 2}, {2, 1}, {1, 3}});
+  const std::vector<Graph> seq = {a, a, b, b, a};
+  const auto batch = ValidateTInterval(seq, 2);
+
+  TIntervalChecker checker(4, 2);
+  bool ok = true;
+  std::int64_t first_bad = -1;
+  std::int64_t round = 0;
+  for (const Graph& g : seq) {
+    const bool now = checker.Push(g);
+    if (ok && !now) first_bad = round - 1;
+    ok = now;
+    ++round;
+  }
+  EXPECT_EQ(checker.ok(), batch.ok);
+  EXPECT_EQ(checker.first_bad_window(), batch.first_bad_window);
+  EXPECT_EQ(first_bad, batch.first_bad_window);
+}
+
+TEST(TIntervalChecker, PassesStaticSequence) {
+  TIntervalChecker checker(5, 3);
+  const Graph g = Cycle(5);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(checker.Push(g));
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(checker.rounds_seen(), 20);
+}
+
+}  // namespace
+}  // namespace sdn::graph

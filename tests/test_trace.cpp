@@ -1,0 +1,149 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "adversary/factory.hpp"
+#include "adversary/replay.hpp"
+#include "graph/generators.hpp"
+#include "graph/tinterval.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sdn::net {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("/tmp/sdn_test_" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<graph::Graph> SampleSequence(graph::NodeId n, int rounds,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<graph::Graph> seq;
+  for (int r = 0; r < rounds; ++r) {
+    seq.push_back(graph::ConnectedGnp(n, 0.1, rng));
+  }
+  return seq;
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const TempFile file("roundtrip.trace");
+  const auto seq = SampleSequence(20, 12, 1);
+  SaveTrace(file.path(), seq, 3);
+  const Trace trace = LoadTrace(file.path());
+  EXPECT_EQ(trace.interval, 3);
+  EXPECT_EQ(trace.num_nodes(), 20);
+  ASSERT_EQ(trace.rounds.size(), seq.size());
+  for (std::size_t r = 0; r < seq.size(); ++r) {
+    EXPECT_EQ(trace.rounds[r], seq[r]) << "round " << r;
+  }
+}
+
+TEST(Trace, RoundTripPreservesTIntervalValidity) {
+  const TempFile file("validity.trace");
+  adversary::AdversaryConfig config;
+  config.kind = "spine-rtree";
+  config.n = 16;
+  config.T = 3;
+  const auto adv = adversary::MakeAdversary(config);
+  class View final : public AdversaryView {
+   public:
+    [[nodiscard]] std::int64_t round() const override { return 1; }
+    [[nodiscard]] double PublicState(graph::NodeId) const override {
+      return 0;
+    }
+    [[nodiscard]] graph::NodeId num_nodes() const override { return 16; }
+  } view;
+  std::vector<graph::Graph> seq;
+  for (std::int64_t r = 1; r <= 20; ++r) {
+    seq.push_back(adv->TopologyFor(r, view));
+  }
+  SaveTrace(file.path(), seq, 3);
+  const Trace trace = LoadTrace(file.path());
+  EXPECT_TRUE(graph::ValidateTInterval(trace.rounds, trace.interval).ok);
+}
+
+TEST(Trace, LoadedTraceDrivesReplayAdversary) {
+  const TempFile file("replay.trace");
+  const auto seq = SampleSequence(10, 5, 7);
+  SaveTrace(file.path(), seq, 2);
+  Trace trace = LoadTrace(file.path());
+  adversary::ReplayAdversary replay(std::move(trace.rounds), trace.interval);
+  EXPECT_EQ(replay.num_nodes(), 10);
+  EXPECT_EQ(replay.recorded_rounds(), 5);
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored) {
+  const TempFile file("comments.trace");
+  {
+    std::ofstream out(file.path());
+    out << "# a comment\n\nsdn-trace 1\n# another\nnodes 3 interval 1 rounds 1\n"
+        << "round 1 edges 2\n0 1\n\n1 2\n";
+  }
+  const Trace trace = LoadTrace(file.path());
+  EXPECT_EQ(trace.num_nodes(), 3);
+  EXPECT_EQ(trace.rounds.front().num_edges(), 2);
+}
+
+TEST(Trace, EmptyGraphRoundsAllowed) {
+  const TempFile file("empty.trace");
+  std::vector<graph::Graph> seq = {graph::Graph(4), graph::Path(4)};
+  SaveTrace(file.path(), seq, 1);
+  const Trace trace = LoadTrace(file.path());
+  EXPECT_EQ(trace.rounds[0].num_edges(), 0);
+  EXPECT_EQ(trace.rounds[1].num_edges(), 3);
+}
+
+TEST(Trace, MalformedHeaderRejected) {
+  const TempFile file("bad_header.trace");
+  {
+    std::ofstream out(file.path());
+    out << "not-a-trace 1\n";
+  }
+  EXPECT_THROW(LoadTrace(file.path()), util::CheckError);
+}
+
+TEST(Trace, TruncatedFileRejected) {
+  const TempFile file("truncated.trace");
+  {
+    std::ofstream out(file.path());
+    out << "sdn-trace 1\nnodes 4 interval 1 rounds 2\nround 1 edges 1\n0 1\n";
+    // round 2 missing
+  }
+  EXPECT_THROW(LoadTrace(file.path()), util::CheckError);
+}
+
+TEST(Trace, WrongRoundNumberingRejected) {
+  const TempFile file("numbering.trace");
+  {
+    std::ofstream out(file.path());
+    out << "sdn-trace 1\nnodes 4 interval 1 rounds 1\nround 9 edges 0\n";
+  }
+  EXPECT_THROW(LoadTrace(file.path()), util::CheckError);
+}
+
+TEST(Trace, MissingFileRejected) {
+  EXPECT_THROW(LoadTrace("/tmp/definitely_not_here.trace"), util::CheckError);
+}
+
+TEST(Trace, SaveRejectsEmptyOrRagged) {
+  const TempFile file("invalid_save.trace");
+  const std::vector<graph::Graph> empty;
+  EXPECT_THROW(SaveTrace(file.path(), empty, 1), util::CheckError);
+  const std::vector<graph::Graph> ragged = {graph::Graph(3), graph::Graph(4)};
+  EXPECT_THROW(SaveTrace(file.path(), ragged, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace sdn::net
