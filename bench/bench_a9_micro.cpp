@@ -2,8 +2,15 @@
 // hot-path data structures. These are engineering numbers (rounds/sec,
 // merges/sec), not model results; they bound how large the T1/F7 sweeps can
 // go on one machine.
+//
+// Besides the google-benchmark suite, main() first runs one fixed reference
+// workload (hjswy, N=1024, StableSpine gnp, T=2) through the engine timing
+// layer, prints the per-phase breakdown, and writes it as machine-readable
+// BENCH_engine.json next to the cwd — with the recorded pre-zero-copy
+// baseline so the speedup is tracked run over run (docs/PERF.md).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 
 #include "adversary/factory.hpp"
@@ -132,7 +139,97 @@ void BM_TIntervalValidation(benchmark::State& state) {
 }
 BENCHMARK(BM_TIntervalValidation)->Arg(256)->Arg(2048);
 
+/// rounds/sec of the identical workload measured on the pre-zero-copy engine
+/// (shared_ptr-free but copying delivery, sort-on-construct topologies).
+/// Re-measure with docs/PERF.md's recipe when the reference hardware changes.
+constexpr double kBaselineRoundsPerSec = 512.3;
+
+/// The fixed reference workload: one full hjswy run, N=1024, spine-gnp, T=2,
+/// validation and probes off so the measurement isolates the
+/// topology/send/deliver pipeline.
+net::RunStats TimedReferenceRun() {
+  const graph::NodeId n = 1024;
+  adversary::AdversaryConfig config;
+  config.kind = "spine-gnp";
+  config.n = n;
+  config.T = 2;
+  config.seed = 42;
+  const auto adv = adversary::MakeAdversary(config);
+  algo::HjswyOptions options;
+  options.T = 2;
+  util::Rng base(42);
+  std::vector<algo::HjswyProgram> nodes;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    nodes.emplace_back(u, u, options, base.Fork(static_cast<std::uint64_t>(u)));
+  }
+  net::EngineOptions opts;
+  opts.validate_tinterval = false;
+  opts.flood_probes = 0;
+  net::Engine<algo::HjswyProgram> engine(std::move(nodes), *adv, opts);
+  return engine.Run();
+}
+
+void ReportEngineTimings() {
+  net::RunStats best;
+  double best_rps = -1.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const net::RunStats stats = TimedReferenceRun();
+    const double rps = stats.timings.RoundsPerSec(stats.rounds);
+    if (rps > best_rps) {
+      best_rps = rps;
+      best = stats;
+    }
+  }
+  const double eps = best.timings.EdgesPerSec(best.edges_processed);
+  std::printf("engine reference workload (hjswy n=1024 spine-gnp T=2, best of 3):\n  %s\n",
+              best.timings.OneLine(best.rounds, best.edges_processed).c_str());
+  std::printf("  baseline=%.1f rounds/s  speedup=%.2fx\n", kBaselineRoundsPerSec,
+              best_rps / kBaselineRoundsPerSec);
+
+  std::FILE* f = std::fopen("BENCH_engine.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_engine.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": {\"algorithm\": \"hjswy\", \"n\": 1024, "
+               "\"adversary\": \"spine-gnp\", \"T\": 2, \"seed\": 42,\n"
+               "               \"validate_tinterval\": false, \"flood_probes\": 0, "
+               "\"reps\": 3, \"selection\": \"best\"},\n"
+               "  \"rounds\": %lld,\n"
+               "  \"edges_processed\": %lld,\n"
+               "  \"messages_delivered\": %lld,\n"
+               "  \"rounds_per_sec\": %.1f,\n"
+               "  \"edges_per_sec\": %.0f,\n"
+               "  \"baseline_rounds_per_sec\": %.1f,\n"
+               "  \"speedup_vs_baseline\": %.2f,\n"
+               "  \"timings_ns\": {\"topology\": %lld, \"validate\": %lld, "
+               "\"probe\": %lld, \"send\": %lld, \"deliver\": %lld, "
+               "\"total\": %lld}\n"
+               "}\n",
+               static_cast<long long>(best.rounds),
+               static_cast<long long>(best.edges_processed),
+               static_cast<long long>(best.messages_delivered), best_rps, eps,
+               kBaselineRoundsPerSec, best_rps / kBaselineRoundsPerSec,
+               static_cast<long long>(best.timings.topology_ns),
+               static_cast<long long>(best.timings.validate_ns),
+               static_cast<long long>(best.timings.probe_ns),
+               static_cast<long long>(best.timings.send_ns),
+               static_cast<long long>(best.timings.deliver_ns),
+               static_cast<long long>(best.timings.total_ns));
+  std::fclose(f);
+  std::printf("  wrote BENCH_engine.json\n");
+}
+
 }  // namespace
 }  // namespace sdn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sdn::ReportEngineTimings();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -50,25 +50,46 @@ graph::Graph StableSpineAdversary::TopologyFor(std::int64_t round,
   SDN_CHECK(round >= 1);
   const std::int64_t era = (round - 1) / era_length_;
   const std::int64_t offset = (round - 1) % era_length_;
-  graph::Graph g = SpineForEra(era);
+  const graph::Graph& spine = SpineForEra(era);
 
-  std::vector<graph::Edge> extra;
   // Overlap: previous era's spine persists through the first T-1 rounds of
   // this era so sliding T-windows keep a common connected spanning subgraph.
-  if (offset < t_ - 1 && previous_spine_.has_value()) {
+  const bool overlap = offset < t_ - 1 && previous_spine_.has_value();
+  const std::int64_t volatile_count = n_ >= 2 ? options_.volatile_edges : 0;
+  if (!overlap && volatile_count == 0) return spine;
+
+  // This runs once per simulated round, so the topology is assembled as one
+  // sorted merge handed to the sort-free Graph constructor instead of
+  // copying the spine graph and re-sorting the full edge list every round.
+  const auto spine_edges = spine.Edges();
+  std::vector<graph::Edge> merged;
+  merged.reserve(spine_edges.size() +
+                 (overlap ? previous_spine_->Edges().size() : 0) +
+                 static_cast<std::size_t>(volatile_count));
+  if (overlap) {
     const auto prev = previous_spine_->Edges();
-    extra.insert(extra.end(), prev.begin(), prev.end());
+    std::merge(spine_edges.begin(), spine_edges.end(), prev.begin(),
+               prev.end(), std::back_inserter(merged));
+  } else {
+    merged.assign(spine_edges.begin(), spine_edges.end());
   }
-  for (std::int64_t i = 0; i < options_.volatile_edges && n_ >= 2; ++i) {
-    const auto u = static_cast<graph::NodeId>(
-        volatile_rng_.UniformU64(static_cast<std::uint64_t>(n_)));
-    auto v = static_cast<graph::NodeId>(
-        volatile_rng_.UniformU64(static_cast<std::uint64_t>(n_) - 1));
-    if (v >= u) ++v;
-    extra.emplace_back(u, v);
+  if (volatile_count > 0) {
+    std::vector<graph::Edge> fresh;
+    fresh.reserve(static_cast<std::size_t>(volatile_count));
+    for (std::int64_t i = 0; i < volatile_count; ++i) {
+      const auto u = static_cast<graph::NodeId>(
+          volatile_rng_.UniformU64(static_cast<std::uint64_t>(n_)));
+      auto v = static_cast<graph::NodeId>(
+          volatile_rng_.UniformU64(static_cast<std::uint64_t>(n_) - 1));
+      if (v >= u) ++v;
+      fresh.emplace_back(u, v);
+    }
+    std::sort(fresh.begin(), fresh.end());
+    const auto middle = static_cast<std::ptrdiff_t>(merged.size());
+    merged.insert(merged.end(), fresh.begin(), fresh.end());
+    std::inplace_merge(merged.begin(), merged.begin() + middle, merged.end());
   }
-  if (extra.empty()) return g;
-  return g.WithEdges(extra);
+  return graph::Graph(n_, std::move(merged), graph::Graph::SortedEdges{});
 }
 
 std::string StableSpineAdversary::name() const {

@@ -117,7 +117,7 @@ std::optional<CensusProgram::Message> CensusProgram::OnSend(Round r) {
   return m;
 }
 
-void CensusProgram::OnReceive(Round r, std::span<const Message> inbox) {
+void CensusProgram::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
   const Position pos = Locate(r);
 

@@ -77,7 +77,7 @@ class CensusProgram {
   CensusProgram(NodeId id, Value input, CensusOptions options);
 
   std::optional<Message> OnSend(Round r);
-  void OnReceive(Round r, std::span<const Message> inbox);
+  void OnReceive(Round r, Inbox<Message> inbox);
   [[nodiscard]] bool HasDecided() const { return decided_.has_value(); }
   [[nodiscard]] std::optional<Output> output() const { return decided_; }
   [[nodiscard]] double PublicState() const {

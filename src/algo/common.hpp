@@ -12,6 +12,7 @@
 namespace sdn::algo {
 
 using graph::NodeId;
+using net::Inbox;
 using net::Round;
 
 /// Input value type used by Max/Consensus (64-bit is enough for the model;

@@ -17,7 +17,7 @@ std::optional<FloodMaxKnownN::Message> FloodMaxKnownN::OnSend(Round) {
   return Message{best_};
 }
 
-void FloodMaxKnownN::OnReceive(Round r, std::span<const Message> inbox) {
+void FloodMaxKnownN::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
   for (const Message& m : inbox) best_ = std::max(best_, m.value);
   // After round N-1, the running max has traversed any 1-interval-connected
@@ -37,7 +37,7 @@ std::optional<ConsensusFloodKnownN::Message> ConsensusFloodKnownN::OnSend(
   return Message{leader_, leader_value_};
 }
 
-void ConsensusFloodKnownN::OnReceive(Round r, std::span<const Message> inbox) {
+void ConsensusFloodKnownN::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
   for (const Message& m : inbox) {
     if (m.leader < leader_) {

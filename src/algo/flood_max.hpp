@@ -25,7 +25,7 @@ class FloodMaxKnownN {
   FloodMaxKnownN(NodeId id, NodeId n, Value input);
 
   std::optional<Message> OnSend(Round r);
-  void OnReceive(Round r, std::span<const Message> inbox);
+  void OnReceive(Round r, Inbox<Message> inbox);
   [[nodiscard]] bool HasDecided() const { return decided_.has_value(); }
   [[nodiscard]] std::optional<Output> output() const { return decided_; }
   [[nodiscard]] double PublicState() const {
@@ -57,7 +57,7 @@ class ConsensusFloodKnownN {
   ConsensusFloodKnownN(NodeId id, NodeId n, Value input);
 
   std::optional<Message> OnSend(Round r);
-  void OnReceive(Round r, std::span<const Message> inbox);
+  void OnReceive(Round r, Inbox<Message> inbox);
   [[nodiscard]] bool HasDecided() const { return decided_.has_value(); }
   [[nodiscard]] std::optional<Output> output() const { return decided_; }
   [[nodiscard]] double PublicState() const {

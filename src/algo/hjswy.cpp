@@ -147,7 +147,7 @@ std::optional<HjswyProgram::Message> HjswyProgram::OnSend(Round r) {
   return m;
 }
 
-void HjswyProgram::OnReceive(Round r, std::span<const Message> inbox) {
+void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
   const Position pos = Locate(r);
   const std::uint64_t my_fingerprint = StateFingerprint();
 

@@ -120,7 +120,7 @@ class HjswyProgram {
   HjswyProgram(NodeId id, Value input, HjswyOptions options, util::Rng rng);
 
   std::optional<Message> OnSend(Round r);
-  void OnReceive(Round r, std::span<const Message> inbox);
+  void OnReceive(Round r, Inbox<Message> inbox);
   [[nodiscard]] bool HasDecided() const { return decided_.has_value(); }
   [[nodiscard]] std::optional<Output> output() const { return decided_; }
   [[nodiscard]] double PublicState() const;

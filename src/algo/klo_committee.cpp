@@ -154,7 +154,7 @@ std::optional<KloCommitteeProgram::Message> KloCommitteeProgram::OnSend(
   return std::nullopt;
 }
 
-void KloCommitteeProgram::OnReceive(Round r, std::span<const Message> inbox) {
+void KloCommitteeProgram::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
   const Position pos = Locate(r);
 

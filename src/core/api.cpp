@@ -5,6 +5,8 @@
 #include <cmath>
 #include <functional>
 #include <future>
+#include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "algo/flood_max.hpp"
@@ -340,26 +342,54 @@ std::vector<RunResult> RunTrials(Algorithm algorithm, const RunConfig& config,
   }
   std::vector<RunResult> results(seeds.size());
   std::atomic<std::size_t> next{0};
+  // Failure protocol: a throwing trial must not leave its slot silently
+  // default-constructed while the other workers burn through the remaining
+  // seeds. The first failure is recorded (with its seed), every worker stops
+  // picking up new seeds, all workers are joined, and then one CheckError
+  // naming the failing seed(s) is thrown.
+  std::atomic<bool> failed{false};
+  std::mutex failure_mutex;
+  std::size_t failure_count = 0;
+  std::uint64_t first_failed_seed = 0;
+  std::string first_failure;
   const auto worker = [&]() {
-    while (true) {
+    while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1);
       if (i >= seeds.size()) return;
       RunConfig trial = config;
       trial.seed = seeds[i];
-      results[i] = RunAlgorithm(algorithm, trial);
+      try {
+        results[i] = RunAlgorithm(algorithm, trial);
+      } catch (const std::exception& e) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (failure_count++ == 0) {
+          first_failed_seed = seeds[i];
+          first_failure = e.what();
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
     }
   };
   if (threads == 1 || seeds.size() <= 1) {
     worker();
-    return results;
+  } else {
+    std::vector<std::future<void>> futures;
+    const int workers = std::min<int>(threads, static_cast<int>(seeds.size()));
+    futures.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      futures.push_back(std::async(std::launch::async, worker));
+    }
+    for (auto& f : futures) f.get();  // workers trap their own exceptions
   }
-  std::vector<std::future<void>> futures;
-  const int workers = std::min<int>(threads, static_cast<int>(seeds.size()));
-  futures.reserve(static_cast<std::size_t>(workers));
-  for (int t = 0; t < workers; ++t) {
-    futures.push_back(std::async(std::launch::async, worker));
+  if (failure_count > 0) {
+    std::ostringstream os;
+    os << "RunTrials: trial with seed " << first_failed_seed
+       << " failed: " << first_failure;
+    if (failure_count > 1) {
+      os << " (and " << (failure_count - 1) << " more trial(s) failed)";
+    }
+    throw util::CheckError(os.str());
   }
-  for (auto& f : futures) f.get();
   return results;
 }
 

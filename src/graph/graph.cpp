@@ -27,6 +27,19 @@ Graph::Graph(NodeId n, std::span<const Edge> edges)
   BuildAdjacency();
 }
 
+Graph::Graph(NodeId n, std::vector<Edge> edges, SortedEdges)
+    : n_(n), edges_(std::move(edges)) {
+  SDN_CHECK(n >= 0);
+  for (const Edge& e : edges_) {
+    SDN_CHECK_MSG(e.u >= 0 && e.v < n_, "edge (" << e.u << "," << e.v
+                                                 << ") out of range for n=" << n_);
+  }
+  SDN_CHECK_MSG(std::is_sorted(edges_.begin(), edges_.end()),
+                "SortedEdges constructor given an unsorted edge list");
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  BuildAdjacency();
+}
+
 void Graph::BuildAdjacency() {
   offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
   adjacency_.assign(edges_.size() * 2, 0);
@@ -37,17 +50,17 @@ void Graph::BuildAdjacency() {
   for (std::size_t i = 1; i < offsets_.size(); ++i) {
     offsets_[i] += offsets_[i - 1];
   }
+  // Two ordered passes over the (u,v)-sorted edge list leave every bucket
+  // sorted with no per-bucket sort: bucket w first receives the u-values of
+  // edges with v == w (all < w, ascending because u is the primary sort
+  // key), then the v-values of edges with u == w (all > w, ascending within
+  // the contiguous u == w run).
   std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (const Edge& e : edges_) {
-    adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
     adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++)] = e.u;
   }
-  // Each bucket is built from a sorted edge list, but edges contribute to a
-  // node both as u and as v, so sort each bucket for deterministic order.
-  for (NodeId u = 0; u < n_; ++u) {
-    const auto begin = adjacency_.begin() + offsets_[static_cast<std::size_t>(u)];
-    const auto end = adjacency_.begin() + offsets_[static_cast<std::size_t>(u) + 1];
-    std::sort(begin, end);
+  for (const Edge& e : edges_) {
+    adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
   }
 }
 

@@ -27,12 +27,21 @@ struct Edge {
 
 class Graph {
  public:
+  /// Tag for the pre-sorted constructor overload.
+  struct SortedEdges {};
+
   /// Empty graph on n isolated nodes. Requires n >= 0.
   explicit Graph(NodeId n = 0);
 
   /// Graph on n nodes with the given edges; duplicates are collapsed and
   /// self-loops rejected (CheckError).
   Graph(NodeId n, std::span<const Edge> edges);
+
+  /// Hot-path constructor: takes ownership of an already-sorted edge list
+  /// (ascending (u,v); duplicates allowed, collapsed linearly) and skips the
+  /// O(E log E) sort. Sortedness is CheckError-verified in O(E). Used by
+  /// per-round adversary topology construction.
+  Graph(NodeId n, std::vector<Edge> edges, SortedEdges);
 
   [[nodiscard]] NodeId num_nodes() const { return n_; }
   [[nodiscard]] std::int64_t num_edges() const {

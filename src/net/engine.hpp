@@ -13,9 +13,16 @@
 // typed values (no serialization on the hot path); bit accounting goes
 // through the program's static MessageBits, which must report the size an
 // actual encoding would spend.
+//
+// Delivery is zero-copy: each round's messages live once in the reusable
+// outbox and every receiver gets an Inbox of pointers into it, so a
+// broadcast to k neighbors costs k pointer pushes instead of k message
+// copies (see net/program.hpp for the aliasing contract). Every phase of
+// Step() is wall-clocked into RunStats::timings.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -33,13 +40,21 @@ namespace sdn::net {
 struct EngineOptions {
   std::int64_t max_rounds = 2'000'000;
   BandwidthPolicy bandwidth = BandwidthPolicy::Unbounded();
-  /// Verify the adversary's T-interval promise while running.
+  /// Verify the adversary's T-interval promise while running. When off, no
+  /// checker is even constructed and RunStats::tinterval_validated is false
+  /// (tinterval_ok is then vacuous, not a verified promise).
   bool validate_tinterval = true;
-  /// Number of flooding probes (node 0 plus random sources, all start at
-  /// round 1) used to measure d alongside the run. 0 disables measurement.
+  /// Number of concurrent flooding probes (node 0 plus random sources) used
+  /// to measure d alongside the run. 0 disables measurement. Probe start
+  /// rounds are staggered: when a probe completes at round c, its slot
+  /// relaunches from a fresh random source at round 2c, so d is sampled at
+  /// geometrically spaced start rounds across the whole run (DESIGN.md §1
+  /// defines d as a max over sampled start rounds — measuring only from
+  /// round 1 underestimates d on adversaries that degrade over time).
   int flood_probes = 4;
   std::uint64_t probe_seed = 0x5eedULL;
-  /// When set, every round's topology is appended here (replay/debugging).
+  /// When set, every round's topology is appended here (replay/debugging)
+  /// at the cost of exactly one Graph copy per round.
   std::vector<graph::Graph>* record_topologies = nullptr;
 };
 
@@ -50,7 +65,8 @@ class Engine final : private AdversaryView {
       : nodes_(std::move(nodes)),
         adversary_(adversary),
         options_(options),
-        n_(static_cast<graph::NodeId>(nodes_.size())) {
+        n_(static_cast<graph::NodeId>(nodes_.size())),
+        probe_rng_(options_.probe_seed) {
     SDN_CHECK(!nodes_.empty());
     SDN_CHECK_MSG(adversary_.num_nodes() == n_,
                   "adversary built for " << adversary_.num_nodes()
@@ -65,18 +81,30 @@ class Engine final : private AdversaryView {
   /// Executes one round. Returns false (and does nothing) once the run is
   /// over — every node decided or max_rounds executed.
   bool Step() {
+    using Clock = std::chrono::steady_clock;
     EnsureStarted();
     if (finished_) return false;
     ++round_;
 
-    last_topology_ = adversary_.TopologyFor(round_, *this);
-    const graph::Graph& g = last_topology_;
-    SDN_CHECK_MSG(g.num_nodes() == n_, "adversary produced wrong-size graph");
-    if (options_.validate_tinterval) checker_->Push(g);
-    if (options_.record_topologies != nullptr) {
-      options_.record_topologies->push_back(g);
+    const auto t0 = Clock::now();
+    {
+      graph::Graph g = adversary_.TopologyFor(round_, *this);
+      SDN_CHECK_MSG(g.num_nodes() == n_,
+                    "adversary produced wrong-size graph");
+      if (options_.record_topologies != nullptr) {
+        options_.record_topologies->push_back(g);  // the one recording copy
+      }
+      last_topology_ = std::move(g);
     }
-    for (FloodProbe& p : probes_) p.Push(round_, g);
+    const graph::Graph& g = last_topology_;
+    stats_.edges_processed += g.num_edges();
+    const auto t1 = Clock::now();
+
+    if (checker_.has_value()) checker_->Push(g);
+    const auto t2 = Clock::now();
+
+    StepProbes(g);
+    const auto t3 = Clock::now();
 
     for (graph::NodeId u = 0; u < n_; ++u) {
       auto& msg = outbox_[static_cast<std::size_t>(u)];
@@ -93,21 +121,41 @@ class Engine final : private AdversaryView {
         stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
       }
     }
+    const auto t4 = Clock::now();
 
-    std::vector<typename A::Message>& inbox = inbox_;
+    // Zero-copy delivery: gather pointers to the neighbors' outbox slots and
+    // hand each node a read-only view. The outbox is not mutated until the
+    // next round's OnSend pass, so the pointers stay valid across all
+    // OnReceive calls of this round.
+    using Message = typename A::Message;
+    std::vector<const Message*>& slots = inbox_slots_;
     for (graph::NodeId u = 0; u < n_; ++u) {
-      inbox.clear();
+      slots.clear();
       for (const graph::NodeId v : g.Neighbors(u)) {
         const auto& msg = outbox_[static_cast<std::size_t>(v)];
-        if (msg.has_value()) inbox.push_back(*msg);
+        if (msg.has_value()) slots.push_back(&*msg);
       }
+      stats_.messages_delivered += static_cast<std::int64_t>(slots.size());
       A& node = nodes_[static_cast<std::size_t>(u)];
       const bool was_decided = node.HasDecided();
-      node.OnReceive(round_, std::span<const typename A::Message>(inbox));
+      node.OnReceive(round_, Inbox<Message>(slots));
       if (!was_decided && node.HasDecided()) {
         RecordDecision(u, round_);
       }
     }
+    const auto t5 = Clock::now();
+
+    const auto ns = [](Clock::time_point a, Clock::time_point b) {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+          .count();
+    };
+    stats_.timings.topology_ns += ns(t0, t1);
+    stats_.timings.validate_ns += ns(t1, t2);
+    stats_.timings.probe_ns += ns(t2, t3);
+    stats_.timings.send_ns += ns(t3, t4);
+    stats_.timings.deliver_ns += ns(t4, t5);
+    stats_.timings.total_ns += ns(t0, t5);
+
     stats_.rounds = round_;
     if (undecided_ == 0 || round_ >= options_.max_rounds) finished_ = true;
     return true;
@@ -126,8 +174,9 @@ class Engine final : private AdversaryView {
   [[nodiscard]] RunStats stats() const {
     RunStats out = stats_;
     out.all_decided = started_ && undecided_ == 0;
-    out.tinterval_ok = checker_.has_value() ? checker_->ok() : true;
-    out.flooding = SummarizeProbes(probes_);
+    out.tinterval_validated = options_.validate_tinterval && started_;
+    out.tinterval_ok = !checker_.has_value() || checker_->ok();
+    out.flooding = FloodingSnapshot();
     return out;
   }
 
@@ -158,17 +207,18 @@ class Engine final : private AdversaryView {
     stats_.decide_round.assign(static_cast<std::size_t>(n_), -1);
     stats_.sends_per_node.assign(static_cast<std::size_t>(n_), 0);
     stats_.bit_limit = options_.bandwidth.BitLimit(n_);
-    checker_.emplace(n_, adversary_.interval());
+    if (options_.validate_tinterval) {
+      checker_.emplace(n_, adversary_.interval());
+    }
     outbox_.resize(static_cast<std::size_t>(n_));
     undecided_ = n_;
-    if (options_.flood_probes > 0) {
-      probes_.emplace_back(n_, graph::NodeId{0}, 1);
-      util::Rng rng(options_.probe_seed);
-      for (int i = 1; i < options_.flood_probes; ++i) {
-        const auto src = static_cast<graph::NodeId>(
-            rng.UniformU64(static_cast<std::uint64_t>(n_)));
-        probes_.emplace_back(n_, src, 1);
-      }
+    for (int i = 0; i < options_.flood_probes; ++i) {
+      const graph::NodeId src = (i == 0) ? graph::NodeId{0} : RandomSource();
+      probes_.emplace_back(n_, src, 1);
+      ++probes_spawned_;
+      // n == 1: trivially complete at construction — record, leave the slot
+      // dead (respawning would complete instantly forever).
+      if (probes_.back().complete()) RecordProbeCompletion(probes_.back());
     }
     for (graph::NodeId u = 0; u < n_; ++u) {
       if (nodes_[static_cast<std::size_t>(u)].HasDecided()) {
@@ -176,6 +226,43 @@ class Engine final : private AdversaryView {
       }
     }
     if (undecided_ == 0) finished_ = true;
+  }
+
+  [[nodiscard]] graph::NodeId RandomSource() {
+    return static_cast<graph::NodeId>(
+        probe_rng_.UniformU64(static_cast<std::uint64_t>(n_)));
+  }
+
+  void StepProbes(const graph::Graph& g) {
+    for (FloodProbe& p : probes_) {
+      if (p.complete()) continue;  // dead slot (n == 1)
+      p.Push(round_, g);
+      if (!p.complete()) continue;
+      RecordProbeCompletion(p);
+      // Stagger: relaunch this slot from a fresh source at round 2c. Start
+      // rounds are sampled at geometrically spaced points of the run, and
+      // the probe work stays O(E·d·log rounds) total instead of O(E·rounds).
+      p = FloodProbe(n_, RandomSource(), 2 * round_);
+      ++probes_spawned_;
+    }
+  }
+
+  void RecordProbeCompletion(const FloodProbe& p) {
+    ++probes_completed_;
+    probe_max_rounds_ = std::max(probe_max_rounds_, p.completion_rounds());
+    probe_total_rounds_ += static_cast<double>(p.completion_rounds());
+  }
+
+  [[nodiscard]] FloodingSummary FloodingSnapshot() const {
+    FloodingSummary s;
+    s.probes = probes_spawned_;
+    s.completed = probes_completed_;
+    s.max_rounds = probe_max_rounds_;
+    if (probes_completed_ > 0) {
+      s.mean_rounds =
+          probe_total_rounds_ / static_cast<double>(probes_completed_);
+    }
+    return s;
   }
 
   void RecordDecision(graph::NodeId u, std::int64_t at) {
@@ -189,6 +276,7 @@ class Engine final : private AdversaryView {
   Adversary& adversary_;
   EngineOptions options_;
   graph::NodeId n_ = 0;
+  util::Rng probe_rng_;
 
   // Run state (lazily initialized by the first Step()).
   bool started_ = false;
@@ -199,8 +287,12 @@ class Engine final : private AdversaryView {
   RunStats stats_;
   std::optional<graph::TIntervalChecker> checker_;
   std::vector<FloodProbe> probes_;
+  std::int64_t probes_spawned_ = 0;
+  std::int64_t probes_completed_ = 0;
+  std::int64_t probe_max_rounds_ = -1;
+  double probe_total_rounds_ = 0.0;
   std::vector<std::optional<typename A::Message>> outbox_;
-  std::vector<typename A::Message> inbox_;
+  std::vector<const typename A::Message*> inbox_slots_;
   graph::Graph last_topology_{0};
 };
 

@@ -1,8 +1,38 @@
 #include "net/metrics.hpp"
 
+#include <iomanip>
 #include <sstream>
 
 namespace sdn::net {
+
+double EngineTimings::TotalSeconds() const {
+  return static_cast<double>(total_ns) * 1e-9;
+}
+
+double EngineTimings::RoundsPerSec(std::int64_t rounds) const {
+  if (total_ns <= 0) return 0.0;
+  return static_cast<double>(rounds) / TotalSeconds();
+}
+
+double EngineTimings::EdgesPerSec(std::int64_t edges) const {
+  if (total_ns <= 0) return 0.0;
+  return static_cast<double>(edges) / TotalSeconds();
+}
+
+std::string EngineTimings::OneLine(std::int64_t rounds,
+                                   std::int64_t edges) const {
+  std::ostringstream os;
+  const auto ms = [](std::int64_t ns) {
+    return static_cast<double>(ns) * 1e-6;
+  };
+  os << std::fixed << std::setprecision(2) << "total=" << ms(total_ns)
+     << "ms (topology=" << ms(topology_ns) << " validate=" << ms(validate_ns)
+     << " probe=" << ms(probe_ns) << " send=" << ms(send_ns)
+     << " deliver=" << ms(deliver_ns) << ")"
+     << std::setprecision(0) << " rounds/s=" << RoundsPerSec(rounds)
+     << " edges/s=" << EdgesPerSec(edges);
+  return os.str();
+}
 
 double RunStats::AvgBitsPerMessage() const {
   if (messages_sent == 0) return 0.0;
@@ -20,8 +50,13 @@ std::string RunStats::OneLine() const {
   std::ostringstream os;
   os << "rounds=" << rounds << " decided=" << (all_decided ? "all" : "PARTIAL")
      << " msgs=" << messages_sent << " bits=" << total_message_bits
-     << " d=" << flooding.max_rounds
-     << " tinterval=" << (tinterval_ok ? "ok" : "VIOLATED");
+     << " d=" << flooding.max_rounds << " tinterval="
+     << (!tinterval_validated ? "unvalidated"
+                              : (tinterval_ok ? "ok" : "VIOLATED"));
+  if (timings.total_ns > 0) {
+    os << " rounds/s=" << static_cast<std::int64_t>(
+        timings.RoundsPerSec(rounds));
+  }
   return os.str();
 }
 

@@ -2,7 +2,9 @@
 //
 // Round complexity is the headline number (round in which the last node
 // decides). Message and bit counts make the bandwidth experiment (T6) honest,
-// and the flooding summary records the d the run was measured against.
+// the flooding summary records the d the run was measured against, and the
+// timing breakdown (EngineTimings) records where the simulator's own wall
+// clock went so perf regressions are visible run to run (docs/PERF.md).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,26 @@
 #include "net/flooding.hpp"
 
 namespace sdn::net {
+
+/// Per-run wall-clock breakdown of Engine::Step(), in nanoseconds.
+/// total_ns covers the whole step; the named phases partition it (up to
+/// clock-read slack). Collected with steady_clock reads per phase — a few
+/// tens of ns per round, negligible against the O(E) round work.
+struct EngineTimings {
+  std::int64_t topology_ns = 0;  ///< adversary TopologyFor + trace recording
+  std::int64_t validate_ns = 0;  ///< streaming T-interval checker
+  std::int64_t probe_ns = 0;     ///< flooding-time probes
+  std::int64_t send_ns = 0;      ///< OnSend + bandwidth accounting
+  std::int64_t deliver_ns = 0;   ///< inbox gather + OnReceive
+  std::int64_t total_ns = 0;     ///< sum of all Step() wall time
+
+  [[nodiscard]] double TotalSeconds() const;
+  /// Engine throughput; 0 when no time was recorded yet.
+  [[nodiscard]] double RoundsPerSec(std::int64_t rounds) const;
+  [[nodiscard]] double EdgesPerSec(std::int64_t edges) const;
+  [[nodiscard]] std::string OneLine(std::int64_t rounds,
+                                    std::int64_t edges) const;
+};
 
 struct RunStats {
   /// Rounds actually executed (= last decide round when all_decided).
@@ -32,10 +54,20 @@ struct RunStats {
   /// The enforced per-message budget (INT64_MAX when unbounded).
   std::int64_t bit_limit = 0;
 
+  /// Σ_r |E_r|: undirected edges the engine processed across the run.
+  std::int64_t edges_processed = 0;
+  /// (message, receiver) pairs delivered — the zero-copy gather count.
+  std::int64_t messages_delivered = 0;
+
   /// Engine-side verification that the adversary kept its promise.
+  /// tinterval_ok is only meaningful when tinterval_validated is true;
+  /// with validation off the engine reports ok vacuously and flags it here.
   bool tinterval_ok = true;
+  bool tinterval_validated = false;
 
   FloodingSummary flooding;
+
+  EngineTimings timings;
 
   [[nodiscard]] double AvgBitsPerMessage() const;
   /// Total bits divided by (nodes × rounds): per-node per-round bandwidth.

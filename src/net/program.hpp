@@ -4,8 +4,8 @@
 //
 //   using Message = ...;   // what a node broadcasts each round
 //   using Output  = ...;   // what a node eventually decides
-//   std::optional<Message> OnSend(Round r);                 // may be silent
-//   void OnReceive(Round r, std::span<const Message> in);   // neighbor msgs
+//   std::optional<Message> OnSend(Round r);            // may be silent
+//   void OnReceive(Round r, Inbox<Message> in);        // neighbor msgs
 //   bool HasDecided() const;
 //   std::optional<Output> output() const;
 //   double PublicState() const;          // what adaptive adversaries may see
@@ -15,10 +15,20 @@
 // multiset of its current neighbors' messages (anonymous local broadcast),
 // then calls OnReceive. A decided node keeps participating (helping others
 // terminate) unless the algorithm itself chooses to go silent.
+//
+// Delivery is zero-copy: Inbox is a gather of pointers into the engine's
+// shared per-round outbox, so a message broadcast to k neighbors exists
+// exactly once in memory and is read in place by all k receivers. Iteration
+// yields const Message& — a program must never mutate (or cast away const
+// on) an inbox entry, because every other receiver of the same sender sees
+// the same object. Inbox entries are only valid for the duration of the
+// OnReceive call; a program that needs a message beyond that must copy it.
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <span>
 
@@ -26,10 +36,65 @@ namespace sdn::net {
 
 using Round = std::int64_t;
 
+/// Zero-copy view of the messages delivered to one node in one round: a span
+/// over stable pointers into the engine's outbox. Dereferencing yields
+/// const M&; the pointed-to messages are shared by every receiver.
+template <typename M>
+class Inbox {
+ public:
+  using value_type = M;
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = M;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const M*;
+    using reference = const M&;
+
+    iterator() = default;
+    explicit iterator(const M* const* slot) : slot_(slot) {}
+
+    reference operator*() const { return **slot_; }
+    pointer operator->() const { return *slot_; }
+    iterator& operator++() {
+      ++slot_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++slot_;
+      return tmp;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    const M* const* slot_ = nullptr;
+  };
+  using const_iterator = iterator;
+
+  /// Empty inbox (a round with no messaging neighbors).
+  Inbox() = default;
+  /// View over an externally owned pointer gather (the engine's, or a
+  /// test's stack array of &message pointers).
+  explicit Inbox(std::span<const M* const> slots) : slots_(slots) {}
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] bool empty() const { return slots_.empty(); }
+  [[nodiscard]] const M& operator[](std::size_t i) const { return *slots_[i]; }
+  [[nodiscard]] iterator begin() const { return iterator(slots_.data()); }
+  [[nodiscard]] iterator end() const {
+    return iterator(slots_.data() + slots_.size());
+  }
+
+ private:
+  std::span<const M* const> slots_;
+};
+
 template <typename A>
 concept NodeProgram = requires(
     A a, const A ca, Round r,
-    std::span<const typename A::Message> inbox,
+    Inbox<typename A::Message> inbox,
     const typename A::Message& msg) {
   typename A::Message;
   typename A::Output;

@@ -163,6 +163,28 @@ TEST(Api, ValidationCanBeDisabled) {
   const RunResult r = RunAlgorithm(Algorithm::kHjswyCensus, config);
   EXPECT_TRUE(r.Ok());
   EXPECT_TRUE(r.stats.tinterval_ok);  // trivially true when not checked
+  EXPECT_FALSE(r.stats.tinterval_validated);  // ...and flagged as unchecked
+}
+
+TEST(Api, RunTrialsReportsFailingSeed) {
+  // A trial that throws must surface one CheckError naming the seed it died
+  // on — not a default-constructed result slot or an anonymous rethrow.
+  RunConfig config;
+  config.n = 10;
+  config.adversary.kind = "static-path";
+  config.inputs.assign(3, 1);  // size mismatch: every trial throws
+  const std::vector<std::uint64_t> seeds = {11, 22, 33};
+  try {
+    (void)RunTrials(Algorithm::kFloodMaxKnownN, config, seeds, 1);
+    FAIL() << "RunTrials did not propagate the trial failure";
+  } catch (const util::CheckError& e) {
+    // threads=1 walks seeds in order, so the first failure is seed 11.
+    EXPECT_NE(std::string(e.what()).find("seed 11"), std::string::npos)
+        << e.what();
+  }
+  // The multi-threaded path must also join cleanly and throw.
+  EXPECT_THROW((void)RunTrials(Algorithm::kFloodMaxKnownN, config, seeds, 2),
+               util::CheckError);
 }
 
 TEST(Api, FullRunDeterminismPerAlgorithm) {

@@ -73,9 +73,31 @@ TEST(RunStats, OneLineMentionsKeyFields) {
   stats.rounds = 42;
   stats.all_decided = true;
   stats.tinterval_ok = false;
+  stats.tinterval_validated = true;
   const std::string line = stats.OneLine();
   EXPECT_NE(line.find("rounds=42"), std::string::npos);
   EXPECT_NE(line.find("VIOLATED"), std::string::npos);
+}
+
+TEST(RunStats, OneLineReportsUnvalidatedHonestly) {
+  // A run with validation off must not print a confident "ok".
+  RunStats stats;
+  stats.tinterval_ok = true;
+  stats.tinterval_validated = false;
+  const std::string line = stats.OneLine();
+  EXPECT_NE(line.find("tinterval=unvalidated"), std::string::npos);
+}
+
+TEST(EngineTimings, ThroughputMath) {
+  EngineTimings t;
+  EXPECT_DOUBLE_EQ(t.RoundsPerSec(100), 0.0);  // no time recorded yet
+  t.total_ns = 2'000'000'000;                  // 2 s
+  EXPECT_DOUBLE_EQ(t.RoundsPerSec(100), 50.0);
+  EXPECT_DOUBLE_EQ(t.EdgesPerSec(1'000'000), 500'000.0);
+  t.topology_ns = 1;
+  const std::string line = t.OneLine(100, 1'000'000);
+  EXPECT_NE(line.find("rounds/s=50"), std::string::npos);
+  EXPECT_NE(line.find("deliver="), std::string::npos);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "adversary/factory.hpp"
@@ -33,7 +35,7 @@ class InboxCounter {
     if (silent_) return std::nullopt;
     return Message{};
   }
-  void OnReceive(Round r, std::span<const Message> inbox) {
+  void OnReceive(Round r, Inbox<Message> inbox) {
     seen_ += static_cast<std::int64_t>(inbox.size());
     if (r >= decide_after_) decided_ = true;
   }
@@ -172,7 +174,10 @@ TEST(Engine, RecordedRunReplaysIdentically) {
   const RunStats first_stats = first.Run();
 
   adversary::ReplayAdversary replay(trace, 2);
-  Engine<FloodMaxKnownN> second(make_nodes(), replay, {});
+  std::vector<graph::Graph> trace2;
+  EngineOptions replay_opts;
+  replay_opts.record_topologies = &trace2;
+  Engine<FloodMaxKnownN> second(make_nodes(), replay, replay_opts);
   const RunStats second_stats = second.Run();
 
   EXPECT_EQ(first_stats.rounds, second_stats.rounds);
@@ -181,6 +186,9 @@ TEST(Engine, RecordedRunReplaysIdentically) {
   for (graph::NodeId u = 0; u < 12; ++u) {
     EXPECT_EQ(first.node(u).output(), second.node(u).output());
   }
+  // Recording a replayed run must reproduce the trace exactly (each round
+  // makes exactly one explicit copy into the trace — no divergence possible).
+  EXPECT_EQ(trace, trace2);
 }
 
 TEST(Engine, MeasuresFloodingTime) {
@@ -190,10 +198,47 @@ TEST(Engine, MeasuresFloodingTime) {
   opts.flood_probes = 3;
   Engine<InboxCounter> engine(std::move(nodes), adv, opts);
   const RunStats stats = engine.Run();
-  EXPECT_EQ(stats.flooding.probes, 3);
-  EXPECT_EQ(stats.flooding.completed, 3);
-  // Probe from node 0 on a path takes exactly 7 rounds; others at most 7.
+  // Completed probe slots respawn at staggered start rounds, so the spawn
+  // count grows past the requested 3.
+  EXPECT_GE(stats.flooding.probes, 3);
+  EXPECT_GE(stats.flooding.completed, 3);
+  // Probe from node 0 on a path takes exactly 7 rounds; no source takes more.
   EXPECT_EQ(stats.flooding.max_rounds, 7);
+}
+
+/// Fast then slow: complete graph for the first 20 rounds, then a path.
+class DegradingAdversary final : public Adversary {
+ public:
+  explicit DegradingAdversary(graph::NodeId n)
+      : fast_(graph::Complete(n)), slow_(graph::Path(n)) {}
+  [[nodiscard]] graph::NodeId num_nodes() const override {
+    return fast_.num_nodes();
+  }
+  [[nodiscard]] int interval() const override { return 1; }
+  graph::Graph TopologyFor(std::int64_t round, const AdversaryView&) override {
+    return round <= 20 ? fast_ : slow_;
+  }
+  [[nodiscard]] std::string name() const override { return "degrading"; }
+
+ private:
+  graph::Graph fast_;
+  graph::Graph slow_;
+};
+
+TEST(Engine, StaggeredProbesSeeDegradedFloodingTime) {
+  // Probes that all start in round 1 complete in 1 round on the complete
+  // phase and would report d = 1 forever; the respawned probes sample start
+  // rounds deep into the path phase, where every source needs >= 8 rounds on
+  // Path(16).
+  DegradingAdversary adv(16);
+  std::vector<InboxCounter> nodes(16, InboxCounter(300));
+  EngineOptions opts;
+  opts.flood_probes = 1;
+  opts.max_rounds = 300;
+  Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+  const RunStats stats = engine.Run();
+  EXPECT_GT(stats.flooding.probes, 1);
+  EXPECT_GE(stats.flooding.max_rounds, 8);
 }
 
 TEST(Engine, FloodMaxDecidesTrueMaxOnStaticPath) {
@@ -221,6 +266,166 @@ TEST(Engine, SingleNodeDecidesAtRoundZero) {
   EXPECT_TRUE(stats.all_decided);
   EXPECT_EQ(stats.rounds, 0);
   EXPECT_EQ(engine.node(0).output(), 42);
+}
+
+/// Program whose Message counts copy operations — the zero-copy delivery
+/// contract says a run performs none.
+class CopySpy {
+ public:
+  struct Message {
+    std::int64_t payload = 0;
+    Message() = default;
+    explicit Message(std::int64_t p) : payload(p) {}
+    Message(const Message& other) : payload(other.payload) { ++copies; }
+    Message& operator=(const Message& other) {
+      payload = other.payload;
+      ++copies;
+      return *this;
+    }
+    Message(Message&&) = default;
+    Message& operator=(Message&&) = default;
+    static inline std::int64_t copies = 0;
+  };
+  using Output = std::int64_t;
+
+  explicit CopySpy(Round decide_after) : decide_after_(decide_after) {}
+
+  std::optional<Message> OnSend(Round r) { return Message(r); }
+  void OnReceive(Round r, Inbox<Message> inbox) {
+    for (const Message& m : inbox) sum_ += m.payload;
+    if (r >= decide_after_) decided_ = true;
+  }
+  [[nodiscard]] bool HasDecided() const { return decided_; }
+  [[nodiscard]] std::optional<Output> output() const {
+    return decided_ ? std::optional<Output>(sum_) : std::nullopt;
+  }
+  [[nodiscard]] double PublicState() const { return 0.0; }
+  static std::size_t MessageBits(const Message&) { return 64; }
+
+ private:
+  Round decide_after_;
+  std::int64_t sum_ = 0;
+  bool decided_ = false;
+};
+
+static_assert(NodeProgram<CopySpy>);
+
+TEST(Engine, DeliveryMakesZeroMessageCopies) {
+  CopySpy::Message::copies = 0;
+  StaticAdversary adv(graph::Complete(6));
+  std::vector<CopySpy> nodes(6, CopySpy(4));
+  Engine<CopySpy> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_EQ(CopySpy::Message::copies, 0);
+  // 6 nodes x 5 neighbors x 4 rounds delivered, all by pointer gather.
+  EXPECT_EQ(stats.messages_delivered, 6 * 5 * 4);
+}
+
+/// Records the address and payload of every received message so a test can
+/// assert that all receivers of one broadcast alias the same object.
+class AliasProbe {
+ public:
+  struct Message {
+    std::int64_t payload = 0;
+  };
+  using Output = std::int64_t;
+
+  AliasProbe(graph::NodeId id, Round decide_after)
+      : id_(id), decide_after_(decide_after) {}
+
+  std::optional<Message> OnSend(Round r) {
+    if (id_ != 0) return std::nullopt;
+    return Message{r * 100};
+  }
+  void OnReceive(Round r, Inbox<Message> inbox) {
+    for (const Message& m : inbox) {
+      seen_addrs_.push_back(&m);
+      seen_payloads_.push_back(m.payload);
+    }
+    if (r >= decide_after_) decided_ = true;
+  }
+  [[nodiscard]] bool HasDecided() const { return decided_; }
+  [[nodiscard]] std::optional<Output> output() const {
+    return decided_ ? std::optional<Output>(0) : std::nullopt;
+  }
+  [[nodiscard]] double PublicState() const { return 0.0; }
+  static std::size_t MessageBits(const Message&) { return 64; }
+
+  [[nodiscard]] const std::vector<const void*>& seen_addrs() const {
+    return seen_addrs_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& seen_payloads() const {
+    return seen_payloads_;
+  }
+
+ private:
+  graph::NodeId id_;
+  Round decide_after_;
+  std::vector<const void*> seen_addrs_;
+  std::vector<std::int64_t> seen_payloads_;
+  bool decided_ = false;
+};
+
+static_assert(NodeProgram<AliasProbe>);
+
+TEST(Engine, ReceiversShareOneMessageInstance) {
+  // Star: node 0 broadcasts to 5 leaves. Every leaf's inbox entry must be
+  // the very same object (zero-copy aliasing), and since OnReceive only gets
+  // const access, the payload each leaf reads must be the pristine one.
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId v = 1; v <= 5; ++v) edges.emplace_back(0, v);
+  StaticAdversary adv(graph::Graph(6, edges));
+  std::vector<AliasProbe> nodes;
+  for (graph::NodeId u = 0; u < 6; ++u) nodes.emplace_back(u, 3);
+  Engine<AliasProbe> engine(std::move(nodes), adv, {});
+  (void)engine.Run();
+  for (Round r = 1; r <= 3; ++r) {
+    const auto i = static_cast<std::size_t>(r - 1);
+    ASSERT_EQ(engine.node(1).seen_addrs().size(), 3u);
+    const void* addr = engine.node(1).seen_addrs()[i];
+    for (graph::NodeId u = 1; u <= 5; ++u) {
+      ASSERT_EQ(engine.node(u).seen_addrs().size(), 3u);
+      EXPECT_EQ(engine.node(u).seen_addrs()[i], addr);
+      EXPECT_EQ(engine.node(u).seen_payloads()[i], r * 100);
+    }
+  }
+}
+
+/// Promises T=2 but alternates between edge-disjoint connected graphs, so no
+/// 2-window has a stable connected subgraph.
+class FlickerAdversary final : public Adversary {
+ public:
+  [[nodiscard]] graph::NodeId num_nodes() const override { return 4; }
+  [[nodiscard]] int interval() const override { return 2; }
+  graph::Graph TopologyFor(std::int64_t round, const AdversaryView&) override {
+    static const std::vector<graph::Edge> odd = {{0, 1}, {1, 2}, {2, 3}};
+    static const std::vector<graph::Edge> even = {{0, 2}, {0, 3}, {1, 3}};
+    return graph::Graph(
+        4, std::span<const graph::Edge>(round % 2 == 1 ? odd : even));
+  }
+  [[nodiscard]] std::string name() const override { return "flicker"; }
+};
+
+TEST(Engine, ValidationOffIsReportedHonestly) {
+  // With validation off the engine must not claim the promise held: ok stays
+  // vacuously true but tinterval_validated says no check ran.
+  FlickerAdversary adv;
+  std::vector<InboxCounter> nodes(4, InboxCounter(4));
+  EngineOptions opts;
+  opts.validate_tinterval = false;
+  Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+  const RunStats stats = engine.Run();
+  EXPECT_FALSE(stats.tinterval_validated);
+  EXPECT_TRUE(stats.tinterval_ok);
+}
+
+TEST(Engine, ValidationOnCatchesBrokenPromise) {
+  FlickerAdversary adv;
+  std::vector<InboxCounter> nodes(4, InboxCounter(4));
+  Engine<InboxCounter> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_TRUE(stats.tinterval_validated);
+  EXPECT_FALSE(stats.tinterval_ok);
 }
 
 TEST(Engine, RunTwiceRejected) {

@@ -157,8 +157,8 @@ TEST(FailureInjection, AlarmRaisedOnDivergentSuffixNeighbor) {
   const auto msg = stranger.OnSend(suffix_round);
   ASSERT_TRUE(msg.has_value());
   (void)node.OnSend(suffix_round);
-  const algo::HjswyProgram::Message inbox[] = {*msg};
-  node.OnReceive(suffix_round, inbox);
+  const algo::HjswyProgram::Message* slots[] = {&*msg};
+  node.OnReceive(suffix_round, Inbox<algo::HjswyProgram::Message>(slots));
   EXPECT_TRUE(node.alarm_raised());
 }
 
@@ -175,8 +175,8 @@ TEST(FailureInjection, QuietIdenticalSuffixRaisesNoAlarm) {
     const auto msg = twin.OnSend(r);
     ASSERT_TRUE(msg.has_value());
     (void)node.OnSend(r);
-    const algo::HjswyProgram::Message inbox[] = {*msg};
-    node.OnReceive(r, inbox);
+    const algo::HjswyProgram::Message* slots[] = {&*msg};
+    node.OnReceive(r, Inbox<algo::HjswyProgram::Message>(slots));
   }
   EXPECT_FALSE(node.alarm_raised());
 }
