@@ -12,14 +12,14 @@
 namespace sdn::bench {
 namespace {
 
-Aggregate RunKnob(graph::NodeId n, int T, int trials,
+Aggregate RunKnob(graph::NodeId n, int T, int trials, int threads,
                   const algo::HjswyOptions& knobs) {
   RunConfig config;
   config.n = n;
   config.T = T;
   config.adversary.kind = "spine-gnp";
   config.hjswy = knobs;
-  return Measure(Algorithm::kHjswyEstimate, config, trials);
+  return Measure(Algorithm::kHjswyEstimate, config, trials, threads);
 }
 
 int Main(int argc, char** argv) {
@@ -28,6 +28,7 @@ int Main(int argc, char** argv) {
       static_cast<graph::NodeId>(flags.GetInt("n", 256, "node count"));
   const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
   const int trials = static_cast<int>(flags.GetInt("trials", 8, "seeds"));
+  const int threads = ThreadsFlag(flags);
 
   if (HelpRequested(flags, "bench_a8_ablation")) return 0;
 
@@ -39,7 +40,7 @@ int Main(int argc, char** argv) {
                      "failures"});
   const auto add = [&](const std::string& knob, const std::string& value,
                        const Aggregate& agg) {
-    table.AddRow({knob, value, util::Table::Num(agg.rounds.median, 0),
+    table.AddRow({knob, value, RoundsCell(agg),
                   util::Table::Num(agg.worst_count_rel_error * 100, 1) + "%",
                   std::to_string(agg.failures) + "/" + std::to_string(trials)});
   };
@@ -47,27 +48,27 @@ int Main(int argc, char** argv) {
   for (const int L : {8, 16, 32, 64, 128}) {
     algo::HjswyOptions knobs;
     knobs.sketch_len = L;
-    add("sketch L", std::to_string(L), RunKnob(n, T, trials, knobs));
+    add("sketch L", std::to_string(L), RunKnob(n, T, trials, threads, knobs));
   }
   for (const double beta : {0.5, 1.0, 3.0, 6.0}) {
     algo::HjswyOptions knobs;
     knobs.beta = beta;
-    add("beta", util::Table::Num(beta, 1), RunKnob(n, T, trials, knobs));
+    add("beta", util::Table::Num(beta, 1), RunKnob(n, T, trials, threads, knobs));
   }
   for (const double gamma : {0.5, 1.0, 1.5, 3.0}) {
     algo::HjswyOptions knobs;
     knobs.gamma = gamma;
-    add("gamma", util::Table::Num(gamma, 1), RunKnob(n, T, trials, knobs));
+    add("gamma", util::Table::Num(gamma, 1), RunKnob(n, T, trials, threads, knobs));
   }
   for (const std::int64_t d0 : {1, 4, 16, 64}) {
     algo::HjswyOptions knobs;
     knobs.initial_horizon = d0;
-    add("D0", std::to_string(d0), RunKnob(n, T, trials, knobs));
+    add("D0", std::to_string(d0), RunKnob(n, T, trials, threads, knobs));
   }
   for (const int c : {1, 2, 4, 8}) {
     algo::HjswyOptions knobs;
     knobs.coords_per_msg = c;
-    add("coords/msg", std::to_string(c), RunKnob(n, T, trials, knobs));
+    add("coords/msg", std::to_string(c), RunKnob(n, T, trials, threads, knobs));
   }
   Finish(table, "a8_ablation.csv");
   std::cout << "Reading guide: small beta risks premature accepts (failures "

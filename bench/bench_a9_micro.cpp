@@ -10,8 +10,11 @@
 // baseline so the speedup is tracked run over run (docs/PERF.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "adversary/factory.hpp"
 #include "algo/estimator.hpp"
@@ -144,10 +147,16 @@ BENCHMARK(BM_TIntervalValidation)->Arg(256)->Arg(2048);
 /// Re-measure with docs/PERF.md's recipe when the reference hardware changes.
 constexpr double kBaselineRoundsPerSec = 512.3;
 
+/// rounds/sec of the same workload on the zero-copy engine before the
+/// parallel round phases landed (single-threaded by construction). The
+/// threads sweep below reports its speedup against this figure.
+constexpr double kPr1SingleThreadRoundsPerSec = 949.4;
+
 /// The fixed reference workload: one full hjswy run, N=1024, spine-gnp, T=2,
 /// validation and probes off so the measurement isolates the
-/// topology/send/deliver pipeline.
-net::RunStats TimedReferenceRun() {
+/// topology/send/deliver pipeline. `threads` is EngineOptions::threads
+/// (1 = serial reference; results are bit-identical at every setting).
+net::RunStats TimedReferenceRun(int threads) {
   const graph::NodeId n = 1024;
   adversary::AdversaryConfig config;
   config.kind = "spine-gnp";
@@ -165,26 +174,63 @@ net::RunStats TimedReferenceRun() {
   net::EngineOptions opts;
   opts.validate_tinterval = false;
   opts.flood_probes = 0;
+  opts.threads = threads;
   net::Engine<algo::HjswyProgram> engine(std::move(nodes), *adv, opts);
   return engine.Run();
 }
 
-void ReportEngineTimings() {
+/// Best-of-`reps` by rounds/sec at a fixed thread count.
+net::RunStats BestRun(int threads, int reps = 3) {
   net::RunStats best;
   double best_rps = -1.0;
-  for (int rep = 0; rep < 3; ++rep) {
-    const net::RunStats stats = TimedReferenceRun();
+  for (int rep = 0; rep < reps; ++rep) {
+    const net::RunStats stats = TimedReferenceRun(threads);
     const double rps = stats.timings.RoundsPerSec(stats.rounds);
     if (rps > best_rps) {
       best_rps = rps;
       best = stats;
     }
   }
+  return best;
+}
+
+void ReportEngineTimings() {
+  // Single-thread reference: the workload + fields PR 1 recorded, so the
+  // serial-engine trend line stays comparable run over run.
+  const net::RunStats best = BestRun(/*threads=*/1);
+  const double best_rps = best.timings.RoundsPerSec(best.rounds);
   const double eps = best.timings.EdgesPerSec(best.edges_processed);
   std::printf("engine reference workload (hjswy n=1024 spine-gnp T=2, best of 3):\n  %s\n",
               best.timings.OneLine(best.rounds, best.edges_processed).c_str());
   std::printf("  baseline=%.1f rounds/s  speedup=%.2fx\n", kBaselineRoundsPerSec,
               best_rps / kBaselineRoundsPerSec);
+
+  // Threads sweep: same workload at growing EngineOptions::threads. The
+  // serial row is re-measured (not reused) so every row saw the same
+  // machine state; speedups are vs this process's own serial row.
+  struct SweepRow {
+    int threads = 0;
+    net::RunStats stats;
+  };
+  std::vector<SweepRow> sweep;
+  const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("threads sweep (same workload; hardware_concurrency=%d):\n", hw);
+  for (const int threads : {1, 2, 4, 8}) {
+    sweep.push_back({threads, BestRun(threads)});
+    const net::RunStats& s = sweep.back().stats;
+    const net::RunStats& serial = sweep.front().stats;
+    std::printf(
+        "  threads=%d  %.1f rounds/s  speedup=%.2fx  send=%.2fx  "
+        "deliver=%.2fx\n",
+        threads, s.timings.RoundsPerSec(s.rounds),
+        s.timings.RoundsPerSec(s.rounds) /
+            serial.timings.RoundsPerSec(serial.rounds),
+        static_cast<double>(serial.timings.send_ns) /
+            static_cast<double>(std::max<std::int64_t>(1, s.timings.send_ns)),
+        static_cast<double>(serial.timings.deliver_ns) /
+            static_cast<double>(
+                std::max<std::int64_t>(1, s.timings.deliver_ns)));
+  }
 
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
   if (f == nullptr) {
@@ -204,20 +250,48 @@ void ReportEngineTimings() {
                "  \"edges_per_sec\": %.0f,\n"
                "  \"baseline_rounds_per_sec\": %.1f,\n"
                "  \"speedup_vs_baseline\": %.2f,\n"
+               "  \"pr1_single_thread_rounds_per_sec\": %.1f,\n"
+               "  \"hardware_concurrency\": %d,\n"
                "  \"timings_ns\": {\"topology\": %lld, \"validate\": %lld, "
                "\"probe\": %lld, \"send\": %lld, \"deliver\": %lld, "
-               "\"total\": %lld}\n"
-               "}\n",
+               "\"total\": %lld},\n"
+               "  \"threads_sweep\": [\n",
                static_cast<long long>(best.rounds),
                static_cast<long long>(best.edges_processed),
                static_cast<long long>(best.messages_delivered), best_rps, eps,
                kBaselineRoundsPerSec, best_rps / kBaselineRoundsPerSec,
+               kPr1SingleThreadRoundsPerSec, hw,
                static_cast<long long>(best.timings.topology_ns),
                static_cast<long long>(best.timings.validate_ns),
                static_cast<long long>(best.timings.probe_ns),
                static_cast<long long>(best.timings.send_ns),
                static_cast<long long>(best.timings.deliver_ns),
                static_cast<long long>(best.timings.total_ns));
+  const net::RunStats& serial = sweep.front().stats;
+  const double serial_rps = serial.timings.RoundsPerSec(serial.rounds);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const net::RunStats& s = sweep[i].stats;
+    const double rps = s.timings.RoundsPerSec(s.rounds);
+    std::fprintf(
+        f,
+        "    {\"threads\": %d, \"rounds_per_sec\": %.1f, "
+        "\"speedup_vs_single_thread\": %.2f, \"send_speedup\": %.2f, "
+        "\"deliver_speedup\": %.2f,\n"
+        "     \"timings_ns\": {\"topology\": %lld, \"send\": %lld, "
+        "\"deliver\": %lld, \"total\": %lld}}%s\n",
+        sweep[i].threads, rps, rps / serial_rps,
+        static_cast<double>(serial.timings.send_ns) /
+            static_cast<double>(std::max<std::int64_t>(1, s.timings.send_ns)),
+        static_cast<double>(serial.timings.deliver_ns) /
+            static_cast<double>(
+                std::max<std::int64_t>(1, s.timings.deliver_ns)),
+        static_cast<long long>(s.timings.topology_ns),
+        static_cast<long long>(s.timings.send_ns),
+        static_cast<long long>(s.timings.deliver_ns),
+        static_cast<long long>(s.timings.total_ns),
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("  wrote BENCH_engine.json\n");
 }

@@ -1,11 +1,12 @@
 // Shared harness pieces for the experiment binaries (DESIGN.md §5).
 //
 // Every bench prints the table/figure rows to stdout and mirrors them to a
-// CSV named after the experiment, so EXPERIMENTS.md numbers regenerate with
-// `for b in build/bench/*; do $b; done`.
+// CSV under results/ named after the experiment, so EXPERIMENTS.md numbers
+// regenerate with `for b in build/bench/*; do $b; done`.
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,6 +26,14 @@ inline bool HelpRequested(util::Flags& flags, const std::string& program) {
   return true;
 }
 
+/// The shared --threads flag: total thread budget for RunTrials
+/// (outer trials × inner engine lanes); 0 = hardware concurrency.
+inline int ThreadsFlag(util::Flags& flags) {
+  return static_cast<int>(flags.GetInt(
+      "threads", 0,
+      "total thread budget (outer trials x engine lanes); 0 = hardware"));
+}
+
 /// Seeds 1..trials (deterministic across runs).
 inline std::vector<std::uint64_t> Seeds(int trials, std::uint64_t base = 0) {
   std::vector<std::uint64_t> seeds;
@@ -40,7 +49,8 @@ struct Aggregate {
   util::Summary flood_d;
   util::Summary bits_per_msg;
   double worst_count_rel_error = 0.0;
-  int failures = 0;  // trials that were not Ok()
+  int failures = 0;   // trials that were not Ok()
+  int truncated = 0;  // trials cut off by max_rounds (hit_max_rounds)
   int trials = 0;
 };
 
@@ -55,6 +65,7 @@ inline Aggregate AggregateResults(const std::vector<RunResult>& results) {
     flood.push_back(static_cast<double>(r.stats.flooding.max_rounds));
     bits.push_back(r.stats.AvgBitsPerMessage());
     if (!r.Ok()) ++agg.failures;
+    if (r.stats.hit_max_rounds) ++agg.truncated;
     if (r.count_max_rel_error.has_value()) {
       agg.worst_count_rel_error =
           std::max(agg.worst_count_rel_error, *r.count_max_rel_error);
@@ -66,10 +77,28 @@ inline Aggregate AggregateResults(const std::vector<RunResult>& results) {
   return agg;
 }
 
+/// A round-complexity table cell. A run cut off by max_rounds did not
+/// converge — its `rounds` is the cap, not a complexity measurement, and
+/// printing it would masquerade as (usually fast-looking) convergence. Any
+/// truncated trial therefore poisons the cell.
+inline std::string RoundsCell(const Aggregate& agg) {
+  if (agg.truncated > 0) return "(truncated)";
+  return util::Table::Num(agg.rounds.median, 0) +
+         (agg.failures > 0 ? "!" : "");
+}
+
+/// Median rounds as a data point for fits; NaN-free sentinel 0.0 (excluded
+/// by the log-log slope fit) when any trial was truncated.
+inline double RoundsPoint(const Aggregate& agg) {
+  return agg.truncated > 0 ? 0.0 : agg.rounds.median;
+}
+
 /// Runs `trials` seeded trials of `algorithm` on `config` and aggregates.
-inline Aggregate Measure(Algorithm algorithm, RunConfig config, int trials) {
+/// `threads` is the total budget passed through to RunTrials (0 = hardware).
+inline Aggregate Measure(Algorithm algorithm, RunConfig config, int trials,
+                         int threads = 0) {
   config.validate_tinterval = false;  // adversaries are property-tested
-  return AggregateResults(RunTrials(algorithm, config, Seeds(trials)));
+  return AggregateResults(RunTrials(algorithm, config, Seeds(trials), threads));
 }
 
 inline void PrintBanner(const std::string& experiment,
@@ -77,10 +106,16 @@ inline void PrintBanner(const std::string& experiment,
   std::cout << "==== " << experiment << " ====\n" << claim << "\n\n";
 }
 
+/// Prints the table and mirrors it to results/<csv_name> (the directory is
+/// created next to the cwd; generated CSVs stay out of the repo root and are
+/// gitignored).
 inline void Finish(const util::Table& table, const std::string& csv_name) {
   table.Print(std::cout);
-  table.WriteCsv(csv_name);
-  std::cout << "\n(csv: " << csv_name << ")\n\n";
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/" + csv_name;
+  table.WriteCsv(path);
+  std::cout << "\n(csv: " << path << ")\n\n";
 }
 
 }  // namespace sdn::bench

@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
   const int trials = static_cast<int>(flags.GetInt("trials", 3, "seeds"));
   const std::string kind =
       flags.GetString("adversary", "spine-gnp", "adversary kind");
+  const int threads = ThreadsFlag(flags);
 
   if (HelpRequested(flags, "bench_f2_count_vs_t")) return 0;
 
@@ -38,16 +39,21 @@ int Main(int argc, char** argv) {
     config.T = static_cast<int>(T);
     config.adversary.kind = kind;
 
-    const Aggregate census = Measure(Algorithm::kKloCensusT, config, trials);
-    const Aggregate est = Measure(Algorithm::kHjswyEstimate, config, trials);
-    const Aggregate cen = Measure(Algorithm::kHjswyCensus, config, trials);
-    if (T == ts.front()) census_t1 = census.rounds.median;
+    const Aggregate census =
+        Measure(Algorithm::kKloCensusT, config, trials, threads);
+    const Aggregate est =
+        Measure(Algorithm::kHjswyEstimate, config, trials, threads);
+    const Aggregate cen =
+        Measure(Algorithm::kHjswyCensus, config, trials, threads);
+    if (T == ts.front()) census_t1 = RoundsPoint(census);
     table.AddRow(
-        {std::to_string(T), util::Table::Num(census.rounds.median, 0),
-         util::Table::Num(est.rounds.median, 0),
-         util::Table::Num(cen.rounds.median, 0),
-         util::Table::Num(census_t1 / std::max(1.0, census.rounds.median), 2) +
-             "x"});
+        {std::to_string(T), RoundsCell(census), RoundsCell(est),
+         RoundsCell(cen),
+         census.truncated > 0
+             ? "-"
+             : util::Table::Num(
+                   census_t1 / std::max(1.0, census.rounds.median), 2) +
+                   "x"});
   }
   Finish(table, "f2_count_vs_t.csv");
   return 0;

@@ -22,13 +22,15 @@ namespace {
 struct Point {
   double d = 0.0;
   double rounds = 0.0;
+  bool truncated = false;
 };
 
 Point MeasureCliques(graph::NodeId cliques, graph::NodeId clique_size, int T,
-                     int trials) {
+                     int trials, int threads) {
   const graph::NodeId n = cliques * clique_size;
   std::vector<double> rounds;
   double d = 0.0;
+  bool truncated = false;
   for (int trial = 1; trial <= trials; ++trial) {
     adversary::StaticAdversary adv(graph::PathOfCliques(cliques, clique_size),
                                    T);
@@ -43,12 +45,14 @@ Point MeasureCliques(graph::NodeId cliques, graph::NodeId clique_size, int T,
     }
     net::EngineOptions opts;
     opts.validate_tinterval = false;
+    opts.threads = threads;
     net::Engine<algo::HjswyProgram> engine(std::move(nodes), adv, opts);
     const net::RunStats stats = engine.Run();
     rounds.push_back(static_cast<double>(stats.rounds));
+    truncated = truncated || stats.hit_max_rounds;
     d = static_cast<double>(stats.flooding.max_rounds);
   }
-  return {d, util::Summarize(rounds).median};
+  return {d, util::Summarize(rounds).median, truncated};
 }
 
 int Main(int argc, char** argv) {
@@ -59,6 +63,7 @@ int Main(int argc, char** argv) {
       flags.GetIntList("size", {4, 16, 64}, "clique sizes (dials N at fixed d)");
   const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
   const int trials = static_cast<int>(flags.GetInt("trials", 3, "seeds"));
+  const int threads = ThreadsFlag(flags);
 
   if (HelpRequested(flags, "bench_f3_rounds_vs_d")) return 0;
 
@@ -82,11 +87,12 @@ int Main(int argc, char** argv) {
       const Point p =
           MeasureCliques(static_cast<graph::NodeId>(cliques),
                          static_cast<graph::NodeId>(clique_sizes[i]), T,
-                         trials);
+                         trials, threads);
       row.push_back(util::Table::Num(p.d, 0));
-      row.push_back(util::Table::Num(p.rounds, 0));
+      row.push_back(p.truncated ? "(truncated)"
+                                : util::Table::Num(p.rounds, 0));
       ds[i].push_back(p.d);
-      rounds[i].push_back(p.rounds);
+      rounds[i].push_back(p.truncated ? 0.0 : p.rounds);
     }
     table.AddRow(row);
   }

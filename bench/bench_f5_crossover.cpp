@@ -25,15 +25,16 @@ struct Crossovers {
 
 Crossovers Sweep(Algorithm algorithm, graph::NodeId n,
                  const std::vector<std::int64_t>& ts, double near_target,
-                 double linear_target, const std::string& kind, int trials) {
+                 double linear_target, const std::string& kind, int trials,
+                 int threads) {
   Crossovers x;
   for (const std::int64_t T : ts) {
     RunConfig config;
     config.n = n;
     config.T = static_cast<int>(T);
     config.adversary.kind = kind;
-    const Aggregate agg = Measure(algorithm, config, trials);
-    if (agg.failures != 0) continue;
+    const Aggregate agg = Measure(algorithm, config, trials, threads);
+    if (agg.failures != 0 || agg.truncated != 0) continue;
     if (x.near_linear < 0 && agg.rounds.median < near_target) {
       x.near_linear = T;
     }
@@ -55,6 +56,7 @@ int Main(int argc, char** argv) {
   const int trials = static_cast<int>(flags.GetInt("trials", 2, "seeds"));
   const std::string kind =
       flags.GetString("adversary", "spine-gnp", "adversary kind");
+  const int threads = ThreadsFlag(flags);
 
   if (HelpRequested(flags, "bench_f5_crossover")) return 0;
 
@@ -73,19 +75,19 @@ int Main(int argc, char** argv) {
     const double linear = static_cast<double>(n - 1);
 
     const Crossovers census = Sweep(Algorithm::kKloCensusT, node_count, ts,
-                                    near_linear, linear, kind, trials);
+                                    near_linear, linear, kind, trials, threads);
     const Crossovers hjswy = Sweep(Algorithm::kHjswyCensus, node_count, ts,
-                                   near_linear, linear, kind, trials);
+                                   near_linear, linear, kind, trials, threads);
     RunConfig at2;
     at2.n = node_count;
     at2.T = 2;
     at2.adversary.kind = kind;
-    const Aggregate hjswy2 = Measure(Algorithm::kHjswyCensus, at2, trials);
+    const Aggregate hjswy2 =
+        Measure(Algorithm::kHjswyCensus, at2, trials, threads);
 
     table.AddRow({std::to_string(n), Cell(census.near_linear, ts),
                   Cell(census.linear, ts), Cell(hjswy.near_linear, ts),
-                  Cell(hjswy.linear, ts),
-                  util::Table::Num(hjswy2.rounds.median, 0)});
+                  Cell(hjswy.linear, ts), RoundsCell(hjswy2)});
   }
   Finish(table, "f5_crossover.csv");
   return 0;

@@ -22,6 +22,7 @@ int Main(int argc, char** argv) {
   const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
   const int trials =
       static_cast<int>(flags.GetInt("trials", 10, "seeds per adversary"));
+  const int threads = ThreadsFlag(flags);
 
   if (HelpRequested(flags, "bench_f7_adversaries")) return 0;
 
@@ -43,11 +44,15 @@ int Main(int argc, char** argv) {
         kind == "adaptive-asc") {
       config.adversary.volatile_edges = 0;
     }
-    const Aggregate census = Measure(Algorithm::kHjswyCensus, config, trials);
-    const Aggregate est = Measure(Algorithm::kHjswyEstimate, config, trials);
+    const Aggregate census =
+        Measure(Algorithm::kHjswyCensus, config, trials, threads);
+    const Aggregate est =
+        Measure(Algorithm::kHjswyEstimate, config, trials, threads);
     table.AddRow({kind, util::Table::Num(census.flood_d.median, 0),
-                  util::Table::Num(census.rounds.median, 0),
-                  util::Table::Num(census.rounds.p95, 0),
+                  RoundsCell(census),
+                  census.truncated > 0
+                      ? "(truncated)"
+                      : util::Table::Num(census.rounds.p95, 0),
                   std::to_string(census.failures + est.failures) + "/" +
                       std::to_string(2 * trials),
                   util::Table::Num(est.worst_count_rel_error * 100, 1) + "%"});

@@ -26,6 +26,7 @@ int Main(int argc, char** argv) {
   const int trials = static_cast<int>(flags.GetInt("trials", 3, "seeds"));
   const std::string kind =
       flags.GetString("adversary", "spine-gnp", "adversary kind");
+  const int threads = ThreadsFlag(flags);
 
   if (HelpRequested(flags, "bench_t1_count_vs_n")) return 0;
 
@@ -64,10 +65,9 @@ int Main(int argc, char** argv) {
         series[a].push_back(0.0);  // filtered out by the slope fit
         continue;
       }
-      const Aggregate agg = Measure(algorithms[a], config, trials);
-      row.push_back(util::Table::Num(agg.rounds.median, 0) +
-                    (agg.failures > 0 ? "!" : ""));
-      series[a].push_back(agg.rounds.median);
+      const Aggregate agg = Measure(algorithms[a], config, trials, threads);
+      row.push_back(RoundsCell(agg));
+      series[a].push_back(RoundsPoint(agg));
       d_cell = util::Table::Num(agg.flood_d.median, 0);
     }
     row.insert(row.begin() + 1, d_cell);

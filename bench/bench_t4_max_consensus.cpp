@@ -22,6 +22,7 @@ int Main(int argc, char** argv) {
   const int trials = static_cast<int>(flags.GetInt("trials", 3, "seeds"));
   const std::string kind =
       flags.GetString("adversary", "spine-gnp", "adversary kind");
+  const int threads = ThreadsFlag(flags);
 
   if (HelpRequested(flags, "bench_t4_max_consensus")) return 0;
 
@@ -39,26 +40,26 @@ int Main(int argc, char** argv) {
     config.T = T;
     config.adversary.kind = kind;
 
-    const Aggregate fmax = Measure(Algorithm::kFloodMaxKnownN, config, trials);
+    const Aggregate fmax =
+        Measure(Algorithm::kFloodMaxKnownN, config, trials, threads);
     const Aggregate fcon =
-        Measure(Algorithm::kFloodConsensusKnownN, config, trials);
+        Measure(Algorithm::kFloodConsensusKnownN, config, trials, threads);
     const bool skip_census = n > baseline_cap;
     const Aggregate census =
         skip_census ? Aggregate{}
-                    : Measure(Algorithm::kKloCensusT, config, trials);
-    const Aggregate hjswy = Measure(Algorithm::kHjswyEstimate, config, trials);
+                    : Measure(Algorithm::kKloCensusT, config, trials, threads);
+    const Aggregate hjswy =
+        Measure(Algorithm::kHjswyEstimate, config, trials, threads);
 
     table.AddRow({std::to_string(n),
                   util::Table::Num(hjswy.flood_d.median, 0),
-                  util::Table::Num(fmax.rounds.median, 0),
-                  util::Table::Num(fcon.rounds.median, 0),
-                  skip_census ? "(skip)"
-                              : util::Table::Num(census.rounds.median, 0),
-                  util::Table::Num(hjswy.rounds.median, 0),
+                  RoundsCell(fmax), RoundsCell(fcon),
+                  skip_census ? "(skip)" : RoundsCell(census),
+                  RoundsCell(hjswy),
                   hjswy.failures == 0 ? "yes" : "NO",
                   hjswy.failures == 0 ? "yes" : "NO"});
     ns_d.push_back(static_cast<double>(n));
-    hjswy_rounds.push_back(hjswy.rounds.median);
+    hjswy_rounds.push_back(RoundsPoint(hjswy));
   }
   table.AddRow({"N^b fit", "-", "b=1.00", "b=1.00", "b~2",
                 "b=" + util::Table::Num(util::LogLogSlope(ns_d, hjswy_rounds), 2),

@@ -22,6 +22,7 @@ int Main(int argc, char** argv) {
   const int trials = static_cast<int>(flags.GetInt("trials", 2, "seeds"));
   const auto baseline_cap =
       flags.GetInt("baseline-cap", 256, "largest N for the census baseline");
+  const int threads = ThreadsFlag(flags);
 
   if (HelpRequested(flags, "bench_t6_bandwidth")) return 0;
 
@@ -45,7 +46,7 @@ int Main(int argc, char** argv) {
             RunConfig c = config;
             c.validate_tinterval = false;
             return c;
-          }(), Seeds(trials));
+          }(), Seeds(trials), threads);
       double avg = 0.0;
       double maxb = 0.0;
       double per_node_round = 0.0;

@@ -32,6 +32,9 @@ class AdaptiveSortPathAdversary final : public net::Adversary {
   graph::Graph TopologyFor(std::int64_t round,
                            const net::AdversaryView& view) override;
   [[nodiscard]] std::string name() const override;
+  /// Samples PublicState at era boundaries — topology prefetch would let it
+  /// observe mid-round state, so the engine must call it synchronously.
+  [[nodiscard]] bool oblivious() const override { return false; }
 
  private:
   graph::Graph BuildSortedPath(const net::AdversaryView& view);

@@ -176,6 +176,7 @@ class TypedSim final : public detail::SimBase {
     opts.flood_probes = config_.flood_probes;
     opts.probe_seed = util::MixSeed(config_.seed, 0x9e0be5ULL);
     opts.validate_tinterval = config_.validate_tinterval;
+    opts.threads = config_.threads;
     engine_.emplace(std::move(nodes), *adversary_, opts);
   }
 
@@ -340,6 +341,15 @@ std::vector<RunResult> RunTrials(Algorithm algorithm, const RunConfig& config,
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
+  // Budget: outer trial workers × inner engine lanes <= threads. With many
+  // seeds the budget goes to trial-level parallelism (inner = 1, exactly the
+  // pre-parallel-engine behavior); with few seeds the leftover lanes go to
+  // each trial's engine. A pinned config.threads overrides the inner share.
+  const int outer = std::max(
+      1, std::min(threads, static_cast<int>(
+                               std::min<std::size_t>(seeds.size(), 1 << 16))));
+  RunConfig budgeted = config;
+  if (budgeted.threads == 0) budgeted.threads = std::max(1, threads / outer);
   std::vector<RunResult> results(seeds.size());
   std::atomic<std::size_t> next{0};
   // Failure protocol: a throwing trial must not leave its slot silently
@@ -356,7 +366,7 @@ std::vector<RunResult> RunTrials(Algorithm algorithm, const RunConfig& config,
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1);
       if (i >= seeds.size()) return;
-      RunConfig trial = config;
+      RunConfig trial = budgeted;
       trial.seed = seeds[i];
       try {
         results[i] = RunAlgorithm(algorithm, trial);
@@ -370,13 +380,12 @@ std::vector<RunResult> RunTrials(Algorithm algorithm, const RunConfig& config,
       }
     }
   };
-  if (threads == 1 || seeds.size() <= 1) {
+  if (outer == 1 || seeds.size() <= 1) {
     worker();
   } else {
     std::vector<std::future<void>> futures;
-    const int workers = std::min<int>(threads, static_cast<int>(seeds.size()));
-    futures.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t) {
+    futures.reserve(static_cast<std::size_t>(outer));
+    for (int t = 0; t < outer; ++t) {
       futures.push_back(std::async(std::launch::async, worker));
     }
     for (auto& f : futures) f.get();  // workers trap their own exceptions

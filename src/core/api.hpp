@@ -63,6 +63,11 @@ struct RunConfig {
   /// round; property tests cover every adversary kind, so long bench runs
   /// may turn this off.
   bool validate_tinterval = true;
+  /// Engine-internal parallelism (EngineOptions::threads): 0 = hardware,
+  /// 1 = strictly serial, k = up to k lanes. Results are bit-identical at
+  /// any setting; RunTrials additionally budgets this against its outer
+  /// trial workers when left at 0 (auto), so sweeps don't oversubscribe.
+  int threads = 0;
   /// Knobs for the hjswy suite (T / exact_census / strict are synced from
   /// the algorithm choice and the T above).
   algo::HjswyOptions hjswy{};
@@ -104,8 +109,13 @@ std::vector<algo::Value> MakeInputs(graph::NodeId n, std::uint64_t seed);
 /// Executes one run. CheckError on invalid configuration.
 RunResult RunAlgorithm(Algorithm algorithm, const RunConfig& config);
 
-/// Runs `seeds.size()` independent trials (config.seed replaced per trial),
-/// using up to `threads` worker threads (0 = hardware concurrency).
+/// Runs `seeds.size()` independent trials (config.seed replaced per trial).
+/// `threads` is the *total* thread budget (0 = hardware concurrency): up to
+/// min(threads, #seeds) trials run concurrently, and when config.threads is
+/// 0 (auto) each trial's engine gets the remaining budget/outer lanes, so
+/// outer-trials × inner-threads never oversubscribes the machine. A pinned
+/// config.threads is respected as-is. A failing trial is attributed to its
+/// seed in the thrown CheckError.
 std::vector<RunResult> RunTrials(Algorithm algorithm, const RunConfig& config,
                                  const std::vector<std::uint64_t>& seeds,
                                  int threads = 0);

@@ -43,6 +43,15 @@ class Adversary {
   virtual graph::Graph TopologyFor(std::int64_t round,
                                    const AdversaryView& view) = 0;
 
+  /// True when TopologyFor never reads the view's node state (round and
+  /// num_nodes are fine): the topology sequence is a pure function of the
+  /// call sequence. The engine may then compute round r+1's topology
+  /// concurrently with round r's deliver phase (prefetch) — calls stay
+  /// strictly sequential and in round order either way, so the produced
+  /// sequence is identical; only the wall-clock overlap changes. Adaptive
+  /// adversaries (which sample PublicState mid-run) must return false.
+  [[nodiscard]] virtual bool oblivious() const { return true; }
+
   /// Stable name for report rows.
   [[nodiscard]] virtual std::string name() const = 0;
 };

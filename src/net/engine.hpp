@@ -7,7 +7,9 @@
 //   2. collects every node's OnSend message, enforcing the bandwidth budget,
 //   3. delivers to each node the messages of its G_r-neighbors,
 //   4. records decisions.
-// The run ends when every node has decided or `max_rounds` is hit.
+// The run ends when every node has decided or `max_rounds` is hit (the
+// latter sets RunStats::hit_max_rounds so truncated runs are never mistaken
+// for fast convergence).
 //
 // The engine is templated on the node-program type so messages are plain
 // typed values (no serialization on the hot path); bit accounting goes
@@ -19,11 +21,27 @@
 // broadcast to k neighbors costs k pointer pushes instead of k message
 // copies (see net/program.hpp for the aliasing contract). Every phase of
 // Step() is wall-clocked into RunStats::timings.
+//
+// Parallel execution (EngineOptions::threads): the send and deliver phases
+// are embarrassingly parallel over nodes — OnSend(u) touches only node u and
+// its outbox slot, OnReceive(u) reads the shared outbox (immutable during
+// the phase) and mutates only node u. Both phases run on the shared
+// work-stealing pool over contiguous node *shards* whose boundaries depend
+// only on n; each shard fills its own accumulator, and the accumulators are
+// merged in shard (= ascending node) order after the phase barrier. Every
+// merged quantity is either per-node (disjoint writes) or an
+// order-independent integer reduction, so results are bit-identical at any
+// thread count — docs/PERF.md spells out the argument. For oblivious
+// adversaries the next round's topology is additionally prefetched
+// concurrently with the deliver phase (calls stay sequential and in round
+// order, so the produced graph sequence is unchanged).
 #pragma once
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -34,6 +52,7 @@
 #include "net/program.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sdn::net {
 
@@ -53,6 +72,12 @@ struct EngineOptions {
   /// round 1 underestimates d on adversaries that degrade over time).
   int flood_probes = 4;
   std::uint64_t probe_seed = 0x5eedULL;
+  /// Engine-internal parallelism for the send/deliver phases: 0 = hardware
+  /// concurrency, 1 = strictly serial, k = up to k lanes of the shared
+  /// work-stealing pool. Results are bit-identical at any setting (only
+  /// RunStats::timings, which measure wall clock, differ), so this is a
+  /// pure throughput knob. Small n runs serial regardless (sharding floor).
+  int threads = 0;
   /// When set, every round's topology is appended here (replay/debugging)
   /// at the cost of exactly one Graph copy per round.
   std::vector<graph::Graph>* record_topologies = nullptr;
@@ -73,22 +98,35 @@ class Engine final : private AdversaryView {
                                          << " nodes, got " << nodes_.size());
     SDN_CHECK(adversary_.interval() >= 1);
     SDN_CHECK(options_.max_rounds >= 1);
+    SDN_CHECK(options_.threads >= 0);
   }
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Executes one round. Returns false (and does nothing) once the run is
-  /// over — every node decided or max_rounds executed.
+  /// over — every node decided or max_rounds executed. Throws CheckError
+  /// (after recording RunStats::bandwidth_violation) when a node's message
+  /// exceeds the bandwidth budget; the run is then finished and failed.
   bool Step() {
     using Clock = std::chrono::steady_clock;
     EnsureStarted();
     if (finished_) return false;
-    ++round_;
 
     const auto t0 = Clock::now();
     {
-      graph::Graph g = adversary_.TopologyFor(round_, *this);
+      // One TopologyFor call per round, in round order — either the prefetch
+      // launched by the previous Step (join before mutating round_, which
+      // the in-flight call's view may read) or a synchronous call here. Both
+      // schedules present the adversary the identical call sequence.
+      graph::Graph g(0);
+      if (prefetch_.valid()) {
+        g = prefetch_.get();
+        round_ = prefetched_round_;
+      } else {
+        ++round_;
+        g = adversary_.TopologyFor(round_, *this);
+      }
       SDN_CHECK_MSG(g.num_nodes() == n_,
                     "adversary produced wrong-size graph");
       if (options_.record_topologies != nullptr) {
@@ -106,58 +144,111 @@ class Engine final : private AdversaryView {
     StepProbes(g);
     const auto t3 = Clock::now();
 
-    for (graph::NodeId u = 0; u < n_; ++u) {
-      auto& msg = outbox_[static_cast<std::size_t>(u)];
-      msg = nodes_[static_cast<std::size_t>(u)].OnSend(round_);
-      if (msg.has_value()) {
+    // Send phase: every node's OnSend into its own outbox slot, shard
+    // accumulators for the message accounting. Budget violations are
+    // *recorded* per shard (first in node order) instead of thrown from a
+    // worker — the merge below deterministically picks the lowest node and
+    // fails the run from this thread.
+    ForShards([this](int shard, std::int64_t begin, std::int64_t end) {
+      ShardAccum& acc = shard_accum_[static_cast<std::size_t>(shard)];
+      acc = ShardAccum{};
+      for (std::int64_t u = begin; u < end; ++u) {
+        auto& msg = outbox_[static_cast<std::size_t>(u)];
+        msg = nodes_[static_cast<std::size_t>(u)].OnSend(round_);
+        if (!msg.has_value()) continue;
         const auto bits = static_cast<std::int64_t>(A::MessageBits(*msg));
-        SDN_CHECK_MSG(bits <= stats_.bit_limit,
-                      "message of " << bits << " bits exceeds budget "
-                                    << stats_.bit_limit << " at node " << u
-                                    << " round " << round_);
-        ++stats_.messages_sent;
+        if (bits > stats_.bit_limit && acc.violation_node < 0) {
+          acc.violation_node = static_cast<graph::NodeId>(u);
+          acc.violation_bits = bits;
+        }
+        ++acc.messages_sent;
         ++stats_.sends_per_node[static_cast<std::size_t>(u)];
-        stats_.total_message_bits += bits;
-        stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
+        acc.total_message_bits += bits;
+        acc.max_message_bits = std::max(acc.max_message_bits, bits);
+      }
+    });
+    for (const ShardAccum& acc : shard_accum_) {
+      stats_.messages_sent += acc.messages_sent;
+      stats_.total_message_bits += acc.total_message_bits;
+      stats_.max_message_bits =
+          std::max(stats_.max_message_bits, acc.max_message_bits);
+      if (!stats_.bandwidth_violation.has_value() && acc.violation_node >= 0) {
+        stats_.bandwidth_violation =
+            BandwidthViolation{acc.violation_node, round_, acc.violation_bits};
       }
     }
     const auto t4 = Clock::now();
 
-    // Zero-copy delivery: gather pointers to the neighbors' outbox slots and
-    // hand each node a read-only view. The outbox is not mutated until the
-    // next round's OnSend pass, so the pointers stay valid across all
-    // OnReceive calls of this round.
-    using Message = typename A::Message;
-    std::vector<const Message*>& slots = inbox_slots_;
-    for (graph::NodeId u = 0; u < n_; ++u) {
-      slots.clear();
-      for (const graph::NodeId v : g.Neighbors(u)) {
-        const auto& msg = outbox_[static_cast<std::size_t>(v)];
-        if (msg.has_value()) slots.push_back(&*msg);
+    if (stats_.bandwidth_violation.has_value()) {
+      stats_.rounds = round_;
+      finished_ = true;
+      AccumulateTimings(t0, t1, t2, t3, t4, t4);
+      const BandwidthViolation& v = *stats_.bandwidth_violation;
+      SDN_CHECK_MSG(false, "message of " << v.bits << " bits exceeds budget "
+                                         << stats_.bit_limit << " at node "
+                                         << v.node << " round " << v.round);
+    }
+
+    // Overlap the next round's topology with the deliver phase: for an
+    // oblivious adversary the call reads no node state, so running it on a
+    // side thread while OnReceive mutates the nodes is race-free and the
+    // produced sequence is identical to the synchronous schedule.
+    if (prefetch_enabled_ && round_ < options_.max_rounds) {
+      prefetched_round_ = round_ + 1;
+      prefetch_ = std::async(std::launch::async,
+                             [this, r = prefetched_round_]() {
+                               return adversary_.TopologyFor(r, *this);
+                             });
+    }
+
+    // Deliver phase. Zero-copy: gather pointers to the neighbors' outbox
+    // slots (per-shard reusable buffers) and hand each node a read-only
+    // view; the outbox is not mutated until the next round's send phase.
+    // Decisions land in per-node slots plus a per-shard count, reduced
+    // below instead of mutated inline.
+    ForShards([this, &g](int shard, std::int64_t begin, std::int64_t end) {
+      using Message = typename A::Message;
+      ShardAccum& acc = shard_accum_[static_cast<std::size_t>(shard)];
+      acc = ShardAccum{};
+      std::vector<const Message*>& slots =
+          shard_slots_[static_cast<std::size_t>(shard)];
+      for (std::int64_t u = begin; u < end; ++u) {
+        slots.clear();
+        for (const graph::NodeId v :
+             g.Neighbors(static_cast<graph::NodeId>(u))) {
+          const auto& msg = outbox_[static_cast<std::size_t>(v)];
+          if (msg.has_value()) slots.push_back(&*msg);
+        }
+        acc.messages_delivered += static_cast<std::int64_t>(slots.size());
+        A& node = nodes_[static_cast<std::size_t>(u)];
+        const bool was_decided = node.HasDecided();
+        node.OnReceive(round_, Inbox<Message>(slots));
+        if (!was_decided && node.HasDecided()) {
+          stats_.decide_round[static_cast<std::size_t>(u)] = round_;
+          ++acc.decided;
+        }
       }
-      stats_.messages_delivered += static_cast<std::int64_t>(slots.size());
-      A& node = nodes_[static_cast<std::size_t>(u)];
-      const bool was_decided = node.HasDecided();
-      node.OnReceive(round_, Inbox<Message>(slots));
-      if (!was_decided && node.HasDecided()) {
-        RecordDecision(u, round_);
-      }
+    });
+    std::int64_t decided = 0;
+    for (const ShardAccum& acc : shard_accum_) {
+      stats_.messages_delivered += acc.messages_delivered;
+      decided += acc.decided;
+    }
+    if (decided > 0) {
+      if (stats_.first_decide_round < 0) stats_.first_decide_round = round_;
+      stats_.last_decide_round = round_;
+      undecided_ -= decided;
     }
     const auto t5 = Clock::now();
 
-    const auto ns = [](Clock::time_point a, Clock::time_point b) {
-      return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
-          .count();
-    };
-    stats_.timings.topology_ns += ns(t0, t1);
-    stats_.timings.validate_ns += ns(t1, t2);
-    stats_.timings.probe_ns += ns(t2, t3);
-    stats_.timings.send_ns += ns(t3, t4);
-    stats_.timings.deliver_ns += ns(t4, t5);
-    stats_.timings.total_ns += ns(t0, t5);
-
+    AccumulateTimings(t0, t1, t2, t3, t4, t5);
     stats_.rounds = round_;
-    if (undecided_ == 0 || round_ >= options_.max_rounds) finished_ = true;
+    if (undecided_ == 0) {
+      finished_ = true;
+    } else if (round_ >= options_.max_rounds) {
+      finished_ = true;
+      stats_.hit_max_rounds = true;
+    }
     return true;
   }
 
@@ -194,11 +285,61 @@ class Engine final : private AdversaryView {
   [[nodiscard]] graph::NodeId num_nodes() const override { return n_; }
 
  private:
+  /// Sharding floor/cap: boundaries are a pure function of n, never of the
+  /// thread count, so the shard-ordered merge is the same computation at
+  /// every EngineOptions::threads setting.
+  static constexpr std::int64_t kMinShardNodes = 64;
+  static constexpr std::int64_t kMaxShards = 64;
+
+  /// Per-shard accumulator for one phase; merged in shard order after the
+  /// barrier. Cache-line aligned so neighboring shards don't false-share.
+  struct alignas(64) ShardAccum {
+    std::int64_t messages_sent = 0;
+    std::int64_t total_message_bits = 0;
+    std::int64_t max_message_bits = 0;
+    std::int64_t messages_delivered = 0;
+    std::int64_t decided = 0;
+    graph::NodeId violation_node = -1;  // first in node order within shard
+    std::int64_t violation_bits = 0;
+  };
+
   // AdversaryView:
   [[nodiscard]] std::int64_t round() const override { return round_; }
   [[nodiscard]] double PublicState(graph::NodeId u) const override {
     SDN_CHECK(u >= 0 && u < n_);
     return nodes_[static_cast<std::size_t>(u)].PublicState();
+  }
+
+  /// Runs fn(shard, begin, end) over all shards — on the pool when parallel,
+  /// inline (same shard boundaries, ascending order) when serial.
+  void ForShards(const util::ThreadPool::RangeFn& fn) {
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(n_, static_cast<int>(shards_), lanes_, fn);
+      return;
+    }
+    for (std::int64_t s = 0; s < shards_; ++s) {
+      fn(static_cast<int>(s), std::int64_t{n_} * s / shards_,
+         std::int64_t{n_} * (s + 1) / shards_);
+    }
+  }
+
+  void AccumulateTimings(std::chrono::steady_clock::time_point t0,
+                         std::chrono::steady_clock::time_point t1,
+                         std::chrono::steady_clock::time_point t2,
+                         std::chrono::steady_clock::time_point t3,
+                         std::chrono::steady_clock::time_point t4,
+                         std::chrono::steady_clock::time_point t5) {
+    const auto ns = [](std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+          .count();
+    };
+    stats_.timings.topology_ns += ns(t0, t1);
+    stats_.timings.validate_ns += ns(t1, t2);
+    stats_.timings.probe_ns += ns(t2, t3);
+    stats_.timings.send_ns += ns(t3, t4);
+    stats_.timings.deliver_ns += ns(t4, t5);
+    stats_.timings.total_ns += ns(t0, t5);
   }
 
   void EnsureStarted() {
@@ -212,13 +353,37 @@ class Engine final : private AdversaryView {
     }
     outbox_.resize(static_cast<std::size_t>(n_));
     undecided_ = n_;
+
+    // Parallel geometry. Shard count is a function of n alone; the thread
+    // count only decides how many lanes execute those shards.
+    int threads = options_.threads;
+    if (threads == 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads <= 0) threads = 1;
+    }
+    shards_ = std::clamp<std::int64_t>(n_ / kMinShardNodes, 1, kMaxShards);
+    lanes_ = static_cast<int>(std::min<std::int64_t>(threads, shards_));
+    pool_ = lanes_ > 1 ? &util::ThreadPool::Shared() : nullptr;
+    // Prefetch pays one thread launch per round; only worth it at sizes
+    // where a round costs real work. Gated on threads > 1 so `threads = 1`
+    // stays strictly single-threaded.
+    prefetch_enabled_ = threads > 1 && n_ >= 2 * kMinShardNodes &&
+                        adversary_.oblivious();
+    shard_accum_.assign(static_cast<std::size_t>(shards_), ShardAccum{});
+    shard_slots_.resize(static_cast<std::size_t>(shards_));
+
     for (int i = 0; i < options_.flood_probes; ++i) {
       const graph::NodeId src = (i == 0) ? graph::NodeId{0} : RandomSource();
       probes_.emplace_back(n_, src, 1);
-      ++probes_spawned_;
-      // n == 1: trivially complete at construction — record, leave the slot
-      // dead (respawning would complete instantly forever).
-      if (probes_.back().complete()) RecordProbeCompletion(probes_.back());
+      probe_started_.push_back(0);
+      // n == 1: trivially complete at construction — it did run, so it
+      // counts as spawned; leave the slot dead (respawning would complete
+      // instantly forever).
+      if (probes_.back().complete()) {
+        probe_started_.back() = 1;
+        ++probes_spawned_;
+        RecordProbeCompletion(probes_.back());
+      }
     }
     for (graph::NodeId u = 0; u < n_; ++u) {
       if (nodes_[static_cast<std::size_t>(u)].HasDecided()) {
@@ -234,8 +399,18 @@ class Engine final : private AdversaryView {
   }
 
   void StepProbes(const graph::Graph& g) {
-    for (FloodProbe& p : probes_) {
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+      FloodProbe& p = probes_[i];
       if (p.complete()) continue;  // dead slot (n == 1)
+      // A probe counts as spawned only once an executed round reaches its
+      // start round — a staggered respawn whose start lies beyond the end
+      // of the run never becomes a probe (it would otherwise show up as a
+      // phantom never-started probe and understate the completion rate).
+      if (probe_started_[i] == 0) {
+        if (round_ < p.start_round()) continue;
+        probe_started_[i] = 1;
+        ++probes_spawned_;
+      }
       p.Push(round_, g);
       if (!p.complete()) continue;
       RecordProbeCompletion(p);
@@ -243,7 +418,7 @@ class Engine final : private AdversaryView {
       // rounds are sampled at geometrically spaced points of the run, and
       // the probe work stays O(E·d·log rounds) total instead of O(E·rounds).
       p = FloodProbe(n_, RandomSource(), 2 * round_);
-      ++probes_spawned_;
+      probe_started_[i] = 0;
     }
   }
 
@@ -287,13 +462,23 @@ class Engine final : private AdversaryView {
   RunStats stats_;
   std::optional<graph::TIntervalChecker> checker_;
   std::vector<FloodProbe> probes_;
+  std::vector<char> probe_started_;  // parallel to probes_
   std::int64_t probes_spawned_ = 0;
   std::int64_t probes_completed_ = 0;
   std::int64_t probe_max_rounds_ = -1;
   double probe_total_rounds_ = 0.0;
   std::vector<std::optional<typename A::Message>> outbox_;
-  std::vector<const typename A::Message*> inbox_slots_;
   graph::Graph last_topology_{0};
+
+  // Parallel geometry (EnsureStarted) and per-shard state.
+  util::ThreadPool* pool_ = nullptr;
+  int lanes_ = 1;
+  std::int64_t shards_ = 1;
+  bool prefetch_enabled_ = false;
+  std::vector<ShardAccum> shard_accum_;
+  std::vector<std::vector<const typename A::Message*>> shard_slots_;
+  std::future<graph::Graph> prefetch_;
+  std::int64_t prefetched_round_ = -1;
 };
 
 }  // namespace sdn::net

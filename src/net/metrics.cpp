@@ -48,8 +48,14 @@ double RunStats::BitsPerNodeRound(std::int64_t num_nodes) const {
 
 std::string RunStats::OneLine() const {
   std::ostringstream os;
-  os << "rounds=" << rounds << " decided=" << (all_decided ? "all" : "PARTIAL")
-     << " msgs=" << messages_sent << " bits=" << total_message_bits
+  os << "rounds=" << rounds << " decided=" << (all_decided ? "all" : "PARTIAL");
+  if (hit_max_rounds) os << " TRUNCATED";
+  if (bandwidth_violation.has_value()) {
+    os << " BW-VIOLATION(node=" << bandwidth_violation->node
+       << " round=" << bandwidth_violation->round
+       << " bits=" << bandwidth_violation->bits << ")";
+  }
+  os << " msgs=" << messages_sent << " bits=" << total_message_bits
      << " d=" << flooding.max_rounds << " tinterval="
      << (!tinterval_validated ? "unvalidated"
                               : (tinterval_ok ? "ok" : "VIOLATED"));

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,10 +36,26 @@ struct EngineTimings {
                                     std::int64_t edges) const;
 };
 
+/// First bandwidth-budget violation of a run, attributed to the node and
+/// round that produced the over-budget message. The engine records it (in
+/// deterministic node order within the round), marks the run finished, and
+/// throws CheckError from Step() — so RunTrials can attribute the failure
+/// to a seed while the violation stays inspectable in the stats snapshot.
+struct BandwidthViolation {
+  graph::NodeId node = -1;
+  std::int64_t round = -1;
+  /// Encoded size of the offending message (> RunStats::bit_limit).
+  std::int64_t bits = 0;
+};
+
 struct RunStats {
   /// Rounds actually executed (= last decide round when all_decided).
   std::int64_t rounds = 0;
   bool all_decided = false;
+  /// The run was cut off by EngineOptions::max_rounds with nodes still
+  /// undecided. Such a run's `rounds` is a truncation artifact, not a
+  /// complexity measurement — harnesses must not plot it as one.
+  bool hit_max_rounds = false;
   std::int64_t first_decide_round = -1;
   std::int64_t last_decide_round = -1;
   /// Per-node decide round; -1 if the node never decided.
@@ -53,6 +70,9 @@ struct RunStats {
   std::int64_t max_message_bits = 0;
   /// The enforced per-message budget (INT64_MAX when unbounded).
   std::int64_t bit_limit = 0;
+  /// Set when a message exceeded bit_limit; the run is failed (see
+  /// BandwidthViolation). The violating round's sends are still counted.
+  std::optional<BandwidthViolation> bandwidth_violation;
 
   /// Σ_r |E_r|: undirected edges the engine processed across the run.
   std::int64_t edges_processed = 0;

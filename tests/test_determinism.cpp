@@ -1,0 +1,95 @@
+// Thread-count invariance of the parallel engine (docs/PERF.md).
+//
+// EngineOptions::threads is documented as a pure throughput knob: every
+// statistic except the wall-clock timings must be bit-identical whether the
+// send/deliver phases ran serially, on two lanes, or on every hardware lane
+// (with topology prefetch on oblivious adversaries). These tests pin that
+// contract for representative algorithms on an oblivious adversary
+// (spine-gnp, prefetch exercised) and an adaptive one (adaptive-desc,
+// prefetch disabled, parallel phases still on). n = 192 gives 3 shards, so
+// threads > 1 genuinely takes the pool path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/api.hpp"
+
+namespace sdn {
+namespace {
+
+void ExpectIdenticalRuns(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.all_decided, b.stats.all_decided);
+  EXPECT_EQ(a.stats.hit_max_rounds, b.stats.hit_max_rounds);
+  EXPECT_EQ(a.stats.first_decide_round, b.stats.first_decide_round);
+  EXPECT_EQ(a.stats.last_decide_round, b.stats.last_decide_round);
+  EXPECT_EQ(a.stats.decide_round, b.stats.decide_round);
+  EXPECT_EQ(a.stats.messages_sent, b.stats.messages_sent);
+  EXPECT_EQ(a.stats.sends_per_node, b.stats.sends_per_node);
+  EXPECT_EQ(a.stats.total_message_bits, b.stats.total_message_bits);
+  EXPECT_EQ(a.stats.max_message_bits, b.stats.max_message_bits);
+  EXPECT_EQ(a.stats.bandwidth_violation.has_value(),
+            b.stats.bandwidth_violation.has_value());
+  EXPECT_EQ(a.stats.edges_processed, b.stats.edges_processed);
+  EXPECT_EQ(a.stats.messages_delivered, b.stats.messages_delivered);
+  EXPECT_EQ(a.stats.flooding.probes, b.stats.flooding.probes);
+  EXPECT_EQ(a.stats.flooding.completed, b.stats.flooding.completed);
+  EXPECT_EQ(a.stats.flooding.max_rounds, b.stats.flooding.max_rounds);
+  EXPECT_EQ(a.count_exact, b.count_exact);
+  EXPECT_EQ(a.max_correct, b.max_correct);
+  EXPECT_EQ(a.consensus_agreement, b.consensus_agreement);
+}
+
+void CheckThreadInvariance(Algorithm algorithm, const std::string& adversary,
+                           std::int64_t max_rounds) {
+  RunConfig config;
+  config.n = 192;
+  config.T = 2;
+  config.seed = 12345;
+  config.adversary.kind = adversary;
+  config.max_rounds = max_rounds;
+  config.validate_tinterval = false;
+
+  // 1 = serial reference, 2 = minimal parallel, 0 = every hardware lane.
+  config.threads = 1;
+  const RunResult serial = RunAlgorithm(algorithm, config);
+  for (const int threads : {2, 0}) {
+    config.threads = threads;
+    const RunResult parallel = RunAlgorithm(algorithm, config);
+    SCOPED_TRACE(std::string(ToString(algorithm)) + " on " + adversary +
+                 " threads=" + std::to_string(threads));
+    ExpectIdenticalRuns(serial, parallel);
+  }
+}
+
+TEST(Determinism, HjswyCensusOnObliviousSpine) {
+  CheckThreadInvariance(Algorithm::kHjswyCensus, "spine-gnp", 100'000);
+}
+
+TEST(Determinism, HjswyCensusOnAdaptiveAdversary) {
+  CheckThreadInvariance(Algorithm::kHjswyCensus, "adaptive-desc", 100'000);
+}
+
+// Census needs ~N²/T rounds at this N; cap it (like the committee below) so
+// the suite stays fast even under sanitizers. hjswy above covers the
+// run-to-completion (all_decided) path.
+TEST(Determinism, KloCensusOnObliviousSpine) {
+  CheckThreadInvariance(Algorithm::kKloCensusT, "spine-gnp", 3'000);
+}
+
+TEST(Determinism, KloCensusOnAdaptiveAdversary) {
+  CheckThreadInvariance(Algorithm::kKloCensusT, "adaptive-desc", 3'000);
+}
+
+// The committee protocol is O(N²) rounds; a tight max_rounds keeps the test
+// fast and additionally pins that *truncated* runs are thread-invariant too.
+TEST(Determinism, KloCommitteeOnObliviousSpine) {
+  CheckThreadInvariance(Algorithm::kKloCommittee, "spine-gnp", 2'000);
+}
+
+TEST(Determinism, KloCommitteeOnAdaptiveAdversary) {
+  CheckThreadInvariance(Algorithm::kKloCommittee, "adaptive-desc", 2'000);
+}
+
+}  // namespace
+}  // namespace sdn

@@ -111,6 +111,25 @@ TEST(Engine, BandwidthBudgetEnforced) {
   EXPECT_THROW(engine.Run(), util::CheckError);
 }
 
+TEST(Engine, BandwidthViolationAttributedInStats) {
+  // The thrown CheckError must leave the violation inspectable: the lowest
+  // violating node of the violating round, with the offending message size.
+  StaticAdversary adv(graph::Path(3));
+  std::vector<InboxCounter> nodes(3, InboxCounter(1));
+  EngineOptions opts;
+  opts.bandwidth = BandwidthPolicy::BoundedLogN(1.0, 1);
+  Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+  EXPECT_THROW(engine.Run(), util::CheckError);
+  const RunStats stats = engine.stats();
+  ASSERT_TRUE(stats.bandwidth_violation.has_value());
+  EXPECT_EQ(stats.bandwidth_violation->node, 0);  // all violate; lowest wins
+  EXPECT_EQ(stats.bandwidth_violation->round, 1);
+  EXPECT_EQ(stats.bandwidth_violation->bits, 32);
+  EXPECT_GT(stats.bandwidth_violation->bits, stats.bit_limit);
+  EXPECT_TRUE(engine.finished());
+  EXPECT_FALSE(stats.all_decided);
+}
+
 TEST(Engine, MaxRoundsStopsUndecidedRun) {
   StaticAdversary adv(graph::Path(3));
   std::vector<InboxCounter> nodes(3, InboxCounter(1000));
@@ -119,8 +138,18 @@ TEST(Engine, MaxRoundsStopsUndecidedRun) {
   Engine<InboxCounter> engine(std::move(nodes), adv, opts);
   const RunStats stats = engine.Run();
   EXPECT_FALSE(stats.all_decided);
+  EXPECT_TRUE(stats.hit_max_rounds);
   EXPECT_EQ(stats.rounds, 10);
   EXPECT_EQ(stats.decide_round[0], -1);
+}
+
+TEST(Engine, CompletedRunIsNotFlaggedTruncated) {
+  StaticAdversary adv(graph::Path(3));
+  std::vector<InboxCounter> nodes(3, InboxCounter(2));
+  Engine<InboxCounter> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_TRUE(stats.all_decided);
+  EXPECT_FALSE(stats.hit_max_rounds);
 }
 
 TEST(Engine, DecideRoundsRecorded) {
@@ -224,6 +253,23 @@ class DegradingAdversary final : public Adversary {
   graph::Graph fast_;
   graph::Graph slow_;
 };
+
+TEST(Engine, RespawnedProbeBeyondRunEndIsNotCounted) {
+  // Path(8), one probe from node 0: completes at round 7, respawns with
+  // start round 14 — past max_rounds 10, so it never runs a round. The
+  // summary must not count the never-started respawn as a spawned probe
+  // (it would read as a phantom incomplete probe and understate d coverage).
+  StaticAdversary adv(graph::Path(8));
+  std::vector<InboxCounter> nodes(8, InboxCounter(1000));
+  EngineOptions opts;
+  opts.flood_probes = 1;
+  opts.max_rounds = 10;
+  Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+  const RunStats stats = engine.Run();
+  EXPECT_EQ(stats.flooding.completed, 1);
+  EXPECT_EQ(stats.flooding.probes, 1);
+  EXPECT_EQ(stats.flooding.max_rounds, 7);
+}
 
 TEST(Engine, StaggeredProbesSeeDegradedFloodingTime) {
   // Probes that all start in round 1 complete in 1 round on the complete
@@ -434,6 +480,32 @@ TEST(Engine, RunTwiceRejected) {
   Engine<InboxCounter> engine(std::move(nodes), adv, {});
   (void)engine.Run();
   EXPECT_THROW(engine.Run(), util::CheckError);
+}
+
+TEST(Engine, ParallelStatsMatchSerial) {
+  // n = 200 -> 3 shards, so threads = 4 genuinely exercises the pool path;
+  // every stat except wall-clock timings must be bit-identical to serial.
+  const graph::NodeId n = 200;
+  const auto run = [n](int threads) {
+    StaticAdversary adv(graph::Cycle(n));
+    std::vector<InboxCounter> nodes(
+        static_cast<std::size_t>(n), InboxCounter(25));
+    EngineOptions opts;
+    opts.threads = threads;
+    Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+    return engine.Run();
+  };
+  const RunStats serial = run(1);
+  const RunStats parallel = run(4);
+  EXPECT_EQ(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.messages_sent, parallel.messages_sent);
+  EXPECT_EQ(serial.messages_delivered, parallel.messages_delivered);
+  EXPECT_EQ(serial.total_message_bits, parallel.total_message_bits);
+  EXPECT_EQ(serial.max_message_bits, parallel.max_message_bits);
+  EXPECT_EQ(serial.decide_round, parallel.decide_round);
+  EXPECT_EQ(serial.sends_per_node, parallel.sends_per_node);
+  EXPECT_EQ(serial.flooding.probes, parallel.flooding.probes);
+  EXPECT_EQ(serial.flooding.max_rounds, parallel.flooding.max_rounds);
 }
 
 TEST(Engine, WrongSizeAdversaryRejected) {

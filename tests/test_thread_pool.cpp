@@ -1,0 +1,134 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace sdn::util {
+namespace {
+
+/// Runs fn over n items and returns per-index visit counts.
+std::vector<int> VisitCounts(ThreadPool& pool, std::int64_t n, int shards,
+                             int max_lanes) {
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.ParallelFor(n, shards, max_lanes,
+                   [&hits](int, std::int64_t begin, std::int64_t end) {
+                     for (std::int64_t i = begin; i < end; ++i) {
+                       hits[static_cast<std::size_t>(i)].fetch_add(1);
+                     }
+                   });
+  std::vector<int> out;
+  out.reserve(hits.size());
+  for (const auto& h : hits) out.push_back(h.load());
+  return out;
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const std::vector<int> hits = VisitCounts(pool, 1000, 16, 4);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, MoreShardsThanLanes) {
+  ThreadPool pool(2);
+  const std::vector<int> hits = VisitCounts(pool, 337, 32, 2);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, FewerItemsThanShards) {
+  ThreadPool pool(2);
+  // Empty shards (begin == end) must be skipped, non-empty ones run once.
+  const std::vector<int> hits = VisitCounts(pool, 5, 16, 3);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, 4, 4, [&calls](int, std::int64_t, std::int64_t) {
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.lanes(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  pool.ParallelFor(100, 8, 8,
+                   [&](int, std::int64_t, std::int64_t) {
+                     all_on_caller =
+                         all_on_caller && std::this_thread::get_id() == caller;
+                   });
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(256, 8, 4,
+                       [](int shard, std::int64_t, std::int64_t) {
+                         if (shard == 5) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must stay fully usable after a failed job.
+  const std::vector<int> hits = VisitCounts(pool, 256, 8, 4);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, ShardBoundariesIndependentOfLaneCount) {
+  // Determinism precondition: the (shard, begin, end) partition is a pure
+  // function of (n, shards) — the lane count only changes who runs what.
+  using Range = std::tuple<int, std::int64_t, std::int64_t>;
+  ThreadPool pool(3);
+  const auto partition = [&pool](int max_lanes) {
+    std::mutex mu;
+    std::vector<Range> ranges;
+    pool.ParallelFor(777, 16, max_lanes,
+                     [&](int shard, std::int64_t begin, std::int64_t end) {
+                       const std::lock_guard<std::mutex> lock(mu);
+                       ranges.emplace_back(shard, begin, end);
+                     });
+    std::sort(ranges.begin(), ranges.end());
+    return ranges;
+  };
+  const std::vector<Range> serial = partition(1);
+  const std::vector<Range> wide = partition(4);
+  EXPECT_EQ(serial, wide);
+}
+
+TEST(ThreadPool, ConcurrentCallersShareThePool) {
+  ThreadPool pool(3);
+  std::vector<std::vector<int>> results(4);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    callers.emplace_back([&pool, &results, c] {
+      results[c] = VisitCounts(pool, 500, 10, 4);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (const std::vector<int>& hits : results) {
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }));
+  }
+}
+
+TEST(ThreadPool, SharedPoolIsASingletonWithAtLeastTwoLanes) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared().lanes(), 2);
+}
+
+}  // namespace
+}  // namespace sdn::util
