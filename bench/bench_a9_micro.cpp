@@ -155,8 +155,10 @@ constexpr double kPr1SingleThreadRoundsPerSec = 949.4;
 /// The fixed reference workload: one full hjswy run, N=1024, spine-gnp, T=2,
 /// validation and probes off so the measurement isolates the
 /// topology/send/deliver pipeline. `threads` is EngineOptions::threads
-/// (1 = serial reference; results are bit-identical at every setting).
-net::RunStats TimedReferenceRun(int threads) {
+/// (1 = serial reference; results are bit-identical at every setting), and
+/// `incremental` toggles the delta-driven topology path (A/B'd below —
+/// results are bit-identical there too).
+net::RunStats TimedReferenceRun(int threads, bool incremental = true) {
   const graph::NodeId n = 1024;
   adversary::AdversaryConfig config;
   config.kind = "spine-gnp";
@@ -175,16 +177,17 @@ net::RunStats TimedReferenceRun(int threads) {
   opts.validate_tinterval = false;
   opts.flood_probes = 0;
   opts.threads = threads;
+  opts.incremental_topology = incremental;
   net::Engine<algo::HjswyProgram> engine(std::move(nodes), *adv, opts);
   return engine.Run();
 }
 
 /// Best-of-`reps` by rounds/sec at a fixed thread count.
-net::RunStats BestRun(int threads, int reps = 3) {
+net::RunStats BestRun(int threads, bool incremental = true, int reps = 3) {
   net::RunStats best;
   double best_rps = -1.0;
   for (int rep = 0; rep < reps; ++rep) {
-    const net::RunStats stats = TimedReferenceRun(threads);
+    const net::RunStats stats = TimedReferenceRun(threads, incremental);
     const double rps = stats.timings.RoundsPerSec(stats.rounds);
     if (rps > best_rps) {
       best_rps = rps;
@@ -205,17 +208,39 @@ void ReportEngineTimings() {
   std::printf("  baseline=%.1f rounds/s  speedup=%.2fx\n", kBaselineRoundsPerSec,
               best_rps / kBaselineRoundsPerSec);
 
+  // Topology A/B: the identical serial workload on the legacy from-scratch
+  // path vs the delta-driven DynGraph path (every other phase untouched, so
+  // topology_ns is the whole difference; RunStats agree bit for bit).
+  const net::RunStats scratch = BestRun(/*threads=*/1, /*incremental=*/false);
+  std::printf(
+      "topology A/B (serial): scratch=%lld ns  incremental=%lld ns  "
+      "speedup=%.2fx\n",
+      static_cast<long long>(scratch.timings.topology_ns),
+      static_cast<long long>(best.timings.topology_ns),
+      static_cast<double>(scratch.timings.topology_ns) /
+          static_cast<double>(
+              std::max<std::int64_t>(1, best.timings.topology_ns)));
+
   // Threads sweep: same workload at growing EngineOptions::threads. The
   // serial row is re-measured (not reused) so every row saw the same
-  // machine state; speedups are vs this process's own serial row.
+  // machine state; speedups are vs this process's own serial row. Counts
+  // above the machine's concurrency are skipped (they would only measure
+  // oversubscription noise) — except 2, kept as the minimal parallel
+  // datapoint — and recorded as skipped in BENCH_engine.json.
   struct SweepRow {
     int threads = 0;
     net::RunStats stats;
   };
   std::vector<SweepRow> sweep;
+  std::vector<int> skipped;
   const auto hw = static_cast<int>(std::thread::hardware_concurrency());
   std::printf("threads sweep (same workload; hardware_concurrency=%d):\n", hw);
   for (const int threads : {1, 2, 4, 8}) {
+    if (threads > hw && threads != 2) {
+      skipped.push_back(threads);
+      std::printf("  threads=%d  skipped (> hardware_concurrency)\n", threads);
+      continue;
+    }
     sweep.push_back({threads, BestRun(threads)});
     const net::RunStats& s = sweep.back().stats;
     const net::RunStats& serial = sweep.front().stats;
@@ -255,7 +280,10 @@ void ReportEngineTimings() {
                "  \"timings_ns\": {\"topology\": %lld, \"validate\": %lld, "
                "\"probe\": %lld, \"send\": %lld, \"deliver\": %lld, "
                "\"total\": %lld},\n"
-               "  \"threads_sweep\": [\n",
+               "  \"topology_scratch_ns\": %lld,\n"
+               "  \"topology_incremental_ns\": %lld,\n"
+               "  \"topology_speedup\": %.2f,\n"
+               "  \"threads_sweep_skipped\": [",
                static_cast<long long>(best.rounds),
                static_cast<long long>(best.edges_processed),
                static_cast<long long>(best.messages_delivered), best_rps, eps,
@@ -266,7 +294,16 @@ void ReportEngineTimings() {
                static_cast<long long>(best.timings.probe_ns),
                static_cast<long long>(best.timings.send_ns),
                static_cast<long long>(best.timings.deliver_ns),
-               static_cast<long long>(best.timings.total_ns));
+               static_cast<long long>(best.timings.total_ns),
+               static_cast<long long>(scratch.timings.topology_ns),
+               static_cast<long long>(best.timings.topology_ns),
+               static_cast<double>(scratch.timings.topology_ns) /
+                   static_cast<double>(
+                       std::max<std::int64_t>(1, best.timings.topology_ns)));
+  for (std::size_t i = 0; i < skipped.size(); ++i) {
+    std::fprintf(f, "%s%d", i == 0 ? "" : ", ", skipped[i]);
+  }
+  std::fprintf(f, "],\n  \"threads_sweep\": [\n");
   const net::RunStats& serial = sweep.front().stats;
   const double serial_rps = serial.timings.RoundsPerSec(serial.rounds);
   for (std::size_t i = 0; i < sweep.size(); ++i) {

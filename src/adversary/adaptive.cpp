@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "graph/delta.hpp"
 #include "util/check.hpp"
 
 namespace sdn::adversary {
@@ -21,7 +22,7 @@ AdaptiveSortPathAdversary::AdaptiveSortPathAdversary(graph::NodeId n, int T,
   SDN_CHECK(T >= 1);
 }
 
-graph::Graph AdaptiveSortPathAdversary::BuildSortedPath(
+std::vector<graph::Edge> AdaptiveSortPathAdversary::BuildSortedPath(
     const net::AdversaryView& view) {
   std::vector<graph::NodeId> order(static_cast<std::size_t>(n_));
   std::iota(order.begin(), order.end(), graph::NodeId{0});
@@ -34,14 +35,17 @@ graph::Graph AdaptiveSortPathAdversary::BuildSortedPath(
                      return descending_ ? sa > sb : sa < sb;
                    });
   std::vector<graph::Edge> edges;
+  edges.reserve(order.size());
   for (std::size_t i = 0; i + 1 < order.size(); ++i) {
     edges.emplace_back(order[i], order[i + 1]);
   }
-  return graph::Graph(n_, edges);
+  std::sort(edges.begin(), edges.end());
+  return edges;
 }
 
-graph::Graph AdaptiveSortPathAdversary::TopologyFor(
-    std::int64_t round, const net::AdversaryView& view) {
+void AdaptiveSortPathAdversary::BuildRoundEdges(std::int64_t round,
+                                                const net::AdversaryView& view,
+                                                std::vector<graph::Edge>& out) {
   SDN_CHECK(round >= 1);
   const std::int64_t era = (round - 1) / era_length_;
   const std::int64_t offset = (round - 1) % era_length_;
@@ -51,10 +55,33 @@ graph::Graph AdaptiveSortPathAdversary::TopologyFor(
     previous_spine_ = std::move(current_spine_);
     current_spine_ = BuildSortedPath(view);
   }
-  if (offset < t_ - 1 && previous_spine_.has_value()) {
-    return current_spine_->WithEdges(previous_spine_->Edges());
+  if (offset < t_ - 1 && current_era_ >= 1) {
+    graph::UnionSorted(current_spine_, previous_spine_, out);
+  } else {
+    out.assign(current_spine_.begin(), current_spine_.end());
   }
-  return *current_spine_;
+}
+
+graph::Graph AdaptiveSortPathAdversary::TopologyFor(
+    std::int64_t round, const net::AdversaryView& view) {
+  std::vector<graph::Edge> merged;
+  BuildRoundEdges(round, view, merged);
+  return graph::Graph(n_, std::move(merged), graph::Graph::SortedEdges{});
+}
+
+void AdaptiveSortPathAdversary::DeltaFor(std::int64_t round,
+                                         const net::AdversaryView& view,
+                                         const graph::Graph& prev,
+                                         graph::TopologyDelta& out) {
+  BuildRoundEdges(round, view, round_edges_);
+  graph::DiffSorted(prev.Edges(), round_edges_, out);
+}
+
+bool AdaptiveSortPathAdversary::RoundEdgesInto(std::int64_t round,
+                                               const net::AdversaryView& view,
+                                               std::vector<graph::Edge>& out) {
+  BuildRoundEdges(round, view, out);
+  return true;
 }
 
 std::string AdaptiveSortPathAdversary::name() const {

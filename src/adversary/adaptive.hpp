@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <vector>
 
 #include "net/adversary.hpp"
 #include "util/rng.hpp"
@@ -31,13 +31,29 @@ class AdaptiveSortPathAdversary final : public net::Adversary {
   [[nodiscard]] int interval() const override { return t_; }
   graph::Graph TopologyFor(std::int64_t round,
                            const net::AdversaryView& view) override;
+  /// Native delta: round edges assembled in a reused buffer from the cached
+  /// sorted spine edge lists and diffed against `prev`. Reads PublicState
+  /// through the same call sequence as TopologyFor (same RNG stream).
+  void DeltaFor(std::int64_t round, const net::AdversaryView& view,
+                const graph::Graph& prev, graph::TopologyDelta& out) override;
+  /// Fastest path: the full round list straight into the caller's buffer —
+  /// no Graph build, no diff. Adaptive topologies cannot be prefetched, so
+  /// this is the one lever that shortens their critical path.
+  bool RoundEdgesInto(std::int64_t round, const net::AdversaryView& view,
+                      std::vector<graph::Edge>& out) override;
   [[nodiscard]] std::string name() const override;
   /// Samples PublicState at era boundaries — topology prefetch would let it
   /// observe mid-round state, so the engine must call it synchronously.
   [[nodiscard]] bool oblivious() const override { return false; }
 
  private:
-  graph::Graph BuildSortedPath(const net::AdversaryView& view);
+  /// Sorted edge list of a fresh state-sorted path.
+  std::vector<graph::Edge> BuildSortedPath(const net::AdversaryView& view);
+  /// Advances the era state machine and fills `out` with round's sorted,
+  /// deduplicated edge list (spine, plus the previous era's spine during
+  /// the first T-1 rounds of an era).
+  void BuildRoundEdges(std::int64_t round, const net::AdversaryView& view,
+                       std::vector<graph::Edge>& out);
 
   graph::NodeId n_;
   int t_;
@@ -45,8 +61,9 @@ class AdaptiveSortPathAdversary final : public net::Adversary {
   util::Rng rng_;
   std::int64_t era_length_;
   std::int64_t current_era_ = -1;
-  std::optional<graph::Graph> current_spine_;
-  std::optional<graph::Graph> previous_spine_;
+  std::vector<graph::Edge> current_spine_;   // sorted
+  std::vector<graph::Edge> previous_spine_;  // sorted; meaningful era >= 1
+  std::vector<graph::Edge> round_edges_;     // reused assembly buffer
 };
 
 }  // namespace sdn::adversary

@@ -28,6 +28,25 @@ graph::Graph ReplayAdversary::TopologyFor(std::int64_t round,
   return sequence_[idx];
 }
 
+void ReplayAdversary::DeltaFor(std::int64_t round, const net::AdversaryView&,
+                               const graph::Graph& prev,
+                               graph::TopologyDelta& out) {
+  SDN_CHECK(round >= 1);
+  const auto idx = std::min<std::size_t>(static_cast<std::size_t>(round - 1),
+                                         sequence_.size() - 1);
+  if (round == 1) {
+    graph::DiffSorted(prev.Edges(), sequence_[idx].Edges(), out);
+    return;
+  }
+  const auto prev_idx = std::min<std::size_t>(
+      static_cast<std::size_t>(round - 2), sequence_.size() - 1);
+  if (idx == prev_idx) {
+    out.clear();  // past the recording: the final topology repeats
+    return;
+  }
+  graph::DiffSorted(sequence_[prev_idx].Edges(), sequence_[idx].Edges(), out);
+}
+
 std::string ReplayAdversary::name() const {
   std::ostringstream os;
   os << "replay[" << sequence_.size() << " rounds]";

@@ -23,6 +23,10 @@ class ReplayAdversary final : public net::Adversary {
   [[nodiscard]] int interval() const override { return t_; }
   graph::Graph TopologyFor(std::int64_t round,
                            const net::AdversaryView& view) override;
+  /// Native delta: diffs the two recorded rounds directly (no Graph copy);
+  /// rounds past the recording are empty deltas in O(1).
+  void DeltaFor(std::int64_t round, const net::AdversaryView& view,
+                const graph::Graph& prev, graph::TopologyDelta& out) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::int64_t recorded_rounds() const {

@@ -1,9 +1,11 @@
 #include "adversary/stable_spine.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <vector>
 
+#include "graph/delta.hpp"
 #include "util/check.hpp"
 
 namespace sdn::adversary {
@@ -26,70 +28,123 @@ StableSpineAdversary::StableSpineAdversary(graph::NodeId n, int T,
                                                   << T << ")");
 }
 
-const graph::Graph& StableSpineAdversary::SpineForEra(std::int64_t era) {
+void StableSpineAdversary::AdvanceToEra(std::int64_t era) {
   SDN_CHECK(era >= 0);
   SDN_CHECK_MSG(era >= current_era_,
                 "StableSpineAdversary rounds must be non-decreasing");
   while (current_era_ < era) {
     ++current_era_;
+    has_previous_ = current_era_ >= 1;
     previous_spine_ = std::move(current_spine_);
     util::Rng era_rng =
         seed_rng_.Fork(static_cast<std::uint64_t>(current_era_) + 1);
-    current_spine_ = MakeSpine(options_.spine, n_, era_rng);
+    current_spine_ = PooledSpineEdges(options_.spine, n_, era_rng);
   }
-  return *current_spine_;
 }
 
-const graph::Graph& StableSpineAdversary::SpineForRound(std::int64_t round) {
+graph::Graph StableSpineAdversary::SpineForRound(std::int64_t round) {
   SDN_CHECK(round >= 1);
-  return SpineForEra((round - 1) / era_length_);
+  AdvanceToEra((round - 1) / era_length_);
+  std::vector<graph::Edge> copy = *current_spine_;
+  return graph::Graph(n_, std::move(copy), graph::Graph::SortedEdges{});
 }
 
-graph::Graph StableSpineAdversary::TopologyFor(std::int64_t round,
-                                               const net::AdversaryView&) {
+const std::vector<graph::Edge>& StableSpineAdversary::OverlapBase() {
+  if (overlap_base_era_ != current_era_) {
+    overlap_base_era_ = current_era_;
+    graph::UnionSorted(*current_spine_, *previous_spine_, overlap_base_);
+  }
+  return overlap_base_;
+}
+
+void StableSpineAdversary::BuildRoundEdges(std::int64_t round,
+                                           std::vector<graph::Edge>& out) {
   SDN_CHECK(round >= 1);
   const std::int64_t era = (round - 1) / era_length_;
   const std::int64_t offset = (round - 1) % era_length_;
-  const graph::Graph& spine = SpineForEra(era);
+  AdvanceToEra(era);
 
   // Overlap: previous era's spine persists through the first T-1 rounds of
   // this era so sliding T-windows keep a common connected spanning subgraph.
-  const bool overlap = offset < t_ - 1 && previous_spine_.has_value();
+  const bool overlap = offset < t_ - 1 && has_previous_;
   const std::int64_t volatile_count = n_ >= 2 ? options_.volatile_edges : 0;
-  if (!overlap && volatile_count == 0) return spine;
 
-  // This runs once per simulated round, so the topology is assembled as one
-  // sorted merge handed to the sort-free Graph constructor instead of
-  // copying the spine graph and re-sorting the full edge list every round.
-  const auto spine_edges = spine.Edges();
-  std::vector<graph::Edge> merged;
-  merged.reserve(spine_edges.size() +
-                 (overlap ? previous_spine_->Edges().size() : 0) +
-                 static_cast<std::size_t>(volatile_count));
-  if (overlap) {
-    const auto prev = previous_spine_->Edges();
-    std::merge(spine_edges.begin(), spine_edges.end(), prev.begin(),
-               prev.end(), std::back_inserter(merged));
-  } else {
-    merged.assign(spine_edges.begin(), spine_edges.end());
-  }
+  // This runs once per simulated round: the base (spine, or the per-era
+  // cached spine union during overlap) is already sorted-unique, so the
+  // round list is one block-copy merge of the few volatile edges into the
+  // base — runs between volatile insertion points are copied wholesale.
+  const std::vector<graph::Edge>& base =
+      overlap ? OverlapBase() : *current_spine_;
+  out.clear();
+  out.reserve(base.size() + static_cast<std::size_t>(volatile_count));
   if (volatile_count > 0) {
-    std::vector<graph::Edge> fresh;
-    fresh.reserve(static_cast<std::size_t>(volatile_count));
+    // Draw the volatile edges as packed (u<<32)|v keys — lexicographic Edge
+    // order and key order coincide for non-negative node ids, and sorting
+    // u64 keys halves the compare work of sorting two-field Edges.
+    fresh_keys_.clear();
+    fresh_keys_.reserve(static_cast<std::size_t>(volatile_count));
     for (std::int64_t i = 0; i < volatile_count; ++i) {
       const auto u = static_cast<graph::NodeId>(
           volatile_rng_.UniformU64(static_cast<std::uint64_t>(n_)));
       auto v = static_cast<graph::NodeId>(
           volatile_rng_.UniformU64(static_cast<std::uint64_t>(n_) - 1));
       if (v >= u) ++v;
-      fresh.emplace_back(u, v);
+      const auto lo = static_cast<std::uint32_t>(std::min(u, v));
+      const auto hi = static_cast<std::uint32_t>(std::max(u, v));
+      fresh_keys_.push_back((static_cast<std::uint64_t>(lo) << 32) | hi);
     }
-    std::sort(fresh.begin(), fresh.end());
-    const auto middle = static_cast<std::ptrdiff_t>(merged.size());
-    merged.insert(merged.end(), fresh.begin(), fresh.end());
-    std::inplace_merge(merged.begin(), merged.begin() + middle, merged.end());
+    std::sort(fresh_keys_.begin(), fresh_keys_.end());
+    fresh_edges_.clear();
+    fresh_edges_.reserve(fresh_keys_.size());
+    for (const std::uint64_t k : fresh_keys_) {
+      fresh_edges_.emplace_back(static_cast<graph::NodeId>(k >> 32),
+                                static_cast<graph::NodeId>(k & 0xffffffffULL));
+    }
   }
+  const graph::Edge* b = base.data();
+  const graph::Edge* const be = b + base.size();
+  for (const graph::Edge& f : fresh_edges_) {
+    // Galloping run search: runs between volatile insertion points average
+    // |base|/|volatile| elements, so probing 1,2,4,... from the cursor stays
+    // in the cache lines the block copy is about to stream anyway — a
+    // binary search over the whole remaining range touches cold memory.
+    const graph::Edge* run_end = b;
+    if (b != be && *b < f) {
+      std::size_t hi = 1;
+      const auto rem = static_cast<std::size_t>(be - b);
+      while (hi < rem && b[hi] < f) hi <<= 1;
+      run_end = std::lower_bound(b + (hi >> 1) + 1,
+                                 b + std::min(hi + 1, rem), f);
+    }
+    out.insert(out.end(), b, run_end);
+    b = run_end;
+    if (b != be && *b == f) continue;            // already a base edge
+    if (!out.empty() && out.back() == f) continue;  // duplicate volatile draw
+    out.push_back(f);
+  }
+  out.insert(out.end(), b, be);
+}
+
+graph::Graph StableSpineAdversary::TopologyFor(std::int64_t round,
+                                               const net::AdversaryView&) {
+  std::vector<graph::Edge> merged;
+  BuildRoundEdges(round, merged);
   return graph::Graph(n_, std::move(merged), graph::Graph::SortedEdges{});
+}
+
+void StableSpineAdversary::DeltaFor(std::int64_t round,
+                                    const net::AdversaryView&,
+                                    const graph::Graph& prev,
+                                    graph::TopologyDelta& out) {
+  BuildRoundEdges(round, round_edges_);
+  graph::DiffSorted(prev.Edges(), round_edges_, out);
+}
+
+bool StableSpineAdversary::RoundEdgesInto(std::int64_t round,
+                                          const net::AdversaryView&,
+                                          std::vector<graph::Edge>& out) {
+  BuildRoundEdges(round, out);
+  return true;
 }
 
 std::string StableSpineAdversary::name() const {

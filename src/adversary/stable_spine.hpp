@@ -19,7 +19,8 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
+#include <vector>
 
 #include "adversary/spine.hpp"
 #include "net/adversary.hpp"
@@ -45,13 +46,28 @@ class StableSpineAdversary final : public net::Adversary {
   [[nodiscard]] int interval() const override { return t_; }
   graph::Graph TopologyFor(std::int64_t round,
                            const net::AdversaryView& view) override;
+  /// Native delta: assembles the round's sorted edge list in a reused
+  /// buffer and diffs it against `prev` — no per-round Graph (CSR build)
+  /// at all. Consumes the identical volatile-RNG stream as TopologyFor.
+  void DeltaFor(std::int64_t round, const net::AdversaryView& view,
+                const graph::Graph& prev, graph::TopologyDelta& out) override;
+  /// Fastest path: writes the round's full sorted-unique edge list straight
+  /// into the caller's buffer, skipping both the Graph build and the diff.
+  bool RoundEdgesInto(std::int64_t round, const net::AdversaryView& view,
+                      std::vector<graph::Edge>& out) override;
   [[nodiscard]] std::string name() const override;
 
   /// The spine active in `round`'s era (for tests and d-calibration).
-  [[nodiscard]] const graph::Graph& SpineForRound(std::int64_t round);
+  [[nodiscard]] graph::Graph SpineForRound(std::int64_t round);
 
  private:
-  const graph::Graph& SpineForEra(std::int64_t era);
+  void AdvanceToEra(std::int64_t era);
+  /// The sorted-unique union of the current and previous spines, built once
+  /// per era (used by the first T-1 overlap rounds of that era).
+  const std::vector<graph::Edge>& OverlapBase();
+  /// Fills `out` with round's sorted, deduplicated edge list (spine ∪
+  /// overlap spine ∪ fresh volatile edges), advancing the volatile RNG.
+  void BuildRoundEdges(std::int64_t round, std::vector<graph::Edge>& out);
 
   graph::NodeId n_;
   int t_;
@@ -60,8 +76,16 @@ class StableSpineAdversary final : public net::Adversary {
   util::Rng seed_rng_;
   util::Rng volatile_rng_;
   std::int64_t current_era_ = -1;
-  std::optional<graph::Graph> current_spine_;
-  std::optional<graph::Graph> previous_spine_;
+  bool has_previous_ = false;  // a previous era's spine exists
+  // Sorted-unique edge lists shared with the process-wide spine pool (the
+  // spine CSR is never needed); null until the first AdvanceToEra.
+  std::shared_ptr<const std::vector<graph::Edge>> current_spine_;
+  std::shared_ptr<const std::vector<graph::Edge>> previous_spine_;
+  std::vector<graph::Edge> overlap_base_;    // cached cur ∪ prev of one era
+  std::int64_t overlap_base_era_ = -1;
+  std::vector<graph::Edge> round_edges_;  // DeltaFor's reused assembly buffer
+  std::vector<graph::Edge> fresh_edges_;  // volatile-edge scratch
+  std::vector<std::uint64_t> fresh_keys_;  // packed volatile draws pre-sort
 };
 
 }  // namespace sdn::adversary

@@ -21,6 +21,18 @@ graph::Graph StaticAdversary::TopologyFor(std::int64_t round,
   return g_;
 }
 
+void StaticAdversary::DeltaFor(std::int64_t round, const net::AdversaryView&,
+                               const graph::Graph& prev,
+                               graph::TopologyDelta& out) {
+  SDN_CHECK(round >= 1);
+  if (round > 1) {
+    // prev is the graph we produced for round-1, i.e. g_ itself.
+    out.clear();
+    return;
+  }
+  graph::DiffSorted(prev.Edges(), g_.Edges(), out);
+}
+
 std::string StaticAdversary::name() const {
   std::ostringstream os;
   os << "static[n=" << g_.num_nodes() << ",m=" << g_.num_edges() << "]";

@@ -19,6 +19,10 @@ class StaticAdversary final : public net::Adversary {
   [[nodiscard]] int interval() const override { return t_; }
   graph::Graph TopologyFor(std::int64_t round,
                            const net::AdversaryView& view) override;
+  /// Native delta: every round past the first is empty in O(1) — the
+  /// incremental engine then reuses the round-1 topology untouched.
+  void DeltaFor(std::int64_t round, const net::AdversaryView& view,
+                const graph::Graph& prev, graph::TopologyDelta& out) override;
   [[nodiscard]] std::string name() const override;
 
  private:

@@ -176,6 +176,7 @@ class TypedSim final : public detail::SimBase {
     opts.flood_probes = config_.flood_probes;
     opts.probe_seed = util::MixSeed(config_.seed, 0x9e0be5ULL);
     opts.validate_tinterval = config_.validate_tinterval;
+    opts.incremental_topology = config_.incremental_topology;
     opts.threads = config_.threads;
     engine_.emplace(std::move(nodes), *adversary_, opts);
   }

@@ -63,6 +63,10 @@ struct RunConfig {
   /// round; property tests cover every adversary kind, so long bench runs
   /// may turn this off.
   bool validate_tinterval = true;
+  /// Delta-driven topology (EngineOptions::incremental_topology): the
+  /// adversary emits round-over-round deltas into one in-place DynGraph.
+  /// Bit-identical results either way; off = legacy from-scratch path.
+  bool incremental_topology = true;
   /// Engine-internal parallelism (EngineOptions::threads): 0 = hardware,
   /// 1 = strictly serial, k = up to k lanes. Results are bit-identical at
   /// any setting; RunTrials additionally budgets this against its outer

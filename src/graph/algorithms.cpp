@@ -12,30 +12,6 @@ UnionFind::UnionFind(std::size_t n)
   for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<NodeId>(i);
 }
 
-NodeId UnionFind::Find(NodeId x) {
-  SDN_CHECK(x >= 0 && static_cast<std::size_t>(x) < parent_.size());
-  while (parent_[static_cast<std::size_t>(x)] != x) {
-    const NodeId grand =
-        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
-    parent_[static_cast<std::size_t>(x)] = grand;
-    x = grand;
-  }
-  return x;
-}
-
-bool UnionFind::Union(NodeId x, NodeId y) {
-  NodeId rx = Find(x);
-  NodeId ry = Find(y);
-  if (rx == ry) return false;
-  if (size_[static_cast<std::size_t>(rx)] < size_[static_cast<std::size_t>(ry)]) {
-    std::swap(rx, ry);
-  }
-  parent_[static_cast<std::size_t>(ry)] = rx;
-  size_[static_cast<std::size_t>(rx)] += size_[static_cast<std::size_t>(ry)];
-  --components_;
-  return true;
-}
-
 std::vector<std::int32_t> BfsDistances(const Graph& g, NodeId source) {
   SDN_CHECK(source >= 0 && source < g.num_nodes());
   std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()), -1);

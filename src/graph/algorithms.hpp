@@ -3,19 +3,47 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/check.hpp"
 
 namespace sdn::graph {
 
-/// Disjoint-set union with union-by-size and path halving.
+/// Disjoint-set union with union-by-size and path halving. Find/Union are
+/// inline: the connected-generator hot loop calls Union once per candidate
+/// edge, where an out-of-line call costs as much as the find itself.
 class UnionFind {
  public:
   explicit UnionFind(std::size_t n);
-  NodeId Find(NodeId x);
+
+  NodeId Find(NodeId x) {
+    SDN_CHECK(x >= 0 && static_cast<std::size_t>(x) < parent_.size());
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      const NodeId grand = parent_[static_cast<std::size_t>(
+          parent_[static_cast<std::size_t>(x)])];
+      parent_[static_cast<std::size_t>(x)] = grand;
+      x = grand;
+    }
+    return x;
+  }
+
   /// Returns true if x and y were in different sets (i.e. a merge happened).
-  bool Union(NodeId x, NodeId y);
+  bool Union(NodeId x, NodeId y) {
+    NodeId rx = Find(x);
+    NodeId ry = Find(y);
+    if (rx == ry) return false;
+    if (size_[static_cast<std::size_t>(rx)] <
+        size_[static_cast<std::size_t>(ry)]) {
+      std::swap(rx, ry);
+    }
+    parent_[static_cast<std::size_t>(ry)] = rx;
+    size_[static_cast<std::size_t>(rx)] += size_[static_cast<std::size_t>(ry)];
+    --components_;
+    return true;
+  }
+
   [[nodiscard]] std::size_t num_components() const { return components_; }
 
  private:

@@ -119,50 +119,76 @@ Graph RandomTree(NodeId n, util::Rng& rng) {
   return Graph(n, edges);
 }
 
-Graph Gnp(NodeId n, double p, util::Rng& rng) {
+std::vector<Edge> GnpEdges(NodeId n, double p, util::Rng& rng) {
   SDN_CHECK(n >= 1);
   SDN_CHECK(p >= 0.0 && p <= 1.0);
   std::vector<Edge> edges;
-  if (p <= 0.0) return Graph(n);
-  if (p >= 1.0) return Complete(n);
-  // Geometric skipping over the edge enumeration: O(E) expected.
+  if (p <= 0.0) return edges;
+  if (p >= 1.0) {
+    edges.reserve(static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) - 1) / 2);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+    }
+    return edges;
+  }
+  // Geometric skipping over the edge enumeration: O(E) expected. The skip
+  // denominator is hoisted out of the loop (same arithmetic as
+  // Rng::Geometric, so the emitted graph is bit-identical), and idx -> (u,v)
+  // inversion tracks the current row incrementally — idx only grows, so the
+  // row advance is amortized O(1) per edge with no floating-point inversion.
   const auto total =
       static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) / 2;
-  std::uint64_t idx = rng.Geometric(p);
+  edges.reserve(static_cast<std::size_t>(p * static_cast<double>(total)) + 16);
+  const double denom = std::log1p(-p);
+  const auto skip = [&rng, denom]() {
+    return static_cast<std::uint64_t>(std::log1p(-rng.UniformDouble()) / denom);
+  };
+  std::uint64_t row = 0;        // current u
+  std::uint64_t row_start = 0;  // index of (row, row+1); row width n-1-row
+  std::uint64_t idx = skip();
   while (idx < total) {
-    // Invert idx -> (u, v) over the upper triangle, row-major.
-    // Row u starts at offset u*n - u*(u+1)/2.
-    const auto fn = static_cast<double>(n);
-    auto u = static_cast<std::uint64_t>(
-        fn - 0.5 - std::sqrt((fn - 0.5) * (fn - 0.5) - 2.0 * static_cast<double>(idx)));
-    auto RowStart = [n](std::uint64_t row) {
-      return row * static_cast<std::uint64_t>(n) - row * (row + 1) / 2;
-    };
-    while (u + 1 < static_cast<std::uint64_t>(n) && RowStart(u + 1) <= idx) ++u;
-    while (u > 0 && RowStart(u) > idx) --u;
-    const std::uint64_t v = u + 1 + (idx - RowStart(u));
-    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
-    idx += 1 + rng.Geometric(p);
+    while (idx >= row_start + (static_cast<std::uint64_t>(n) - 1 - row)) {
+      row_start += static_cast<std::uint64_t>(n) - 1 - row;
+      ++row;
+    }
+    const std::uint64_t v = row + 1 + (idx - row_start);
+    edges.emplace_back(static_cast<NodeId>(row), static_cast<NodeId>(v));
+    idx += 1 + skip();
   }
-  return Graph(n, edges);
+  // Edges are emitted in ascending enumeration order, i.e. already sorted.
+  return edges;
 }
 
-Graph ConnectedGnp(NodeId n, double p, util::Rng& rng) {
-  Graph g = Gnp(n, p, rng);
+Graph Gnp(NodeId n, double p, util::Rng& rng) {
+  return Graph(n, GnpEdges(n, p, rng), Graph::SortedEdges{});
+}
+
+std::vector<Edge> ConnectedGnpEdges(NodeId n, double p, util::Rng& rng) {
+  std::vector<Edge> edges = GnpEdges(n, p, rng);
   UnionFind uf(static_cast<std::size_t>(n));
-  for (const Edge& e : g.Edges()) uf.Union(e.u, e.v);
-  if (uf.num_components() == 1) return g;
+  for (const Edge& e : edges) {
+    uf.Union(e.u, e.v);
+    if (uf.num_components() == 1) break;  // already connected; rest can't split
+  }
+  if (uf.num_components() == 1) return edges;
   // Collect one representative per component, shuffle, and chain them.
   std::vector<NodeId> reps;
   for (NodeId u = 0; u < n; ++u) {
     if (uf.Find(u) == u) reps.push_back(u);
   }
   rng.Shuffle(std::span<NodeId>(reps));
-  std::vector<Edge> repair;
   for (std::size_t i = 0; i + 1 < reps.size(); ++i) {
-    repair.emplace_back(reps[i], reps[i + 1]);
+    edges.emplace_back(reps[i], reps[i + 1]);
   }
-  return g.WithEdges(repair);
+  // Same normalization the unsorted Graph constructor applies, so the list
+  // matches what WithEdges(repair) used to produce.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+Graph ConnectedGnp(NodeId n, double p, util::Rng& rng) {
+  return Graph(n, ConnectedGnpEdges(n, p, rng), Graph::SortedEdges{});
 }
 
 Graph RandomExpander(NodeId n, int cycles, util::Rng& rng) {

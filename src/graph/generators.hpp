@@ -33,9 +33,17 @@ Graph RandomTree(NodeId n, util::Rng& rng);
 /// Erdős–Rényi G(n,p); may be disconnected.
 Graph Gnp(NodeId n, double p, util::Rng& rng);
 
+/// G(n,p) as a sorted-unique edge list: the exact edges Gnp would produce
+/// (same RNG draws, bit-identical) without paying for the Graph's CSR
+/// build. For callers that only consume the list (spine assembly).
+std::vector<Edge> GnpEdges(NodeId n, double p, util::Rng& rng);
+
 /// G(n,p) with connectivity repaired by adding one random inter-component
 /// edge per merge (so exactly #components-1 repair edges).
 Graph ConnectedGnp(NodeId n, double p, util::Rng& rng);
+
+/// Edge-list variant of ConnectedGnp — bit-identical edge set, no CSR.
+std::vector<Edge> ConnectedGnpEdges(NodeId n, double p, util::Rng& rng);
 
 /// Union of `cycles` random Hamiltonian cycles: a simple ~2·cycles-regular
 /// graph that is connected and an expander whp — O(log n) diameter.

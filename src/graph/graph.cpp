@@ -1,13 +1,36 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
 namespace sdn::graph {
 
-Edge::Edge(NodeId a, NodeId b) : u(std::min(a, b)), v(std::max(a, b)) {
-  SDN_CHECK_MSG(a != b, "self-loop at node " << a);
+namespace {
+
+bool InitVerifySortedEdges() {
+  if (const char* env = std::getenv("SDN_VERIFY_SORTED")) {
+    return env[0] != '0';
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::atomic<bool> g_verify_sorted{InitVerifySortedEdges()};
+
+}  // namespace
+
+void SetVerifySortedEdges(bool on) {
+  g_verify_sorted.store(on, std::memory_order_relaxed);
+}
+
+bool VerifySortedEdges() {
+  return g_verify_sorted.load(std::memory_order_relaxed);
 }
 
 Graph::Graph(NodeId n) : n_(n) {
@@ -34,15 +57,20 @@ Graph::Graph(NodeId n, std::vector<Edge> edges, SortedEdges)
     SDN_CHECK_MSG(e.u >= 0 && e.v < n_, "edge (" << e.u << "," << e.v
                                                  << ") out of range for n=" << n_);
   }
-  SDN_CHECK_MSG(std::is_sorted(edges_.begin(), edges_.end()),
-                "SortedEdges constructor given an unsorted edge list");
+  // The sortedness scan is optional (VerifySortedEdges — debug/test builds);
+  // the range scan above always runs because an out-of-range edge would
+  // corrupt the CSR fill below, not just mislabel a neighbor.
+  if (VerifySortedEdges()) {
+    SDN_CHECK_MSG(std::is_sorted(edges_.begin(), edges_.end()),
+                  "SortedEdges constructor given an unsorted edge list");
+  }
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
   BuildAdjacency();
 }
 
 void Graph::BuildAdjacency() {
   offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  adjacency_.assign(edges_.size() * 2, 0);
+  adjacency_.resize(edges_.size() * 2);
   for (const Edge& e : edges_) {
     ++offsets_[static_cast<std::size_t>(e.u) + 1];
     ++offsets_[static_cast<std::size_t>(e.v) + 1];

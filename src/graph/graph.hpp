@@ -5,9 +5,12 @@
 // edge-set operations (intersection across a T-window) are linear merges.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace sdn::graph {
 
@@ -19,11 +22,22 @@ struct Edge {
   NodeId v = 0;
 
   Edge() = default;
-  Edge(NodeId a, NodeId b);
+  /// Inline: constructed once per generated edge in the topology hot loops.
+  Edge(NodeId a, NodeId b) : u(std::min(a, b)), v(std::max(a, b)) {
+    SDN_CHECK_MSG(a != b, "self-loop at node " << a);
+  }
 
   friend bool operator==(const Edge&, const Edge&) = default;
   friend auto operator<=>(const Edge&, const Edge&) = default;
 };
+
+/// Toggles the O(E) sortedness scan in the `Graph::SortedEdges` constructor.
+/// Default: on in debug builds, off under NDEBUG; the SDN_VERIFY_SORTED
+/// environment variable ("0"/"1", read once at startup) overrides either
+/// way. Engine-internal callers construct from lists that are sorted by
+/// construction, so release builds skip the scan; tests flip it on.
+void SetVerifySortedEdges(bool on);
+[[nodiscard]] bool VerifySortedEdges();
 
 class Graph {
  public:
@@ -39,8 +53,9 @@ class Graph {
 
   /// Hot-path constructor: takes ownership of an already-sorted edge list
   /// (ascending (u,v); duplicates allowed, collapsed linearly) and skips the
-  /// O(E log E) sort. Sortedness is CheckError-verified in O(E). Used by
-  /// per-round adversary topology construction.
+  /// O(E log E) sort. Sortedness is CheckError-verified in O(E) only when
+  /// VerifySortedEdges() is on (see above); the per-edge range check always
+  /// runs. Used by per-round adversary topology construction.
   Graph(NodeId n, std::vector<Edge> edges, SortedEdges);
 
   [[nodiscard]] NodeId num_nodes() const { return n_; }
@@ -63,6 +78,10 @@ class Graph {
   friend bool operator==(const Graph&, const Graph&) = default;
 
  private:
+  /// DynGraph (graph/delta.hpp) maintains edges_/adjacency_/offsets_ in
+  /// place under delta application, preserving every Graph invariant.
+  friend class DynGraph;
+
   void BuildAdjacency();
 
   NodeId n_ = 0;

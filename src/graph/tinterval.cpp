@@ -35,23 +35,85 @@ TIntervalReport ValidateTInterval(std::span<const Graph> sequence, int T) {
 TIntervalChecker::TIntervalChecker(NodeId n, int T) : n_(n), t_(T) {
   SDN_CHECK(T >= 1);
   SDN_CHECK(n >= 1);
+  aging_.resize(static_cast<std::size_t>(t_));
 }
 
 bool TIntervalChecker::Push(const Graph& g) {
   SDN_CHECK(g.num_nodes() == n_);
-  window_.push_back(g);
-  if (window_.size() > static_cast<std::size_t>(t_)) {
-    window_.erase(window_.begin());
+  DiffSorted(prev_edges_, g.Edges(), scratch_delta_);
+  prev_edges_.assign(g.Edges().begin(), g.Edges().end());
+  return PushDelta(scratch_delta_);
+}
+
+bool TIntervalChecker::PushDelta(const TopologyDelta& delta) {
+  const std::int64_t r = ++rounds_seen_;
+  // The window [r-T+1, r] intersection is exactly the present edges with
+  // since <= threshold.
+  const std::int64_t threshold = r - t_ + 1;
+
+  for (const Edge& e : delta.removed) {
+    const auto it = since_.find(Key(e));
+    SDN_CHECK_MSG(it != since_.end(),
+                  "T-interval checker: delta removes absent edge ("
+                      << e.u << "," << e.v << ") at round " << r);
+    if (it->second <= threshold - 1) {
+      // Was in the previous round's stable set; the intersection shrinks.
+      --stable_count_;
+      stable_dirty_ = true;
+    }
+    since_.erase(it);
   }
-  ++rounds_seen_;
-  if (window_.size() == static_cast<std::size_t>(t_)) {
-    const Graph common = EdgeIntersection(window_);
-    if (!IsConnected(common)) {
-      if (ok_) first_bad_window_ = rounds_seen_ - t_;
+
+  // Added edges (re)appear now and can age into the stable set at round
+  // r + T - 1; for T == 1 that is this very round, handled by the aging
+  // pass below reading the bucket entries just pushed.
+  auto& incoming = aging_[static_cast<std::size_t>((r + t_ - 1) % t_)];
+  for (const Edge& e : delta.added) {
+    const bool inserted = since_.emplace(Key(e), r).second;
+    SDN_CHECK_MSG(inserted, "T-interval checker: delta adds present edge ("
+                                << e.u << "," << e.v << ") at round " << r);
+    incoming.push_back(e);
+  }
+
+  // Aging pass: edges scheduled for this round join the stable set if they
+  // are still present and were not re-added since scheduling.
+  auto& bucket = aging_[static_cast<std::size_t>(r % t_)];
+  for (const Edge& e : bucket) {
+    const auto it = since_.find(Key(e));
+    if (it != since_.end() && it->second == threshold) {
+      ++stable_count_;
+      stable_dirty_ = true;
+    }
+  }
+  bucket.clear();
+
+  if (r >= t_) {
+    if (stable_dirty_ || r == t_) {
+      EvaluateStable(threshold);
+      stable_dirty_ = false;
+    }
+    if (!stable_connected_) {
+      if (ok_) first_bad_window_ = r - t_;
       ok_ = false;
     }
   }
   return ok_;
+}
+
+void TIntervalChecker::EvaluateStable(std::int64_t threshold) {
+  UnionFind uf(static_cast<std::size_t>(n_));
+  std::int64_t used = 0;
+  for (const auto& [key, since] : since_) {
+    if (since <= threshold) {
+      uf.Union(static_cast<NodeId>(key >> 32),
+               static_cast<NodeId>(key & 0xffffffffULL));
+      ++used;
+    }
+  }
+  SDN_CHECK_MSG(used == stable_count_,
+                "T-interval checker stable-set bookkeeping drifted: counted "
+                    << stable_count_ << ", found " << used);
+  stable_connected_ = uf.num_components() == 1;
 }
 
 }  // namespace sdn::graph

@@ -10,7 +10,10 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
+#include "graph/delta.hpp"
 #include "graph/graph.hpp"
 
 namespace sdn::graph {
@@ -37,13 +40,28 @@ TIntervalReport ValidateTInterval(std::span<const Graph> sequence, int T);
 
 /// Incremental validator for streaming use (the engine validates as the
 /// adversary emits rounds, without storing the whole run).
+///
+/// Delta-driven: instead of buffering the last T graphs and intersecting
+/// them every round (O(T·E) per round), the checker tracks, per present
+/// edge, the round it most recently (re)appeared. The T-window intersection
+/// at round r is exactly the present edges with `since <= r - T + 1`, so
+/// per-round maintenance is O(|Δ|) amortized — removed edges leave, added
+/// edges are scheduled to "age into" the stable set T-1 rounds later — and
+/// the connectivity of the stable set is re-evaluated (one union-find pass)
+/// only on rounds where the set actually changed.
 class TIntervalChecker {
  public:
   TIntervalChecker(NodeId n, int T);
 
   /// Feeds the next round's topology; returns false on first violation
-  /// (and stays false afterwards).
+  /// (and stays false afterwards). Diffs against the previous round
+  /// internally — use PushDelta when the caller already has the delta.
   bool Push(const Graph& g);
+
+  /// Delta fast path: feeds round `rounds_seen()+1` as the delta against
+  /// the previous round's topology (everything `added` on the first call).
+  /// The delta must satisfy the graph/delta.hpp contract.
+  bool PushDelta(const TopologyDelta& delta);
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] std::int64_t rounds_seen() const { return rounds_seen_; }
@@ -52,12 +70,32 @@ class TIntervalChecker {
   }
 
  private:
+  static std::uint64_t Key(const Edge& e) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.u))
+            << 32) |
+           static_cast<std::uint32_t>(e.v);
+  }
+
+  void EvaluateStable(std::int64_t threshold);
+
   NodeId n_;
   int t_;
   bool ok_ = true;
   std::int64_t rounds_seen_ = 0;
   std::int64_t first_bad_window_ = -1;
-  std::vector<Graph> window_;  // ring buffer of the last T graphs
+  /// Present edges -> round they most recently (re)appeared.
+  std::unordered_map<std::uint64_t, std::int64_t> since_;
+  /// Ring of T buckets: edges added at round s land in bucket
+  /// (s + T - 1) % T and are tested for aging into the stable set at round
+  /// s + T - 1. Stale entries (edge removed or re-added meanwhile) are
+  /// filtered by re-checking `since_`.
+  std::vector<std::vector<Edge>> aging_;
+  std::int64_t stable_count_ = 0;
+  bool stable_dirty_ = false;
+  bool stable_connected_ = false;
+  /// Previous round's edges, kept only for the diffing Push() fallback.
+  std::vector<Edge> prev_edges_;
+  TopologyDelta scratch_delta_;
 };
 
 }  // namespace sdn::graph

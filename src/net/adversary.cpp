@@ -1,0 +1,22 @@
+#include "net/adversary.hpp"
+
+#include "util/check.hpp"
+
+namespace sdn::net {
+
+void Adversary::DeltaFor(std::int64_t round, const AdversaryView& view,
+                         const graph::Graph& prev, graph::TopologyDelta& out) {
+  const graph::Graph g = TopologyFor(round, view);
+  SDN_CHECK_MSG(g.num_nodes() == prev.num_nodes(),
+                "DeltaFor: adversary produced " << g.num_nodes()
+                                                << " nodes, previous round had "
+                                                << prev.num_nodes());
+  graph::DiffSorted(prev.Edges(), g.Edges(), out);
+}
+
+bool Adversary::RoundEdgesInto(std::int64_t, const AdversaryView&,
+                               std::vector<graph::Edge>&) {
+  return false;
+}
+
+}  // namespace sdn::net

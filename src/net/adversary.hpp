@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "graph/delta.hpp"
 #include "graph/graph.hpp"
 
 namespace sdn::net {
@@ -42,6 +43,36 @@ class Adversary {
   /// promise across consecutive calls with round = 1, 2, 3, ...
   virtual graph::Graph TopologyFor(std::int64_t round,
                                    const AdversaryView& view) = 0;
+
+  /// Delta fast path: writes into `out` the delta turning `prev` — the
+  /// topology this adversary produced for round-1 (the empty n-node graph
+  /// when round == 1) — into round `round`'s topology. Must be equivalent
+  /// to `graph::Diff(prev, TopologyFor(round, view))`; the default does
+  /// exactly that, so every adversary supports the delta-driven engine
+  /// unchanged. Adversaries whose rounds share structure (spines, static or
+  /// replayed graphs) override this to emit the delta directly, skipping
+  /// the per-round Graph materialization entirely. Within one run the
+  /// engine uses either DeltaFor or TopologyFor exclusively, with strictly
+  /// sequential rounds 1, 2, 3, ... — overrides may rely on that (and must
+  /// consume the same RNG stream as TopologyFor so the two modes produce
+  /// bit-identical sequences).
+  virtual void DeltaFor(std::int64_t round, const AdversaryView& view,
+                        const graph::Graph& prev, graph::TopologyDelta& out);
+
+  /// Fastest path: write round `round`'s complete topology as a sorted,
+  /// duplicate-free edge list into `out` and return true, or return false
+  /// (the default) to make the engine fall back to DeltaFor. The engine
+  /// uses this only when nothing in the run consumes deltas (no streaming
+  /// T-interval validation, no trace recording): materializing a delta that
+  /// nobody reads costs a diff pass per round, which for high-churn
+  /// adversaries (short eras) rivals the topology build itself. `out`
+  /// arrives with unspecified contents (a reused buffer) and on a false
+  /// return may be left in any state. The same sequencing rules as DeltaFor
+  /// apply: strictly sequential rounds, one mode per run, and overrides
+  /// must consume the identical RNG stream as TopologyFor so all three
+  /// paths produce bit-identical topology sequences.
+  virtual bool RoundEdgesInto(std::int64_t round, const AdversaryView& view,
+                              std::vector<graph::Edge>& out);
 
   /// True when TopologyFor never reads the view's node state (round and
   /// num_nodes are fine): the topology sequence is a pure function of the

@@ -22,6 +22,14 @@
 // copies (see net/program.hpp for the aliasing contract). Every phase of
 // Step() is wall-clocked into RunStats::timings.
 //
+// Topology is delta-driven by default (EngineOptions::incremental_topology):
+// the engine asks the adversary for the round-over-round TopologyDelta and
+// applies it to one in-place DynGraph instead of materializing a fresh Graph
+// per round; the streaming T-interval checker consumes the same delta. The
+// produced topology sequence, and therefore RunStats, is bit-identical to
+// the from-scratch path (the DeltaFor contract in net/adversary.hpp), which
+// stays available for A/B testing.
+//
 // Parallel execution (EngineOptions::threads): the send and deliver phases
 // are embarrassingly parallel over nodes — OnSend(u) touches only node u and
 // its outbox slot, OnReceive(u) reads the shared outbox (immutable during
@@ -45,11 +53,13 @@
 #include <utility>
 #include <vector>
 
+#include "graph/delta.hpp"
 #include "graph/tinterval.hpp"
 #include "net/adversary.hpp"
 #include "net/bandwidth.hpp"
 #include "net/metrics.hpp"
 #include "net/program.hpp"
+#include "net/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -78,9 +88,19 @@ struct EngineOptions {
   /// RunStats::timings, which measure wall clock, differ), so this is a
   /// pure throughput knob. Small n runs serial regardless (sharding floor).
   int threads = 0;
+  /// Drive the topology through the adversary's DeltaFor fast path into one
+  /// in-place DynGraph instead of building a Graph from scratch every round.
+  /// Results are bit-identical either way (the DeltaFor contract; tests pin
+  /// it) — off gives the legacy from-scratch path for A/B comparison.
+  bool incremental_topology = true;
   /// When set, every round's topology is appended here (replay/debugging)
   /// at the cost of exactly one Graph copy per round.
   std::vector<graph::Graph>* record_topologies = nullptr;
+  /// When set, every round's topology is streamed into this delta-encoded
+  /// v2 trace writer (net/trace.hpp) — recording without retaining the
+  /// graph sequence in memory. Must outlive the engine; the engine does not
+  /// Close() it.
+  TraceRecorder* record_trace = nullptr;
 };
 
 template <NodeProgram A>
@@ -114,11 +134,40 @@ class Engine final : private AdversaryView {
     if (finished_) return false;
 
     const auto t0 = Clock::now();
-    {
-      // One TopologyFor call per round, in round order — either the prefetch
-      // launched by the previous Step (join before mutating round_, which
-      // the in-flight call's view may read) or a synchronous call here. Both
-      // schedules present the adversary the identical call sequence.
+    if (incremental_) {
+      // One topology call per round, in round order — either the prefetch
+      // launched by the previous Step (join before mutating round_ or topo_,
+      // both of which the in-flight call reads) or a synchronous call here.
+      // Both schedules present the adversary the identical call sequence.
+      // Per round exactly one of two sub-paths runs, fixed for the whole
+      // run: RoundEdgesInto straight into the DynGraph's edit buffer (no
+      // delta consumers, adversary supports it) or DeltaFor + Apply.
+      bool assigned = false;
+      if (delta_prefetch_.valid()) {
+        PrefetchedTopology pf = delta_prefetch_.get();
+        round_ = prefetched_round_;
+        assigned = pf.assigned;
+        delta_ = std::move(pf.delta);
+      } else {
+        ++round_;
+        assigned = !need_delta_ &&
+                   adversary_.RoundEdgesInto(round_, *this, topo_.EditBuffer());
+        if (!assigned) {
+          adversary_.DeltaFor(round_, *this, topo_.View(), delta_);
+        }
+      }
+      if (assigned) {
+        topo_.CommitEdges();
+      } else {
+        topo_.Apply(delta_);  // CheckError on a contract-violating delta
+      }
+      if (options_.record_topologies != nullptr) {
+        options_.record_topologies->push_back(topo_.View());
+      }
+      if (options_.record_trace != nullptr) {
+        options_.record_trace->Push(topo_.View(), delta_);
+      }
+    } else {
       graph::Graph g(0);
       if (prefetch_.valid()) {
         g = prefetch_.get();
@@ -132,13 +181,24 @@ class Engine final : private AdversaryView {
       if (options_.record_topologies != nullptr) {
         options_.record_topologies->push_back(g);  // the one recording copy
       }
+      if (options_.record_trace != nullptr) {
+        options_.record_trace->Push(g);
+      }
       last_topology_ = std::move(g);
     }
-    const graph::Graph& g = last_topology_;
+    const graph::Graph& g = incremental_ ? topo_.View() : last_topology_;
     stats_.edges_processed += g.num_edges();
     const auto t1 = Clock::now();
 
-    if (checker_.has_value()) checker_->Push(g);
+    if (checker_.has_value()) {
+      // The checker consumes the same delta the topology was built from
+      // (diffing internally on the from-scratch path).
+      if (incremental_) {
+        checker_->PushDelta(delta_);
+      } else {
+        checker_->Push(g);
+      }
+    }
     const auto t2 = Clock::now();
 
     StepProbes(g);
@@ -192,13 +252,33 @@ class Engine final : private AdversaryView {
     // Overlap the next round's topology with the deliver phase: for an
     // oblivious adversary the call reads no node state, so running it on a
     // side thread while OnReceive mutates the nodes is race-free and the
-    // produced sequence is identical to the synchronous schedule.
+    // produced sequence is identical to the synchronous schedule. In
+    // incremental mode the side thread reads topo_.View(), which is not
+    // touched again until the future is joined at the top of the next Step.
     if (prefetch_enabled_ && round_ < options_.max_rounds) {
       prefetched_round_ = round_ + 1;
-      prefetch_ = std::async(std::launch::async,
-                             [this, r = prefetched_round_]() {
-                               return adversary_.TopologyFor(r, *this);
-                             });
+      if (incremental_) {
+        // The side thread writes only the DynGraph's edit buffer (disjoint
+        // from the view the deliver phase reads) or the moved-out delta.
+        delta_prefetch_ = std::async(
+            std::launch::async,
+            [this, r = prefetched_round_, d = std::move(delta_)]() mutable {
+              PrefetchedTopology pf;
+              pf.assigned =
+                  !need_delta_ &&
+                  adversary_.RoundEdgesInto(r, *this, topo_.EditBuffer());
+              if (!pf.assigned) {
+                adversary_.DeltaFor(r, *this, topo_.View(), d);
+              }
+              pf.delta = std::move(d);
+              return pf;
+            });
+      } else {
+        prefetch_ = std::async(std::launch::async,
+                               [this, r = prefetched_round_]() {
+                                 return adversary_.TopologyFor(r, *this);
+                               });
+      }
     }
 
     // Deliver phase. Zero-copy: gather pointers to the neighbors' outbox
@@ -275,7 +355,7 @@ class Engine final : private AdversaryView {
   [[nodiscard]] std::int64_t current_round() const { return round_; }
   /// Topology of the most recently executed round (empty before round 1).
   [[nodiscard]] const graph::Graph& last_topology() const {
-    return last_topology_;
+    return incremental_ ? topo_.View() : last_topology_;
   }
 
   [[nodiscard]] const A& node(graph::NodeId u) const {
@@ -351,6 +431,13 @@ class Engine final : private AdversaryView {
     if (options_.validate_tinterval) {
       checker_.emplace(n_, adversary_.interval());
     }
+    incremental_ = options_.incremental_topology;
+    if (incremental_) topo_.Reset(n_);
+    // Deltas are only materialized when something consumes them: the
+    // streaming validator or a trace recorder. Otherwise the adversary's
+    // RoundEdgesInto fast path (when it has one) hands the full round list
+    // straight to the DynGraph, skipping the per-round diff entirely.
+    need_delta_ = checker_.has_value() || options_.record_trace != nullptr;
     outbox_.resize(static_cast<std::size_t>(n_));
     undecided_ = n_;
 
@@ -468,7 +555,19 @@ class Engine final : private AdversaryView {
   std::int64_t probe_max_rounds_ = -1;
   double probe_total_rounds_ = 0.0;
   std::vector<std::optional<typename A::Message>> outbox_;
-  graph::Graph last_topology_{0};
+  graph::Graph last_topology_{0};  // from-scratch mode only
+  bool incremental_ = false;       // set from options_ by EnsureStarted
+  bool need_delta_ = false;        // a checker or trace consumes deltas
+  graph::DynGraph topo_{0};        // incremental mode's one live topology
+  graph::TopologyDelta delta_;     // reused round-over-round delta buffer
+
+  /// What an incremental-mode topology prefetch produced: either the round
+  /// list already sits in topo_'s edit buffer (assigned) or `delta` holds
+  /// the round's delta.
+  struct PrefetchedTopology {
+    bool assigned = false;
+    graph::TopologyDelta delta;
+  };
 
   // Parallel geometry (EnsureStarted) and per-shard state.
   util::ThreadPool* pool_ = nullptr;
@@ -478,6 +577,7 @@ class Engine final : private AdversaryView {
   std::vector<ShardAccum> shard_accum_;
   std::vector<std::vector<const typename A::Message*>> shard_slots_;
   std::future<graph::Graph> prefetch_;
+  std::future<PrefetchedTopology> delta_prefetch_;
   std::int64_t prefetched_round_ = -1;
 };
 

@@ -6,18 +6,41 @@
 // data (e.g. converted mobility traces) drive the simulator through
 // ReplayAdversary.
 //
-// Text format (line oriented, '#' comments allowed):
+// Two text formats (line oriented, '#' comments allowed):
+//
+// Version 1 — every round carries its full edge list:
 //   sdn-trace 1
 //   nodes <N> interval <T> rounds <R>
 //   round <r> edges <m>
-//   <u> <v>
+//   <u> <v>                          (m lines)
 //   ...
+//
+// Version 2 — delta-encoded (the default writer output). Keyframe rounds
+// (round 1, then every K rounds: r ≡ 1 (mod K)) carry the full edge list;
+// every other round carries the delta against round r-1. Rounds are
+// numbered 1..R strictly in order and the stream ends at EOF (no round
+// count in the header, so the format can be written streamingly):
+//   sdn-trace 2
+//   nodes <N> interval <T> keyframe <K>
+//   round <r> full <m>               (keyframe)
+//   <u> <v>                          (m lines)
+//   round <r> delta <a> <d>          (non-keyframe)
+//   +<u> <v>                         (a added-edge lines, sorted)
+//   -<u> <v>                         (d removed-edge lines, sorted)
+//   ...
+// Under the T-interval promise consecutive rounds differ by few edges, so
+// v2 is much smaller than v1 for the same sequence; keyframes bound how
+// much a reader must replay and make truncated files recoverable up to the
+// last complete round.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "graph/delta.hpp"
 #include "graph/graph.hpp"
 
 namespace sdn::net {
@@ -31,11 +54,57 @@ struct Trace {
   }
 };
 
+struct TraceWriteOptions {
+  /// 1 = full per-round edge lists, 2 = delta-encoded with keyframes.
+  int version = 2;
+  /// v2 keyframe period K (round r is a keyframe iff r ≡ 1 mod K).
+  std::int64_t keyframe_every = 64;
+};
+
 /// Writes the sequence; CheckError on I/O failure or empty/ragged input.
 void SaveTrace(const std::string& path, std::span<const graph::Graph> rounds,
-               int interval);
+               int interval, TraceWriteOptions options = {});
 
-/// Parses a trace file; CheckError on malformed input.
+/// Parses a trace file of either version; CheckError on malformed input.
 Trace LoadTrace(const std::string& path);
+
+/// Streaming v2 writer: rounds are appended one at a time and hit the file
+/// as they arrive, so the engine can record arbitrarily long runs without
+/// retaining the graph sequence in memory (EngineOptions::record_trace).
+class TraceRecorder {
+ public:
+  /// Opens `path` and writes the v2 header; CheckError on I/O failure.
+  TraceRecorder(const std::string& path, graph::NodeId n, int interval,
+                std::int64_t keyframe_every = 64);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Appends round rounds_written()+1, diffing against the previous round
+  /// internally.
+  void Push(const graph::Graph& g);
+
+  /// Delta fast path: `g` is the round's topology, `delta` the delta that
+  /// produced it from the previous round (exactly what the incremental
+  /// engine already has in hand).
+  void Push(const graph::Graph& g, const graph::TopologyDelta& delta);
+
+  [[nodiscard]] std::int64_t rounds_written() const { return rounds_; }
+
+  /// Flushes and closes; CheckError on I/O failure. Idempotent; the
+  /// destructor closes too (swallowing errors, so call Close() when the
+  /// file matters).
+  void Close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  graph::NodeId n_;
+  std::int64_t keyframe_every_;
+  std::int64_t rounds_ = 0;
+  std::vector<graph::Edge> prev_edges_;
+  graph::TopologyDelta scratch_;
+};
 
 }  // namespace sdn::net

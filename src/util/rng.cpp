@@ -1,8 +1,6 @@
 #include "util/rng.hpp"
 
 #include <algorithm>
-#include <bit>
-#include <cmath>
 
 #include "util/check.hpp"
 
@@ -30,70 +28,7 @@ Rng::Rng(std::uint64_t seed) : seed_(seed) {
   for (auto& word : s_) word = SplitMix64Next(sm);
 }
 
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = std::rotl(s_[3], 45);
-  return result;
-}
-
 Rng Rng::Fork(std::uint64_t tag) const { return Rng(MixSeed(seed_, tag)); }
-
-std::uint64_t Rng::UniformU64(std::uint64_t bound) {
-  SDN_CHECK(bound > 0);
-  // Lemire's nearly-divisionless unbiased bounded generation.
-  std::uint64_t x = (*this)();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (lo < threshold) {
-      x = (*this)();
-      m = static_cast<__uint128_t>(x) * bound;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
-  SDN_CHECK(lo <= hi);
-  const auto span =
-      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
-  if (span == 0) {  // full 64-bit range
-    return static_cast<std::int64_t>((*this)());
-  }
-  return lo + static_cast<std::int64_t>(UniformU64(span));
-}
-
-double Rng::UniformDouble() {
-  // 53 high bits -> [0,1) with full double precision.
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-double Rng::Exponential(double rate) {
-  SDN_CHECK(rate > 0.0);
-  // -log(1-U)/rate; 1-U in (0,1] avoids log(0).
-  return -std::log1p(-UniformDouble()) / rate;
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return UniformDouble() < p;
-}
-
-std::uint64_t Rng::Geometric(double p) {
-  SDN_CHECK(p > 0.0 && p <= 1.0);
-  if (p == 1.0) return 0;
-  const double u = UniformDouble();
-  return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
-}
 
 std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
                                                          std::uint64_t k) {

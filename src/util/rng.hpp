@@ -11,10 +11,14 @@
 #pragma once
 
 #include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace sdn::util {
 
@@ -39,30 +43,81 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  /// Next raw 64 random bits.
-  result_type operator()();
+  /// Next raw 64 random bits. Inline: this and the bounded draws below sit
+  /// on the topology generators' per-edge path, where an out-of-line call
+  /// per draw is measurable against the ~2 ns xoshiro step itself.
+  result_type operator()() {
+    const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+  }
 
   /// Derives an independent child stream identified by `tag`.
   /// Deterministic: same (parent seed, tag) -> same child.
   [[nodiscard]] Rng Fork(std::uint64_t tag) const;
 
   /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (Lemire).
-  std::uint64_t UniformU64(std::uint64_t bound);
+  std::uint64_t UniformU64(std::uint64_t bound) {
+    SDN_CHECK(bound > 0);
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    SDN_CHECK(lo <= hi);
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>((*this)());
+    }
+    return lo + static_cast<std::int64_t>(UniformU64(span));
+  }
 
   /// Uniform double in [0, 1).
-  double UniformDouble();
+  double UniformDouble() {
+    // 53 high bits -> [0,1) with full double precision.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Exponential(rate). Requires rate > 0.
-  double Exponential(double rate);
+  double Exponential(double rate) {
+    SDN_CHECK(rate > 0.0);
+    // -log(1-U)/rate; 1-U in (0,1] avoids log(0).
+    return -std::log1p(-UniformDouble()) / rate;
+  }
 
   /// Bernoulli(p) trial; p clamped to [0,1].
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
 
   /// Geometric: number of failures before first success, p in (0,1].
-  std::uint64_t Geometric(double p);
+  std::uint64_t Geometric(double p) {
+    SDN_CHECK(p > 0.0 && p <= 1.0);
+    if (p == 1.0) return 0;
+    const double u = UniformDouble();
+    return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+  }
 
   /// In-place Fisher–Yates shuffle.
   template <typename T>
