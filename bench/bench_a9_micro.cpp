@@ -152,13 +152,21 @@ constexpr double kBaselineRoundsPerSec = 512.3;
 /// threads sweep below reports its speedup against this figure.
 constexpr double kPr1SingleThreadRoundsPerSec = 949.4;
 
+/// Combined send+deliver time of the identical serial workload recorded by
+/// PR 3's bench run (BENCH_engine.json history): the message-path overhaul's
+/// acceptance bar is >= 1.8x against this sum.
+constexpr std::int64_t kPr3SendNs = 13'516'751;
+constexpr std::int64_t kPr3DeliverNs = 49'017'393;
+
 /// The fixed reference workload: one full hjswy run, N=1024, spine-gnp, T=2,
 /// validation and probes off so the measurement isolates the
 /// topology/send/deliver pipeline. `threads` is EngineOptions::threads
-/// (1 = serial reference; results are bit-identical at every setting), and
-/// `incremental` toggles the delta-driven topology path (A/B'd below —
-/// results are bit-identical there too).
-net::RunStats TimedReferenceRun(int threads, bool incremental = true) {
+/// (1 = serial reference; results are bit-identical at every setting),
+/// `incremental` toggles the delta-driven topology path and `dense` the
+/// CSR delivery path (both A/B'd below — results are bit-identical there
+/// too).
+net::RunStats TimedReferenceRun(int threads, bool incremental = true,
+                                bool dense = true) {
   const graph::NodeId n = 1024;
   adversary::AdversaryConfig config;
   config.kind = "spine-gnp";
@@ -178,35 +186,58 @@ net::RunStats TimedReferenceRun(int threads, bool incremental = true) {
   opts.flood_probes = 0;
   opts.threads = threads;
   opts.incremental_topology = incremental;
+  opts.dense_delivery = dense;
   net::Engine<algo::HjswyProgram> engine(std::move(nodes), *adv, opts);
   return engine.Run();
 }
 
-/// Best-of-`reps` by rounds/sec at a fixed thread count.
-net::RunStats BestRun(int threads, bool incremental = true, int reps = 3) {
+/// `reps` timed runs of one configuration: the best rep (by rounds/sec, the
+/// figure the trend line tracks) plus the median rounds/sec, reported
+/// alongside so a lucky best rep is visible as such.
+struct RepSet {
   net::RunStats best;
+  double median_rps = 0.0;
+};
+
+RepSet MeasuredRuns(int threads, bool incremental = true, bool dense = true,
+                    int reps = 3) {
+  RepSet out;
   double best_rps = -1.0;
+  std::vector<double> rps_all;
   for (int rep = 0; rep < reps; ++rep) {
-    const net::RunStats stats = TimedReferenceRun(threads, incremental);
+    const net::RunStats stats = TimedReferenceRun(threads, incremental, dense);
     const double rps = stats.timings.RoundsPerSec(stats.rounds);
+    rps_all.push_back(rps);
     if (rps > best_rps) {
       best_rps = rps;
-      best = stats;
+      out.best = stats;
     }
   }
-  return best;
+  std::sort(rps_all.begin(), rps_all.end());
+  const std::size_t mid = rps_all.size() / 2;
+  out.median_rps = rps_all.size() % 2 == 1
+                       ? rps_all[mid]
+                       : 0.5 * (rps_all[mid - 1] + rps_all[mid]);
+  return out;
+}
+
+/// Best-of-`reps` by rounds/sec at a fixed thread count.
+net::RunStats BestRun(int threads, bool incremental = true, int reps = 3) {
+  return MeasuredRuns(threads, incremental, /*dense=*/true, reps).best;
 }
 
 void ReportEngineTimings() {
   // Single-thread reference: the workload + fields PR 1 recorded, so the
   // serial-engine trend line stays comparable run over run.
-  const net::RunStats best = BestRun(/*threads=*/1);
+  const RepSet reference = MeasuredRuns(/*threads=*/1);
+  const net::RunStats& best = reference.best;
   const double best_rps = best.timings.RoundsPerSec(best.rounds);
   const double eps = best.timings.EdgesPerSec(best.edges_processed);
   std::printf("engine reference workload (hjswy n=1024 spine-gnp T=2, best of 3):\n  %s\n",
               best.timings.OneLine(best.rounds, best.edges_processed).c_str());
-  std::printf("  baseline=%.1f rounds/s  speedup=%.2fx\n", kBaselineRoundsPerSec,
-              best_rps / kBaselineRoundsPerSec);
+  std::printf("  baseline=%.1f rounds/s  speedup=%.2fx  median=%.1f rounds/s\n",
+              kBaselineRoundsPerSec, best_rps / kBaselineRoundsPerSec,
+              reference.median_rps);
 
   // Topology A/B: the identical serial workload on the legacy from-scratch
   // path vs the delta-driven DynGraph path (every other phase untouched, so
@@ -220,6 +251,30 @@ void ReportEngineTimings() {
       static_cast<double>(scratch.timings.topology_ns) /
           static_cast<double>(
               std::max<std::int64_t>(1, best.timings.topology_ns)));
+
+  // Message-path A/B: the identical serial workload forced onto the legacy
+  // per-receiver pointer gather vs the dense CSR delivery the engine takes
+  // on all-sender rounds (RunStats agree bit for bit; send+deliver is the
+  // whole difference). The second figure tracks the combined send+deliver
+  // improvement against PR 3's recorded message path (gather delivery,
+  // per-coordinate merges, per-call Locate scans).
+  const net::RunStats gather =
+      MeasuredRuns(/*threads=*/1, /*incremental=*/true, /*dense=*/false).best;
+  const auto message_path_ns = [](const net::RunStats& s) {
+    return std::max<std::int64_t>(1, s.timings.send_ns + s.timings.deliver_ns);
+  };
+  const double message_path_speedup =
+      static_cast<double>(message_path_ns(gather)) /
+      static_cast<double>(message_path_ns(best));
+  const double message_path_speedup_vs_pr3 =
+      static_cast<double>(kPr3SendNs + kPr3DeliverNs) /
+      static_cast<double>(message_path_ns(best));
+  std::printf(
+      "message path A/B (serial): gather send+deliver=%lld ns  "
+      "dense send+deliver=%lld ns  speedup=%.2fx  vs PR3 recorded=%.2fx\n",
+      static_cast<long long>(message_path_ns(gather)),
+      static_cast<long long>(message_path_ns(best)), message_path_speedup,
+      message_path_speedup_vs_pr3);
 
   // Threads sweep: same workload at growing EngineOptions::threads. The
   // serial row is re-measured (not reused) so every row saw the same
@@ -272,6 +327,7 @@ void ReportEngineTimings() {
                "  \"edges_processed\": %lld,\n"
                "  \"messages_delivered\": %lld,\n"
                "  \"rounds_per_sec\": %.1f,\n"
+               "  \"median_rounds_per_sec\": %.1f,\n"
                "  \"edges_per_sec\": %.0f,\n"
                "  \"baseline_rounds_per_sec\": %.1f,\n"
                "  \"speedup_vs_baseline\": %.2f,\n"
@@ -283,10 +339,18 @@ void ReportEngineTimings() {
                "  \"topology_scratch_ns\": %lld,\n"
                "  \"topology_incremental_ns\": %lld,\n"
                "  \"topology_speedup\": %.2f,\n"
+               "  \"send_scratch_ns\": %lld,\n"
+               "  \"send_dense_ns\": %lld,\n"
+               "  \"deliver_scratch_ns\": %lld,\n"
+               "  \"deliver_dense_ns\": %lld,\n"
+               "  \"message_path_speedup\": %.2f,\n"
+               "  \"pr3_send_plus_deliver_ns\": %lld,\n"
+               "  \"message_path_speedup_vs_pr3\": %.2f,\n"
                "  \"threads_sweep_skipped\": [",
                static_cast<long long>(best.rounds),
                static_cast<long long>(best.edges_processed),
-               static_cast<long long>(best.messages_delivered), best_rps, eps,
+               static_cast<long long>(best.messages_delivered), best_rps,
+               reference.median_rps, eps,
                kBaselineRoundsPerSec, best_rps / kBaselineRoundsPerSec,
                kPr1SingleThreadRoundsPerSec, hw,
                static_cast<long long>(best.timings.topology_ns),
@@ -299,7 +363,14 @@ void ReportEngineTimings() {
                static_cast<long long>(best.timings.topology_ns),
                static_cast<double>(scratch.timings.topology_ns) /
                    static_cast<double>(
-                       std::max<std::int64_t>(1, best.timings.topology_ns)));
+                       std::max<std::int64_t>(1, best.timings.topology_ns)),
+               static_cast<long long>(gather.timings.send_ns),
+               static_cast<long long>(best.timings.send_ns),
+               static_cast<long long>(gather.timings.deliver_ns),
+               static_cast<long long>(best.timings.deliver_ns),
+               message_path_speedup,
+               static_cast<long long>(kPr3SendNs + kPr3DeliverNs),
+               message_path_speedup_vs_pr3);
   for (std::size_t i = 0; i < skipped.size(); ++i) {
     std::fprintf(f, "%s%d", i == 0 ? "" : ", ", skipped[i]);
   }

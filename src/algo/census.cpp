@@ -67,9 +67,52 @@ CensusProgram::Position CensusProgram::Locate(Round r) const {
   }
 }
 
+CensusProgram::Position CensusProgram::LocateFast(Round r) const {
+  SDN_CHECK(r >= 1);
+  const std::int64_t offset = r - 1;
+  const std::int64_t B = band_size();
+  const auto length_of = [this, B](std::int64_t k, std::int64_t& stage_len) {
+    stage_len = StageLength(k);
+    const std::int64_t stages = (k + B - 1) / B;
+    return stages * stage_len + 2 * k + 2;
+  };
+  std::int64_t stage_len = cursor_.aux;
+  if (cursor_.length == 0 || offset < cursor_.start) {
+    // Uninitialized, or a backward query (tests): restart from guess 1.
+    cursor_ = PhaseCursor{};
+    cursor_.param = 1;
+    cursor_.length = length_of(cursor_.param, stage_len);
+    cursor_.aux = stage_len;
+  }
+  while (offset >= cursor_.start + cursor_.length) {
+    cursor_.start += cursor_.length;
+    ++cursor_.phase;
+    SDN_CHECK_MSG(cursor_.param < (std::int64_t{1} << 40),
+                  "census guess overflow");
+    cursor_.param *= 2;
+    cursor_.length = length_of(cursor_.param, stage_len);
+    cursor_.aux = stage_len;
+  }
+  const std::int64_t k = cursor_.param;
+  stage_len = cursor_.aux;
+  const std::int64_t in_phase = offset - cursor_.start;
+  const std::int64_t dissemination = ((k + B - 1) / B) * stage_len;
+  Position pos;
+  pos.guess_k = k;
+  if (in_phase < dissemination) {
+    pos.stage = in_phase / stage_len;
+    pos.window = in_phase / options_.pipeline_T;
+  } else {
+    pos.verifying = true;
+    pos.verify_round = in_phase - dissemination;
+    pos.last_round_of_guess = (in_phase == cursor_.length - 1);
+  }
+  return pos;
+}
+
 std::optional<CensusProgram::Message> CensusProgram::OnSend(Round r) {
   if (decided_.has_value()) return std::nullopt;
-  const Position pos = Locate(r);
+  const Position pos = LocateFast(r);
 
   if (pos.verifying) {
     if (verify_key_ != pos.guess_k) {
@@ -119,7 +162,7 @@ std::optional<CensusProgram::Message> CensusProgram::OnSend(Round r) {
 
 void CensusProgram::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
-  const Position pos = Locate(r);
+  const Position pos = LocateFast(r);
 
   if (pos.verifying) {
     SDN_CHECK_MSG(verify_key_ == pos.guess_k,

@@ -98,6 +98,11 @@ class CensusProgram {
   };
   [[nodiscard]] Position Locate(Round r) const;
 
+  /// Cursor-accelerated Locate: same result for every r (tests pin the
+  /// equivalence), O(1) amortized when rounds are queried in order.
+  /// OnSend/OnReceive go through this.
+  [[nodiscard]] Position LocateFast(Round r) const;
+
   /// Tokens re-sent per window: B = ⌈pipeline_T / 2⌉.
   [[nodiscard]] std::int64_t band_size() const;
   /// Stage length in rounds for guess k (multiple of pipeline_T).
@@ -122,6 +127,10 @@ class CensusProgram {
   std::int64_t verify_key_ = -1;  // guess whose verification is frozen
   std::uint64_t frozen_hash_ = 0;
   bool flag_ = false;
+
+  /// Schedule cursor for LocateFast (mutable: advancing it is invisible —
+  /// every Position it produces equals Locate(r)).
+  mutable PhaseCursor cursor_;
 
   std::optional<CensusOutput> decided_;
 };

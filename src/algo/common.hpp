@@ -28,6 +28,26 @@ std::size_t IdBits(NodeId id);
 /// Wire size of a signed value field.
 std::size_t ValueBits(Value v);
 
+/// O(1)-amortized locator state for doubling-phase schedules.
+///
+/// Every protocol here runs phases of a doubling parameter (hjswy's horizon,
+/// the census/committee guess k) whose lengths are a pure function of that
+/// parameter. Scanning from phase 0 on every Locate(r) call costs
+/// O(#phases) per node per round; a PhaseCursor instead remembers the phase
+/// containing the last query and advances forward as r grows (rounds are
+/// monotone inside a run), making the common case one range compare. A
+/// query before `start` (tests probing arbitrary rounds) resets the cursor
+/// and rescans — correctness never depends on monotonicity. Programs own
+/// the advancement loop (their length formulas differ); the cursor only
+/// standardizes the cached state.
+struct PhaseCursor {
+  std::int64_t phase = 0;
+  std::int64_t param = 0;   ///< doubling parameter (horizon / guess k)
+  std::int64_t start = 0;   ///< 0-based offset of the phase's first round
+  std::int64_t length = 0;  ///< rounds in this phase; 0 = uninitialized
+  std::int64_t aux = 0;     ///< program-specific cached component
+};
+
 /// Common algorithm identification for report rows.
 struct AlgoInfo {
   std::string name;

@@ -1,12 +1,39 @@
 #include "algo/estimator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "util/check.hpp"
 
 namespace sdn::algo {
+
+namespace {
+
+bool InitVerifyEstimatorChecks() {
+  if (const char* env = std::getenv("SDN_VERIFY_ESTIMATOR")) {
+    return env[0] != '0';
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::atomic<bool> g_verify_estimator{InitVerifyEstimatorChecks()};
+
+}  // namespace
+
+void SetVerifyEstimatorChecks(bool on) {
+  g_verify_estimator.store(on, std::memory_order_relaxed);
+}
+
+bool VerifyEstimatorChecks() {
+  return g_verify_estimator.load(std::memory_order_relaxed);
+}
 
 CardinalityEstimator::CardinalityEstimator(int L, util::Rng& rng,
                                            bool quantize_float32) {
@@ -16,6 +43,7 @@ CardinalityEstimator::CardinalityEstimator(int L, util::Rng& rng,
     m = rng.Exponential(1.0);
     if (quantize_float32) m = static_cast<double>(static_cast<float>(m));
   }
+  RecomputeFingerprint();
 }
 
 CardinalityEstimator CardinalityEstimator::ForWeight(std::uint64_t weight,
@@ -24,34 +52,15 @@ CardinalityEstimator CardinalityEstimator::ForWeight(std::uint64_t weight,
   CardinalityEstimator sketch(L, rng, quantize_float32);
   if (weight == 0) {
     for (auto& m : sketch.mins_) m = std::numeric_limits<double>::infinity();
+    sketch.RecomputeFingerprint();
     return sketch;
   }
   for (auto& m : sketch.mins_) {
     m = rng.Exponential(static_cast<double>(weight));
     if (quantize_float32) m = static_cast<double>(static_cast<float>(m));
   }
+  sketch.RecomputeFingerprint();
   return sketch;
-}
-
-bool CardinalityEstimator::MergeCoord(std::size_t i, double v) {
-  SDN_CHECK(i < mins_.size());
-  if (v < mins_[i]) {
-    mins_[i] = v;
-    return true;
-  }
-  return false;
-}
-
-bool CardinalityEstimator::Merge(std::span<const double> other) {
-  SDN_CHECK(other.size() == mins_.size());
-  bool changed = false;
-  for (std::size_t i = 0; i < mins_.size(); ++i) {
-    if (other[i] < mins_[i]) {
-      mins_[i] = other[i];
-      changed = true;
-    }
-  }
-  return changed;
 }
 
 double CardinalityEstimator::Estimate() const {
@@ -62,19 +71,10 @@ double CardinalityEstimator::Estimate() const {
   return static_cast<double>(mins_.size() - 1) / sum;
 }
 
-std::uint64_t CardinalityEstimator::Fingerprint() const {
-  // FNV-ish accumulation over the raw bit patterns; coordinate order is part
-  // of the hash (sketches are positional).
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const double m : mins_) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof bits == sizeof m);
-    __builtin_memcpy(&bits, &m, sizeof bits);
-    h ^= bits;
-    h *= 0x100000001b3ULL;
-    h ^= h >> 29;
-  }
-  return h;
+void CardinalityEstimator::RecomputeFingerprint() {
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < mins_.size(); ++i) h ^= CoordHash(i, mins_[i]);
+  fingerprint_ = h;
 }
 
 double CardinalityEstimator::RelativeStddev(int L) {

@@ -10,15 +10,31 @@
 // This is the O(polylog)-bit aggregate that lets the hjswy reconstruction
 // learn the network size without moving Ω(N) identifiers — the step that
 // removes the Ω(N) term from the round complexity.
+//
+// Merge/MergeCoord/MergeBlock are the engine's message-path hot loop (one
+// call per delivered coordinate block); they are defined inline here so the
+// templated engine can vectorize them, and their per-call bounds checks are
+// gated on SetVerifyEstimatorChecks (same pattern as SDN_VERIFY_SORTED:
+// on in debug builds, off under NDEBUG, overridable via the
+// SDN_VERIFY_ESTIMATOR environment variable; tests flip it on).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace sdn::algo {
+
+/// Toggles the per-call bounds checks in CardinalityEstimator's merge hot
+/// loops. Default: on in debug builds, off under NDEBUG; the
+/// SDN_VERIFY_ESTIMATOR environment variable ("0"/"1", read once at
+/// startup) overrides either way.
+void SetVerifyEstimatorChecks(bool on);
+[[nodiscard]] bool VerifyEstimatorChecks();
 
 class CardinalityEstimator {
  public:
@@ -40,10 +56,41 @@ class CardinalityEstimator {
 
   /// Pointwise-min merge of another sketch (must have equal length).
   /// Returns true if any coordinate decreased (i.e. new information).
-  bool Merge(std::span<const double> other);
+  bool Merge(std::span<const double> other) {
+    if (VerifyEstimatorChecks()) SDN_CHECK(other.size() == mins_.size());
+    return MergeBlock(0, other);
+  }
 
   /// Min-merge of a single coordinate; returns true if it decreased.
-  bool MergeCoord(std::size_t i, double v);
+  bool MergeCoord(std::size_t i, double v) {
+    if (VerifyEstimatorChecks()) SDN_CHECK(i < mins_.size());
+    if (v < mins_[i]) {
+      fingerprint_ ^= CoordHash(i, mins_[i]) ^ CoordHash(i, v);
+      mins_[i] = v;
+      return true;
+    }
+    return false;
+  }
+
+  /// Columnwise min-merge of a contiguous coordinate block starting at
+  /// `base`: mins[base+i] = min(mins[base+i], span[i]). The bounds check is
+  /// hoisted out of the loop (always on — one check per block, not per
+  /// coordinate), so the loop body is a branch-predictable compare/store
+  /// the compiler can vectorize. Returns true if any coordinate decreased.
+  /// Same float-compare semantics as coordinate-at-a-time MergeCoord calls.
+  bool MergeBlock(std::size_t base, std::span<const double> vals) {
+    SDN_CHECK(base + vals.size() <= mins_.size());
+    double* mins = mins_.data() + base;
+    bool changed = false;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (vals[i] < mins[i]) {
+        fingerprint_ ^= CoordHash(base + i, mins[i]) ^ CoordHash(base + i, vals[i]);
+        mins[i] = vals[i];
+        changed = true;
+      }
+    }
+    return changed;
+  }
 
   /// Current cardinality estimate (L-1)/Σ mins.
   [[nodiscard]] double Estimate() const;
@@ -51,9 +98,13 @@ class CardinalityEstimator {
   [[nodiscard]] std::span<const double> mins() const { return mins_; }
   [[nodiscard]] int size() const { return static_cast<int>(mins_.size()); }
 
-  /// Order-insensitive 64-bit hash of the sketch, used as the convergence
-  /// fingerprint nodes compare during verification.
-  [[nodiscard]] std::uint64_t Fingerprint() const;
+  /// Position-mixed 64-bit hash of the sketch, used as the convergence
+  /// fingerprint nodes compare during verification. A pure function of the
+  /// current coordinate vector (XOR of per-coordinate position-salted
+  /// hashes), maintained incrementally by the merge kernels — reading it is
+  /// O(1) and a merge pays only O(#decreased coords), never a full O(L)
+  /// rehash per state change.
+  [[nodiscard]] std::uint64_t Fingerprint() const { return fingerprint_; }
 
   /// Analytic relative standard deviation of the estimate: ~1/sqrt(L-2).
   static double RelativeStddev(int L);
@@ -63,7 +114,28 @@ class CardinalityEstimator {
   static int RepetitionsFor(double eps);
 
  private:
+  /// Hash of one (position, value) pair; XORed over all coordinates to form
+  /// Fingerprint(). splitmix64-style finalizer: full avalanche, so flipping
+  /// one coordinate flips the aggregate whp, and the position salt keeps the
+  /// hash sensitive to coordinate order (sketches are positional).
+  static std::uint64_t CoordHash(std::size_t i, double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    std::uint64_t x =
+        bits ^ ((static_cast<std::uint64_t>(i) + 1) * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Full O(L) rebuild of fingerprint_ (construction / wholesale resets).
+  void RecomputeFingerprint();
+
   std::vector<double> mins_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace sdn::algo

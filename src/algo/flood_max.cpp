@@ -19,6 +19,8 @@ std::optional<FloodMaxKnownN::Message> FloodMaxKnownN::OnSend(Round) {
 
 void FloodMaxKnownN::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
+  // Inbox may be dense-backed (direct outbox indexing) or a pointer gather;
+  // iteration reads each neighbor's message in place either way.
   for (const Message& m : inbox) best_ = std::max(best_, m.value);
   // After round N-1, the running max has traversed any 1-interval-connected
   // sequence: the informed set grows by >= 1 node per round until it spans.

@@ -1,8 +1,10 @@
 #include "algo/hjswy.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -93,6 +95,34 @@ HjswyProgram::Position HjswyProgram::Locate(Round r) const {
   }
 }
 
+HjswyProgram::Position HjswyProgram::LocateFast(Round r) const {
+  SDN_CHECK(r >= 1);
+  const std::int64_t offset = r - 1;
+  if (cursor_.length == 0 || offset < cursor_.start) {
+    // Uninitialized, or a backward query (tests): restart from phase 0.
+    cursor_ = PhaseCursor{};
+    cursor_.param = options_.initial_horizon;
+    cursor_.aux = DisseminationLength(cursor_.param);
+    cursor_.length = cursor_.aux + SuffixLength(cursor_.param);
+  }
+  while (offset >= cursor_.start + cursor_.length) {
+    cursor_.start += cursor_.length;
+    ++cursor_.phase;
+    SDN_CHECK_MSG(cursor_.param < (std::int64_t{1} << 50),
+                  "hjswy horizon overflow");
+    cursor_.param *= 2;
+    cursor_.aux = DisseminationLength(cursor_.param);
+    cursor_.length = cursor_.aux + SuffixLength(cursor_.param);
+  }
+  Position pos;
+  pos.phase = cursor_.phase;
+  pos.horizon = cursor_.param;
+  pos.round_in_phase = offset - cursor_.start;
+  pos.in_suffix = pos.round_in_phase >= cursor_.aux;
+  pos.last_round_of_phase = (pos.round_in_phase == cursor_.length - 1);
+  return pos;
+}
+
 std::uint64_t HjswyProgram::StateFingerprint() const {
   if (fingerprint_cache_.has_value()) return *fingerprint_cache_;
   std::uint64_t h = sketch_.Fingerprint();
@@ -106,6 +136,11 @@ std::uint64_t HjswyProgram::StateFingerprint() const {
   return h;
 }
 
+double HjswyProgram::CachedEstimate() const {
+  if (!estimate_cache_.has_value()) estimate_cache_ = sketch_.Estimate();
+  return *estimate_cache_;
+}
+
 void HjswyProgram::RefreshCensusSnapshot() {
   census_snapshot_ = std::make_shared<const IdSet>(census_);
 }
@@ -114,7 +149,7 @@ std::optional<HjswyProgram::Message> HjswyProgram::OnSend(Round r) {
   // Decided nodes keep broadcasting their (final) state: laggards must still
   // converge to the same aggregates, and a decided region must not look like
   // a hole in the network.
-  const Position pos = Locate(r);
+  const Position pos = LocateFast(r);
   if (alarm_phase_ != pos.phase) {
     alarm_phase_ = pos.phase;
     alarm_ = false;
@@ -148,21 +183,67 @@ std::optional<HjswyProgram::Message> HjswyProgram::OnSend(Round r) {
 }
 
 void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
-  const Position pos = Locate(r);
+  const Position pos = LocateFast(r);
   const std::uint64_t my_fingerprint = StateFingerprint();
 
   bool changed = false;
   bool neighbor_divergent = false;
   bool neighbor_alarm = false;
   bool census_changed = false;
+
+  // Every sender follows the same rotation schedule, so all messages of one
+  // round carry the same [coord_base, coord_base + num_coords) window.
+  // Reduce the inbox columnwise to running minima first, then apply one
+  // MergeBlock per sketch: k·c branchy MergeCoord calls become a tight k×c
+  // selection loop plus one bounds-checked block merge. Min is selection
+  // (never arithmetic), so the merged sketch is bit-identical to the
+  // coordinate-at-a-time order. A message whose window disagrees with the
+  // round's block (foreign options; never produced within one run) merges
+  // coordinate by coordinate as before.
+  // The running minima live in the float32 *bit* domain: every wire value is
+  // a nonnegative float (Exp draws quantized to float, +inf for weight 0), and
+  // for nonnegative IEEE floats value order coincides with unsigned order of
+  // the bit patterns. That turns the per-message inner loop into a pure
+  // integer min the compiler vectorizes; the one conversion to double happens
+  // after the loop, when the reduced block is handed to MergeBlock.
+  std::int32_t block_base = -1;
+  std::int32_t block_len = 0;
+  bool block_has_sum = false;
+  constexpr std::uint32_t kInfBits = 0x7f800000u;  // float32 +infinity
+  std::array<std::uint32_t, kMaxCoordsPerMsg> block_bits{};
+  std::array<std::uint32_t, kMaxCoordsPerMsg> sum_block_bits{};
+
   for (const Message& m : inbox) {
-    for (std::size_t i = 0; i < static_cast<std::size_t>(m.num_coords); ++i) {
-      const auto idx = static_cast<std::size_t>(m.coord_base) + i;
-      if (idx < static_cast<std::size_t>(sketch_.size())) {
-        changed |= sketch_.MergeCoord(idx, BitsToDouble(m.coords[i]));
-        if (m.has_sum && sum_sketch_.has_value()) {
-          changed |=
-              sum_sketch_->MergeCoord(idx, BitsToDouble(m.sum_coords[i]));
+    if (m.num_coords > 0) {
+      if (block_base < 0) {
+        block_base = m.coord_base;
+        block_len = std::min(m.num_coords,
+                             static_cast<std::int32_t>(kMaxCoordsPerMsg));
+        std::fill_n(block_bits.data(), block_len, kInfBits);
+        std::fill_n(sum_block_bits.data(), block_len, kInfBits);
+      }
+      if (m.coord_base == block_base && m.num_coords == block_len) {
+        for (std::size_t i = 0; i < static_cast<std::size_t>(block_len); ++i) {
+          block_bits[i] = std::min(block_bits[i], m.coords[i]);
+        }
+        if (m.has_sum) {
+          block_has_sum = true;
+          for (std::size_t i = 0; i < static_cast<std::size_t>(block_len);
+               ++i) {
+            sum_block_bits[i] = std::min(sum_block_bits[i], m.sum_coords[i]);
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < static_cast<std::size_t>(m.num_coords);
+             ++i) {
+          const auto idx = static_cast<std::size_t>(m.coord_base) + i;
+          if (idx < static_cast<std::size_t>(sketch_.size())) {
+            changed |= sketch_.MergeCoord(idx, BitsToDouble(m.coords[i]));
+            if (m.has_sum && sum_sketch_.has_value()) {
+              changed |=
+                  sum_sketch_->MergeCoord(idx, BitsToDouble(m.sum_coords[i]));
+            }
+          }
         }
       }
     }
@@ -182,9 +263,27 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
     if (m.fingerprint != my_fingerprint) neighbor_divergent = true;
     if (m.alarm) neighbor_alarm = true;
   }
+  if (block_base >= 0 &&
+      block_base < static_cast<std::int32_t>(sketch_.size())) {
+    const auto len = static_cast<std::size_t>(std::min<std::int32_t>(
+        block_len, static_cast<std::int32_t>(sketch_.size()) - block_base));
+    const auto base = static_cast<std::size_t>(block_base);
+    std::array<double, kMaxCoordsPerMsg> block;
+    for (std::size_t i = 0; i < len; ++i) block[i] = BitsToDouble(block_bits[i]);
+    changed |= sketch_.MergeBlock(base, std::span(block.data(), len));
+    if (block_has_sum && sum_sketch_.has_value()) {
+      for (std::size_t i = 0; i < len; ++i) {
+        block[i] = BitsToDouble(sum_block_bits[i]);
+      }
+      changed |= sum_sketch_->MergeBlock(base, std::span(block.data(), len));
+    }
+  }
   changed |= census_changed;
   if (census_changed) RefreshCensusSnapshot();
-  if (changed) fingerprint_cache_.reset();
+  if (changed) {
+    fingerprint_cache_.reset();
+    estimate_cache_.reset();
+  }
 
   if (decided_.has_value()) return;
 
@@ -193,7 +292,7 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
   }
 
   if (pos.last_round_of_phase && !alarm_) {
-    const double estimate = sketch_.Estimate();
+    const double estimate = CachedEstimate();
     if (options_.strict &&
         static_cast<double>(pos.horizon) < options_.strict_mult * estimate) {
       return;  // strict mode: horizon not yet provably sufficient
@@ -213,7 +312,7 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
 
 double HjswyProgram::PublicState() const {
   return options_.exact_census ? static_cast<double>(census_.size())
-                               : sketch_.Estimate();
+                               : CachedEstimate();
 }
 
 std::size_t HjswyProgram::MessageBits(const Message& m) {

@@ -96,23 +96,30 @@ class HjswyProgram {
   /// allocation-free on the engine's hot path).
   static constexpr int kMaxCoordsPerMsg = 16;
 
-  struct Message {
+  struct alignas(64) Message {
+    /// Layout is deliberate (this is the engine's per-delivery read set):
+    /// the scalar header, flooded aggregates, fingerprint and the first few
+    /// sketch coordinates — everything the default bounded regime touches —
+    /// occupy the first 64 bytes, which the alignas pins to one cache line
+    /// in the engine's outbox. The exact_census pointer and the
+    /// track_sum-only coordinate block follow, so the common delivery never
+    /// pulls them in.
     /// Rotating sketch window: float32 bit patterns of coords
     /// [coord_base, coord_base + num_coords).
     std::int32_t coord_base = 0;
     std::int32_t num_coords = 0;
-    std::array<std::uint32_t, kMaxCoordsPerMsg> coords{};
-    /// track_sum only: the weighted sketch's coordinates for the same
-    /// [coord_base, coord_base + num_coords) window; unused otherwise.
-    std::array<std::uint32_t, kMaxCoordsPerMsg> sum_coords{};
-    bool has_sum = false;
     NodeId min_id = 0;
+    bool has_sum = false;
+    bool alarm = false;
     Value min_id_value = 0;
     Value max_value = 0;
     std::uint64_t fingerprint = 0;  // 48-bit state fingerprint
-    bool alarm = false;
+    std::array<std::uint32_t, kMaxCoordsPerMsg> coords{};
     /// exact_census only: snapshot of the sender's known-id set.
     std::shared_ptr<const IdSet> census;
+    /// track_sum only: the weighted sketch's coordinates for the same
+    /// [coord_base, coord_base + num_coords) window; unused otherwise.
+    std::array<std::uint32_t, kMaxCoordsPerMsg> sum_coords{};
   };
   using Output = HjswyOutput;
 
@@ -138,6 +145,12 @@ class HjswyProgram {
   };
   [[nodiscard]] Position Locate(Round r) const;
 
+  /// Cursor-accelerated Locate: same result for every r (tests pin the
+  /// equivalence), O(1) amortized when rounds are queried in order — the
+  /// schedule math (ceil/log2 per candidate phase) runs only on a phase
+  /// advance instead of on every call. OnSend/OnReceive go through this.
+  [[nodiscard]] Position LocateFast(Round r) const;
+
   [[nodiscard]] std::int64_t DisseminationLength(std::int64_t horizon) const;
   [[nodiscard]] std::int64_t SuffixLength(std::int64_t horizon) const;
 
@@ -146,6 +159,7 @@ class HjswyProgram {
 
  private:
   [[nodiscard]] std::uint64_t StateFingerprint() const;
+  [[nodiscard]] double CachedEstimate() const;
   void RefreshCensusSnapshot();
 
   HjswyOptions options_;
@@ -164,6 +178,13 @@ class HjswyProgram {
 
   /// Cached StateFingerprint(); invalidated whenever local state merges.
   mutable std::optional<std::uint64_t> fingerprint_cache_;
+  /// Cached sketch_.Estimate() (O(L) to recompute); invalidated together
+  /// with the fingerprint. PublicState() is peeked per node per era by
+  /// adaptive adversaries, so uncached it is O(L) per peek.
+  mutable std::optional<double> estimate_cache_;
+  /// Schedule cursor for LocateFast (mutable: advancing it is invisible —
+  /// every Position it produces equals Locate(r)).
+  mutable PhaseCursor cursor_;
 
   std::optional<HjswyOutput> decided_;
 };

@@ -73,6 +73,54 @@ KloCommitteeProgram::Position KloCommitteeProgram::Locate(Round r) {
   }
 }
 
+KloCommitteeProgram::Position KloCommitteeProgram::LocateFast(Round r) const {
+  SDN_CHECK(r >= 1);
+  const std::int64_t offset = r - 1;
+  const auto length_of = [](std::int64_t k) {
+    return 2 * k * k + (2 * k + 2) + (2 * k + 2);
+  };
+  if (cursor_.length == 0 || offset < cursor_.start) {
+    // Uninitialized, or a backward query (tests): restart from guess 1.
+    cursor_ = PhaseCursor{};
+    cursor_.param = 1;
+    cursor_.length = length_of(cursor_.param);
+  }
+  while (offset >= cursor_.start + cursor_.length) {
+    cursor_.start += cursor_.length;
+    ++cursor_.phase;
+    SDN_CHECK_MSG(cursor_.param < (std::int64_t{1} << 32),
+                  "klo-committee guess overflow");
+    cursor_.param *= 2;
+    cursor_.length = length_of(cursor_.param);
+  }
+  const std::int64_t k = cursor_.param;
+  const std::int64_t in_phase = offset - cursor_.start;
+  const std::int64_t cycles = 2 * k * k;
+  const std::int64_t verify = 2 * k + 2;
+  Position pos;
+  pos.guess_k = k;
+  pos.first_round_of_guess = (in_phase == 0);
+  pos.last_round_of_guess = (in_phase == cursor_.length - 1);
+  if (in_phase < cycles) {
+    pos.cycle = in_phase / (2 * k);
+    const std::int64_t in_cycle = in_phase % (2 * k);
+    if (in_cycle < k) {
+      pos.phase = Position::Phase::kPoll;
+      pos.round_in_phase = in_cycle;
+    } else {
+      pos.phase = Position::Phase::kInvite;
+      pos.round_in_phase = in_cycle - k;
+    }
+  } else if (in_phase < cycles + verify) {
+    pos.phase = Position::Phase::kVerify;
+    pos.round_in_phase = in_phase - cycles;
+  } else {
+    pos.phase = Position::Phase::kSize;
+    pos.round_in_phase = in_phase - cycles - verify;
+  }
+  return pos;
+}
+
 void KloCommitteeProgram::ResetForGuess(std::int64_t k) {
   guess_ = k;
   committee_.reset();
@@ -90,7 +138,7 @@ void KloCommitteeProgram::ResetForGuess(std::int64_t k) {
 std::optional<KloCommitteeProgram::Message> KloCommitteeProgram::OnSend(
     Round r) {
   if (decided_.has_value()) return std::nullopt;
-  const Position pos = Locate(r);
+  const Position pos = LocateFast(r);
   if (pos.first_round_of_guess) ResetForGuess(pos.guess_k);
 
   Message m;
@@ -156,7 +204,7 @@ std::optional<KloCommitteeProgram::Message> KloCommitteeProgram::OnSend(
 
 void KloCommitteeProgram::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
-  const Position pos = Locate(r);
+  const Position pos = LocateFast(r);
 
   for (const Message& m : inbox) {
     if (m.leader < leader_ && m.tag != Tag::kInvite) {

@@ -83,6 +83,11 @@ class KloCommitteeProgram {
   };
   [[nodiscard]] static Position Locate(Round r);
 
+  /// Cursor-accelerated Locate: same result for every r (tests pin the
+  /// equivalence), O(1) amortized when rounds are queried in order.
+  /// OnSend/OnReceive go through this.
+  [[nodiscard]] Position LocateFast(Round r) const;
+
  private:
   void ResetForGuess(std::int64_t k);
 
@@ -106,6 +111,10 @@ class KloCommitteeProgram {
   bool flag_ = false;
   bool verify_initialized_ = false;
   std::int64_t size_claim_ = 0;
+
+  /// Schedule cursor for LocateFast (mutable: advancing it is invisible —
+  /// every Position it produces equals Locate(r)).
+  mutable PhaseCursor cursor_;
 
   std::optional<Output> decided_;
 };

@@ -67,6 +67,10 @@ struct RunConfig {
   /// adversary emits round-over-round deltas into one in-place DynGraph.
   /// Bit-identical results either way; off = legacy from-scratch path.
   bool incremental_topology = true;
+  /// Dense CSR delivery (EngineOptions::dense_delivery) on all-sender
+  /// rounds. Bit-identical results either way; off = legacy pointer-gather
+  /// path on every round, kept for A/B comparison.
+  bool dense_delivery = true;
   /// Engine-internal parallelism (EngineOptions::threads): 0 = hardware,
   /// 1 = strictly serial, k = up to k lanes. Results are bit-identical at
   /// any setting; RunTrials additionally budgets this against its outer

@@ -17,10 +17,14 @@
 // actual encoding would spend.
 //
 // Delivery is zero-copy: each round's messages live once in the reusable
-// outbox and every receiver gets an Inbox of pointers into it, so a
-// broadcast to k neighbors costs k pointer pushes instead of k message
-// copies (see net/program.hpp for the aliasing contract). Every phase of
-// Step() is wall-clocked into RunStats::timings.
+// outbox. When the send phase produced a message from every node (the
+// common case — tracked per shard and compared to n), each receiver's
+// Inbox is the topology's own CSR neighbor-id span indexing the outbox
+// directly: no per-receiver gather runs at all. Rounds with silent nodes
+// fall back to the sparse path — an Inbox of pointers gathered from the
+// occupied slots — so a broadcast to k neighbors costs at most k pointer
+// pushes and never a message copy (see net/program.hpp for the aliasing
+// contract). Every phase of Step() is wall-clocked into RunStats::timings.
 //
 // Topology is delta-driven by default (EngineOptions::incremental_topology):
 // the engine asks the adversary for the round-over-round TopologyDelta and
@@ -93,6 +97,11 @@ struct EngineOptions {
   /// Results are bit-identical either way (the DeltaFor contract; tests pin
   /// it) — off gives the legacy from-scratch path for A/B comparison.
   bool incremental_topology = true;
+  /// Deliver via dense CSR indexing on rounds where every node sent (the
+  /// receiver's Inbox is the neighbor-id span over the outbox, skipping the
+  /// per-receiver pointer gather). Results are bit-identical either way —
+  /// off forces the legacy gather path on every round for A/B comparison.
+  bool dense_delivery = true;
   /// When set, every round's topology is appended here (replay/debugging)
   /// at the cost of exactly one Graph copy per round.
   std::vector<graph::Graph>* record_topologies = nullptr;
@@ -227,7 +236,9 @@ class Engine final : private AdversaryView {
         acc.max_message_bits = std::max(acc.max_message_bits, bits);
       }
     });
+    std::int64_t round_sent = 0;
     for (const ShardAccum& acc : shard_accum_) {
+      round_sent += acc.messages_sent;
       stats_.messages_sent += acc.messages_sent;
       stats_.total_message_bits += acc.total_message_bits;
       stats_.max_message_bits =
@@ -281,15 +292,35 @@ class Engine final : private AdversaryView {
       }
     }
 
-    // Deliver phase. Zero-copy: gather pointers to the neighbors' outbox
-    // slots (per-shard reusable buffers) and hand each node a read-only
-    // view; the outbox is not mutated until the next round's send phase.
+    // Deliver phase. Zero-copy either way. Dense path (every node sent this
+    // round): each receiver's Inbox indexes the outbox through the graph's
+    // own CSR neighbor span — no gather at all. Sparse path (silent nodes):
+    // gather pointers to the occupied outbox slots into per-shard reusable
+    // buffers. The outbox is not mutated until the next round's send phase.
     // Decisions land in per-node slots plus a per-shard count, reduced
     // below instead of mutated inline.
-    ForShards([this, &g](int shard, std::int64_t begin, std::int64_t end) {
+    const bool dense = options_.dense_delivery && round_sent == n_;
+    ForShards([this, &g, dense](int shard, std::int64_t begin,
+                                std::int64_t end) {
       using Message = typename A::Message;
       ShardAccum& acc = shard_accum_[static_cast<std::size_t>(shard)];
       acc = ShardAccum{};
+      if (dense) {
+        const std::optional<Message>* outbox = outbox_.data();
+        for (std::int64_t u = begin; u < end; ++u) {
+          const std::span<const graph::NodeId> ids =
+              g.Neighbors(static_cast<graph::NodeId>(u));
+          acc.messages_delivered += static_cast<std::int64_t>(ids.size());
+          A& node = nodes_[static_cast<std::size_t>(u)];
+          const bool was_decided = node.HasDecided();
+          node.OnReceive(round_, Inbox<Message>(outbox, ids));
+          if (!was_decided && node.HasDecided()) {
+            stats_.decide_round[static_cast<std::size_t>(u)] = round_;
+            ++acc.decided;
+          }
+        }
+        return;
+      }
       std::vector<const Message*>& slots =
           shard_slots_[static_cast<std::size_t>(shard)];
       for (std::int64_t u = begin; u < end; ++u) {

@@ -16,12 +16,21 @@
 // then calls OnReceive. A decided node keeps participating (helping others
 // terminate) unless the algorithm itself chooses to go silent.
 //
-// Delivery is zero-copy: Inbox is a gather of pointers into the engine's
-// shared per-round outbox, so a message broadcast to k neighbors exists
-// exactly once in memory and is read in place by all k receivers. Iteration
-// yields const Message& — a program must never mutate (or cast away const
-// on) an inbox entry, because every other receiver of the same sender sees
-// the same object. Inbox entries are only valid for the duration of the
+// Delivery is zero-copy, with two backings behind the same Inbox view:
+//
+//   * dense (the common case): when every node produced a message this
+//     round, an Inbox is the graph's own CSR neighbor-id span plus the base
+//     pointer of the engine's per-round outbox — entry i is
+//     outbox[neighbors[i]], read in place with no per-receiver gather at
+//     all.
+//   * sparse (silent-node rounds, tests): a gather of `const M*` pointers
+//     into the outbox, one per messaging neighbor.
+//
+// Either way a message broadcast to k neighbors exists exactly once in
+// memory and is read in place by all k receivers. Iteration yields
+// const Message& — a program must never mutate (or cast away const on) an
+// inbox entry, because every other receiver of the same sender sees the
+// same object. Inbox entries are only valid for the duration of the
 // OnReceive call; a program that needs a message beyond that must copy it.
 #pragma once
 
@@ -36,9 +45,12 @@ namespace sdn::net {
 
 using Round = std::int64_t;
 
-/// Zero-copy view of the messages delivered to one node in one round: a span
-/// over stable pointers into the engine's outbox. Dereferencing yields
-/// const M&; the pointed-to messages are shared by every receiver.
+/// Zero-copy view of the messages delivered to one node in one round.
+/// Sparse backing: a span over stable pointers into the engine's outbox.
+/// Dense backing: the receiver's CSR neighbor-id span plus the outbox base
+/// pointer (every slot occupied, so entry i is outbox[ids[i]]).
+/// Dereferencing yields const M&; the pointed-to messages are shared by
+/// every receiver.
 template <typename M>
 class Inbox {
  public:
@@ -54,41 +66,73 @@ class Inbox {
 
     iterator() = default;
     explicit iterator(const M* const* slot) : slot_(slot) {}
+    iterator(const std::optional<M>* base, const std::int32_t* id)
+        : base_(base), id_(id) {}
 
-    reference operator*() const { return **slot_; }
-    pointer operator->() const { return *slot_; }
+    reference operator*() const {
+      return base_ != nullptr ? *base_[static_cast<std::size_t>(*id_)]
+                              : **slot_;
+    }
+    pointer operator->() const { return &operator*(); }
     iterator& operator++() {
-      ++slot_;
+      if (base_ != nullptr) {
+        ++id_;
+      } else {
+        ++slot_;
+      }
       return *this;
     }
     iterator operator++(int) {
       iterator tmp = *this;
-      ++slot_;
+      ++(*this);
       return tmp;
     }
-    friend bool operator==(const iterator&, const iterator&) = default;
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.slot_ == b.slot_ && a.id_ == b.id_;
+    }
 
    private:
-    const M* const* slot_ = nullptr;
+    const M* const* slot_ = nullptr;          // sparse cursor
+    const std::optional<M>* base_ = nullptr;  // dense outbox base
+    const std::int32_t* id_ = nullptr;        // dense cursor
   };
   using const_iterator = iterator;
 
   /// Empty inbox (a round with no messaging neighbors).
   Inbox() = default;
-  /// View over an externally owned pointer gather (the engine's, or a
-  /// test's stack array of &message pointers).
+  /// Sparse view over an externally owned pointer gather (the engine's, or
+  /// a test's stack array of &message pointers).
   explicit Inbox(std::span<const M* const> slots) : slots_(slots) {}
+  /// Dense view: `outbox[ids[i]]` must be engaged for every i (the engine
+  /// takes this path only when every node sent this round).
+  Inbox(const std::optional<M>* outbox, std::span<const std::int32_t> ids)
+      : base_(outbox), ids_(ids) {}
 
-  [[nodiscard]] std::size_t size() const { return slots_.size(); }
-  [[nodiscard]] bool empty() const { return slots_.empty(); }
-  [[nodiscard]] const M& operator[](std::size_t i) const { return *slots_[i]; }
-  [[nodiscard]] iterator begin() const { return iterator(slots_.data()); }
+  [[nodiscard]] std::size_t size() const {
+    return base_ != nullptr ? ids_.size() : slots_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const M& operator[](std::size_t i) const {
+    return base_ != nullptr ? *base_[static_cast<std::size_t>(ids_[i])]
+                            : *slots_[i];
+  }
+  [[nodiscard]] iterator begin() const {
+    return base_ != nullptr ? iterator(base_, ids_.data())
+                            : iterator(slots_.data());
+  }
   [[nodiscard]] iterator end() const {
-    return iterator(slots_.data() + slots_.size());
+    return base_ != nullptr ? iterator(base_, ids_.data() + ids_.size())
+                            : iterator(slots_.data() + slots_.size());
   }
 
+  /// True when this inbox is backed by direct outbox indexing (all senders
+  /// present); exposed so tests can assert which path a round took.
+  [[nodiscard]] bool dense() const { return base_ != nullptr; }
+
  private:
-  std::span<const M* const> slots_;
+  std::span<const M* const> slots_;         // sparse backing
+  const std::optional<M>* base_ = nullptr;  // dense backing: outbox base
+  std::span<const std::int32_t> ids_;       // dense backing: neighbor ids
 };
 
 template <typename A>

@@ -142,6 +142,29 @@ TEST(Census, ScheduleLocateIsConsistent) {
   EXPECT_TRUE(seen_last);
 }
 
+TEST(Census, LocateFastMatchesLocate) {
+  for (const int T : {1, 3, 8}) {
+    CensusOptions options;
+    options.pipeline_T = T;
+    const CensusProgram node(0, 0, options);
+    const auto expect_same = [&node, T](net::Round r) {
+      const auto slow = node.Locate(r);
+      const auto fast = node.LocateFast(r);
+      EXPECT_EQ(fast.guess_k, slow.guess_k) << "T=" << T << " r=" << r;
+      EXPECT_EQ(fast.verifying, slow.verifying) << "T=" << T << " r=" << r;
+      EXPECT_EQ(fast.stage, slow.stage) << "T=" << T << " r=" << r;
+      EXPECT_EQ(fast.window, slow.window) << "T=" << T << " r=" << r;
+      EXPECT_EQ(fast.verify_round, slow.verify_round)
+          << "T=" << T << " r=" << r;
+      EXPECT_EQ(fast.last_round_of_guess, slow.last_round_of_guess)
+          << "T=" << T << " r=" << r;
+    };
+    for (net::Round r = 1; r <= 3000; ++r) expect_same(r);
+    // Non-monotone probes force the cursor's backward reset.
+    for (const net::Round r : {2999, 17, 1, 1500, 2, 3000}) expect_same(r);
+  }
+}
+
 TEST(Census, StageLengthIsMultipleOfT) {
   CensusOptions options;
   options.pipeline_T = 7;

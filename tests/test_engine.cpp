@@ -4,6 +4,7 @@
 
 #include <optional>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "adversary/factory.hpp"
@@ -357,14 +358,20 @@ class CopySpy {
 static_assert(NodeProgram<CopySpy>);
 
 TEST(Engine, DeliveryMakesZeroMessageCopies) {
-  CopySpy::Message::copies = 0;
-  StaticAdversary adv(graph::Complete(6));
-  std::vector<CopySpy> nodes(6, CopySpy(4));
-  Engine<CopySpy> engine(std::move(nodes), adv, {});
-  const RunStats stats = engine.Run();
-  EXPECT_EQ(CopySpy::Message::copies, 0);
-  // 6 nodes x 5 neighbors x 4 rounds delivered, all by pointer gather.
-  EXPECT_EQ(stats.messages_delivered, 6 * 5 * 4);
+  // Every node sends, so dense_delivery=true exercises the CSR path and
+  // dense_delivery=false the pointer gather; both are zero-copy.
+  for (const bool dense : {true, false}) {
+    CopySpy::Message::copies = 0;
+    StaticAdversary adv(graph::Complete(6));
+    std::vector<CopySpy> nodes(6, CopySpy(4));
+    EngineOptions opts;
+    opts.dense_delivery = dense;
+    Engine<CopySpy> engine(std::move(nodes), adv, opts);
+    const RunStats stats = engine.Run();
+    EXPECT_EQ(CopySpy::Message::copies, 0) << "dense=" << dense;
+    // 6 nodes x 5 neighbors x 4 rounds delivered, never copied.
+    EXPECT_EQ(stats.messages_delivered, 6 * 5 * 4) << "dense=" << dense;
+  }
 }
 
 /// Records the address and payload of every received message so a test can
@@ -376,14 +383,15 @@ class AliasProbe {
   };
   using Output = std::int64_t;
 
-  AliasProbe(graph::NodeId id, Round decide_after)
-      : id_(id), decide_after_(decide_after) {}
+  AliasProbe(graph::NodeId id, Round decide_after, bool all_send = false)
+      : id_(id), decide_after_(decide_after), all_send_(all_send) {}
 
   std::optional<Message> OnSend(Round r) {
-    if (id_ != 0) return std::nullopt;
-    return Message{r * 100};
+    if (!all_send_ && id_ != 0) return std::nullopt;
+    return Message{id_ == 0 ? r * 100 : id_ * 1000 + r};
   }
   void OnReceive(Round r, Inbox<Message> inbox) {
+    if (inbox.dense()) ++dense_rounds_;
     for (const Message& m : inbox) {
       seen_addrs_.push_back(&m);
       seen_payloads_.push_back(m.payload);
@@ -403,12 +411,15 @@ class AliasProbe {
   [[nodiscard]] const std::vector<std::int64_t>& seen_payloads() const {
     return seen_payloads_;
   }
+  [[nodiscard]] std::int64_t dense_rounds() const { return dense_rounds_; }
 
  private:
   graph::NodeId id_;
   Round decide_after_;
+  bool all_send_;
   std::vector<const void*> seen_addrs_;
   std::vector<std::int64_t> seen_payloads_;
+  std::int64_t dense_rounds_ = 0;
   bool decided_ = false;
 };
 
@@ -435,6 +446,123 @@ TEST(Engine, ReceiversShareOneMessageInstance) {
       EXPECT_EQ(engine.node(u).seen_payloads()[i], r * 100);
     }
   }
+  // Only node 0 sends, so every round stays on the sparse gather path.
+  for (graph::NodeId u = 0; u < 6; ++u) {
+    EXPECT_EQ(engine.node(u).dense_rounds(), 0);
+  }
+}
+
+TEST(Engine, DenseDeliveryAliasesOutboxSlots) {
+  // Complete(4) with everyone sending: each round is an all-sender round,
+  // so the engine takes the dense CSR path. The aliasing contract is the
+  // same as the gather path's: every receiver of sender v's round-r message
+  // reads the very same object (the sender's outbox slot), zero copies.
+  StaticAdversary adv(graph::Complete(4));
+  std::vector<AliasProbe> nodes;
+  for (graph::NodeId u = 0; u < 4; ++u) {
+    nodes.emplace_back(u, 3, /*all_send=*/true);
+  }
+  Engine<AliasProbe> engine(std::move(nodes), adv, {});
+  (void)engine.Run();
+  for (graph::NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(engine.node(u).dense_rounds(), 3);
+    ASSERT_EQ(engine.node(u).seen_addrs().size(), 9u);  // 3 neighbors x 3
+  }
+  // Group observed addresses by payload (payloads are unique per
+  // sender-round); all receivers of a payload must have seen one address.
+  for (Round r = 1; r <= 3; ++r) {
+    for (graph::NodeId v = 0; v < 4; ++v) {
+      const std::int64_t want = v == 0 ? r * 100 : v * 1000 + r;
+      const void* addr = nullptr;
+      int receivers = 0;
+      for (graph::NodeId u = 0; u < 4; ++u) {
+        if (u == v) continue;
+        const auto& payloads = engine.node(u).seen_payloads();
+        for (std::size_t i = 0; i < payloads.size(); ++i) {
+          if (payloads[i] != want) continue;
+          ++receivers;
+          if (addr == nullptr) addr = engine.node(u).seen_addrs()[i];
+          EXPECT_EQ(engine.node(u).seen_addrs()[i], addr)
+              << "sender " << v << " round " << r;
+        }
+      }
+      EXPECT_EQ(receivers, 3) << "sender " << v << " round " << r;
+    }
+  }
+}
+
+/// Sends from everyone on even rounds but only from even ids on odd rounds,
+/// so a run mixes dense (all-sender) and sparse (gather) rounds.
+class Alternator {
+ public:
+  struct Message {
+    std::int64_t payload = 0;
+  };
+  using Output = std::int64_t;
+
+  Alternator(graph::NodeId id, Round decide_after)
+      : id_(id), decide_after_(decide_after) {}
+
+  std::optional<Message> OnSend(Round r) {
+    if (r % 2 == 1 && id_ % 2 == 1) return std::nullopt;
+    return Message{r * 31 + id_};
+  }
+  void OnReceive(Round r, Inbox<Message> inbox) {
+    if (inbox.dense()) ++dense_rounds_;
+    for (const Message& m : inbox) sum_ += m.payload;
+    if (r >= decide_after_) decided_ = true;
+  }
+  [[nodiscard]] bool HasDecided() const { return decided_; }
+  [[nodiscard]] std::optional<Output> output() const {
+    return decided_ ? std::optional<Output>(sum_) : std::nullopt;
+  }
+  [[nodiscard]] double PublicState() const { return 0.0; }
+  static std::size_t MessageBits(const Message&) { return 64; }
+  [[nodiscard]] std::int64_t dense_rounds() const { return dense_rounds_; }
+
+ private:
+  graph::NodeId id_;
+  Round decide_after_;
+  std::int64_t sum_ = 0;
+  std::int64_t dense_rounds_ = 0;
+  bool decided_ = false;
+};
+
+static_assert(NodeProgram<Alternator>);
+
+TEST(Engine, DenseAndGatherAgreeAcrossSilentRounds) {
+  // Rounds alternate between all-sender (dense eligible) and half-silent
+  // (gather only). Forcing the gather path everywhere must not change any
+  // stat or any node's payload sum — the two backings are interchangeable.
+  const auto run = [](bool dense) {
+    StaticAdversary adv(graph::Cycle(12));
+    std::vector<Alternator> nodes;
+    for (graph::NodeId u = 0; u < 12; ++u) nodes.emplace_back(u, 8);
+    EngineOptions opts;
+    opts.dense_delivery = dense;
+    Engine<Alternator> engine(std::move(nodes), adv, opts);
+    const RunStats stats = engine.Run();
+    std::vector<std::int64_t> outputs;
+    std::int64_t dense_rounds = 0;
+    for (graph::NodeId u = 0; u < 12; ++u) {
+      outputs.push_back(*engine.node(u).output());
+      dense_rounds += engine.node(u).dense_rounds();
+    }
+    return std::tuple(stats, outputs, dense_rounds);
+  };
+  const auto [dense_stats, dense_out, dense_rounds] = run(true);
+  const auto [gather_stats, gather_out, gather_rounds] = run(false);
+  // 4 of 8 rounds are all-sender; the dense run must actually take the
+  // dense path there (12 nodes each), and the forced-gather run never.
+  EXPECT_EQ(dense_rounds, 4 * 12);
+  EXPECT_EQ(gather_rounds, 0);
+  EXPECT_EQ(dense_out, gather_out);
+  EXPECT_EQ(dense_stats.rounds, gather_stats.rounds);
+  EXPECT_EQ(dense_stats.messages_sent, gather_stats.messages_sent);
+  EXPECT_EQ(dense_stats.messages_delivered, gather_stats.messages_delivered);
+  EXPECT_EQ(dense_stats.total_message_bits, gather_stats.total_message_bits);
+  EXPECT_EQ(dense_stats.decide_round, gather_stats.decide_round);
+  EXPECT_EQ(dense_stats.sends_per_node, gather_stats.sends_per_node);
 }
 
 /// Promises T=2 but alternates between edge-disjoint connected graphs, so no

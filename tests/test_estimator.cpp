@@ -90,7 +90,51 @@ TEST(Estimator, MergeCoordOnlyTouchesOneCoordinate) {
   EXPECT_TRUE(a.MergeCoord(3, tiny));
   EXPECT_DOUBLE_EQ(a.mins()[3], tiny);
   EXPECT_FALSE(a.MergeCoord(3, 1.0));  // not smaller
+  // The per-call bounds check is gated (release hot loops run check-free);
+  // with the guard on, an out-of-range coordinate must throw.
+  const bool old = VerifyEstimatorChecks();
+  SetVerifyEstimatorChecks(true);
   EXPECT_THROW(a.MergeCoord(8, 0.5), util::CheckError);
+  SetVerifyEstimatorChecks(old);
+}
+
+TEST(Estimator, MergeBlockMatchesMergeCoordLoop) {
+  util::Rng rng(12);
+  CardinalityEstimator block_merged(32, rng);
+  util::Rng rng_copy(12);
+  CardinalityEstimator coord_merged(32, rng_copy);
+  ASSERT_EQ(block_merged.mins()[0], coord_merged.mins()[0]);
+
+  util::Rng vals_rng(13);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t base = static_cast<std::size_t>(round) % 28;
+    std::vector<double> vals;
+    for (int i = 0; i < 4; ++i) vals.push_back(vals_rng.Exponential(1.0));
+    bool coord_changed = false;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      coord_changed |= coord_merged.MergeCoord(base + i, vals[i]);
+    }
+    const bool block_changed = block_merged.MergeBlock(base, vals);
+    EXPECT_EQ(block_changed, coord_changed);
+  }
+  // Bit-identical merged state (same float-compare semantics).
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(block_merged.mins()[static_cast<std::size_t>(i)],
+              coord_merged.mins()[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(block_merged.Fingerprint(), coord_merged.Fingerprint());
+}
+
+TEST(Estimator, MergeBlockBoundsCheckedAndIdempotent) {
+  util::Rng rng(14);
+  CardinalityEstimator a(8, rng);
+  const std::vector<double> tiny(4, 1e-12);
+  EXPECT_TRUE(a.MergeBlock(4, tiny));
+  EXPECT_FALSE(a.MergeBlock(4, tiny));  // idempotent: nothing decreases twice
+  // The hoisted bounds check is always on: one check per block, not per
+  // coordinate, so even release builds reject an overflowing block.
+  EXPECT_THROW(a.MergeBlock(5, tiny), util::CheckError);
+  EXPECT_THROW(a.MergeBlock(9, {}), util::CheckError);
 }
 
 TEST(Estimator, FingerprintDetectsAnyChange) {

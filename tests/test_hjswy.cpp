@@ -174,6 +174,28 @@ TEST(Hjswy, PhaseScheduleDoublesHorizons) {
   EXPECT_GT(last_horizon, options.initial_horizon);
 }
 
+TEST(Hjswy, LocateFastMatchesLocate) {
+  HjswyOptions options;
+  util::Rng rng(1);
+  const HjswyProgram node(0, 0, options, rng.Fork(0));
+  const auto expect_same = [&node](net::Round r) {
+    const auto slow = node.Locate(r);
+    const auto fast = node.LocateFast(r);
+    EXPECT_EQ(fast.phase, slow.phase) << "r=" << r;
+    EXPECT_EQ(fast.horizon, slow.horizon) << "r=" << r;
+    EXPECT_EQ(fast.round_in_phase, slow.round_in_phase) << "r=" << r;
+    EXPECT_EQ(fast.in_suffix, slow.in_suffix) << "r=" << r;
+    EXPECT_EQ(fast.last_round_of_phase, slow.last_round_of_phase) << "r=" << r;
+  };
+  // Forward (the engine's access pattern: O(1) amortized cursor hits)...
+  for (net::Round r = 1; r <= 5000; ++r) expect_same(r);
+  // ...and arbitrary-order probes (cursor resets on backward queries).
+  util::Rng jump(99);
+  for (int i = 0; i < 200; ++i) {
+    expect_same(1 + static_cast<net::Round>(jump.UniformU64(5000)));
+  }
+}
+
 TEST(Hjswy, BoundedMessageFitsLogBudget) {
   HjswyOptions options;
   util::Rng rng(2);

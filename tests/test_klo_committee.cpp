@@ -106,6 +106,25 @@ TEST(KloCommittee, ScheduleStructure) {
   EXPECT_EQ(KloCommitteeProgram::Locate(31).guess_k, 4);
 }
 
+TEST(KloCommittee, LocateFastMatchesLocate) {
+  const KloCommitteeProgram node(0, 0);
+  const auto expect_same = [&node](net::Round r) {
+    const auto slow = KloCommitteeProgram::Locate(r);
+    const auto fast = node.LocateFast(r);
+    EXPECT_EQ(fast.guess_k, slow.guess_k) << "r=" << r;
+    EXPECT_EQ(fast.phase, slow.phase) << "r=" << r;
+    EXPECT_EQ(fast.cycle, slow.cycle) << "r=" << r;
+    EXPECT_EQ(fast.round_in_phase, slow.round_in_phase) << "r=" << r;
+    EXPECT_EQ(fast.first_round_of_guess, slow.first_round_of_guess)
+        << "r=" << r;
+    EXPECT_EQ(fast.last_round_of_guess, slow.last_round_of_guess)
+        << "r=" << r;
+  };
+  for (net::Round r = 1; r <= 4000; ++r) expect_same(r);
+  // Non-monotone probes force the cursor's backward reset.
+  for (const net::Round r : {3999, 30, 11, 1, 31, 4000}) expect_same(r);
+}
+
 TEST(KloCommittee, MessagesFitLogBudget) {
   KloCommitteeProgram::Message m;
   m.tag = KloCommitteeProgram::Tag::kPoll;
