@@ -13,12 +13,14 @@ namespace sdn::bench {
 namespace {
 
 Aggregate RunKnob(graph::NodeId n, int T, int trials, int threads,
-                  const algo::HjswyOptions& knobs) {
+                  const algo::HjswyOptions& knobs,
+                  obs::FlightRecorder* recorder = nullptr) {
   RunConfig config;
   config.n = n;
   config.T = T;
   config.adversary.kind = "spine-gnp";
   config.hjswy = knobs;
+  config.recorder = recorder;
   return Measure(Algorithm::kHjswyEstimate, config, trials, threads);
 }
 
@@ -29,8 +31,11 @@ int Main(int argc, char** argv) {
   const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
   const int trials = static_cast<int>(flags.GetInt("trials", 8, "seeds"));
   const int threads = ThreadsFlag(flags);
+  BenchTracer tracer(flags);
 
   if (HelpRequested(flags, "bench_a8_ablation")) return 0;
+  BenchManifest().Set("experiment", "a8_ablation");
+  BenchManifest().Set("trials", trials);
 
   PrintBanner("A8: hjswy ablations (N=" + std::to_string(n) + ")",
               "each block varies one knob from the defaults "
@@ -48,7 +53,8 @@ int Main(int argc, char** argv) {
   for (const int L : {8, 16, 32, 64, 128}) {
     algo::HjswyOptions knobs;
     knobs.sketch_len = L;
-    add("sketch L", std::to_string(L), RunKnob(n, T, trials, threads, knobs));
+    add("sketch L", std::to_string(L),
+        RunKnob(n, T, trials, threads, knobs, tracer.Attach()));
   }
   for (const double beta : {0.5, 1.0, 3.0, 6.0}) {
     algo::HjswyOptions knobs;
@@ -71,6 +77,7 @@ int Main(int argc, char** argv) {
     add("coords/msg", std::to_string(c), RunKnob(n, T, trials, threads, knobs));
   }
   Finish(table, "a8_ablation.csv");
+  tracer.Write();
   std::cout << "Reading guide: small beta risks premature accepts (failures "
                "column); small L saves bits but hurts the estimate; small c "
                "shrinks messages but slows sketch convergence (more rounds)."

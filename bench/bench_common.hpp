@@ -8,15 +8,76 @@
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/api.hpp"
+#include "obs/manifest.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace sdn::bench {
+
+/// Process-wide run manifest: environment provenance collected once, plus
+/// whatever keys the bench adds (experiment name, trials, flags). Stamped
+/// into every results/*.csv as a `# key=value` comment header and into
+/// trace exports.
+inline obs::RunManifest& BenchManifest() {
+  static obs::RunManifest manifest = obs::RunManifest::Collect();
+  return manifest;
+}
+
+/// The shared --trace flag: one representative run per bench records round
+/// events into a flight recorder, exported at exit as a Chrome trace-event
+/// JSON (Perfetto/chrome://tracing-loadable) — or JSONL when the path ends
+/// in ".jsonl". Attach() hands out the recorder exactly once (the first
+/// cell of the sweep), so parallel trials never interleave lanes; RunTrials
+/// additionally restricts it to the first seed.
+class BenchTracer {
+ public:
+  explicit BenchTracer(util::Flags& flags)
+      : path_(flags.GetString(
+            "trace", "",
+            "write a Chrome trace (or .jsonl) of one representative run")) {
+    if (!path_.empty()) recorder_.emplace();
+  }
+
+  /// Recorder for the run to trace; null on every call after the first
+  /// (and always when --trace is off).
+  obs::FlightRecorder* Attach() {
+    if (!recorder_.has_value() || attached_) return nullptr;
+    attached_ = true;
+    return &*recorder_;
+  }
+
+  [[nodiscard]] bool active() const { return recorder_.has_value(); }
+
+  /// Exports the recorded events (no-op when --trace is off or nothing was
+  /// attached).
+  void Write() const {
+    if (!recorder_.has_value() || !attached_) return;
+    const obs::RunManifest& manifest = BenchManifest();
+    const bool jsonl = path_.size() >= 6 &&
+                       path_.compare(path_.size() - 6, 6, ".jsonl") == 0;
+    const bool ok = jsonl ? recorder_->WriteJsonl(path_, &manifest)
+                          : recorder_->WriteChromeTrace(path_, &manifest);
+    if (ok) {
+      std::cout << "(trace: " << path_ << ", " << recorder_->total_emitted()
+                << " events, " << recorder_->dropped() << " dropped)\n";
+    } else {
+      std::cout << "(trace: cannot write " << path_ << ")\n";
+    }
+  }
+
+ private:
+  std::string path_;
+  std::optional<obs::FlightRecorder> recorder_;
+  bool attached_ = false;
+};
 
 /// Call after all flags were read (so they are registered): prints usage and
 /// returns true when --help was passed.
@@ -48,6 +109,9 @@ struct Aggregate {
   util::Summary rounds;
   util::Summary flood_d;
   util::Summary bits_per_msg;
+  /// Log2-bucketed distribution of per-trial rounds (obs registry
+  /// instrument): tail quantiles for sweeps where the mean hides stragglers.
+  obs::Histogram rounds_hist;
   double worst_count_rel_error = 0.0;
   int failures = 0;   // trials that were not Ok()
   int truncated = 0;  // trials cut off by max_rounds (hit_max_rounds)
@@ -62,6 +126,7 @@ inline Aggregate AggregateResults(const std::vector<RunResult>& results) {
   for (const RunResult& r : results) {
     ++agg.trials;
     rounds.push_back(static_cast<double>(r.stats.rounds));
+    agg.rounds_hist.Observe(r.stats.rounds);
     flood.push_back(static_cast<double>(r.stats.flooding.max_rounds));
     bits.push_back(r.stats.AvgBitsPerMessage());
     if (!r.Ok()) ++agg.failures;
@@ -108,13 +173,14 @@ inline void PrintBanner(const std::string& experiment,
 
 /// Prints the table and mirrors it to results/<csv_name> (the directory is
 /// created next to the cwd; generated CSVs stay out of the repo root and are
-/// gitignored).
+/// gitignored). The CSV opens with the run manifest as `# key=value`
+/// comment lines, so every results file records what produced it.
 inline void Finish(const util::Table& table, const std::string& csv_name) {
   table.Print(std::cout);
   std::error_code ec;
   std::filesystem::create_directories("results", ec);
   const std::string path = "results/" + csv_name;
-  table.WriteCsv(path);
+  table.WriteCsv(path, BenchManifest().CommentLines());
   std::cout << "\n(csv: " << path << ")\n\n";
 }
 

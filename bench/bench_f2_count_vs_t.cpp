@@ -22,8 +22,12 @@ int Main(int argc, char** argv) {
   const std::string kind =
       flags.GetString("adversary", "spine-gnp", "adversary kind");
   const int threads = ThreadsFlag(flags);
+  BenchTracer tracer(flags);
 
   if (HelpRequested(flags, "bench_f2_count_vs_t")) return 0;
+  BenchManifest().Set("experiment", "f2_count_vs_t");
+  BenchManifest().Set("trials", trials);
+  BenchManifest().Set("adversary", kind);
 
   PrintBanner(
       "F2: Count rounds vs T (fixed N=" + std::to_string(n) + ")",
@@ -41,8 +45,10 @@ int Main(int argc, char** argv) {
 
     const Aggregate census =
         Measure(Algorithm::kKloCensusT, config, trials, threads);
+    config.recorder = tracer.Attach();  // first hjswy-est cell only
     const Aggregate est =
         Measure(Algorithm::kHjswyEstimate, config, trials, threads);
+    config.recorder = nullptr;
     const Aggregate cen =
         Measure(Algorithm::kHjswyCensus, config, trials, threads);
     if (T == ts.front()) census_t1 = RoundsPoint(census);
@@ -56,6 +62,7 @@ int Main(int argc, char** argv) {
                    "x"});
   }
   Finish(table, "f2_count_vs_t.csv");
+  tracer.Write();
   return 0;
 }
 

@@ -26,7 +26,8 @@ struct Point {
 };
 
 Point MeasureCliques(graph::NodeId cliques, graph::NodeId clique_size, int T,
-                     int trials, int threads) {
+                     int trials, int threads,
+                     obs::FlightRecorder* recorder = nullptr) {
   const graph::NodeId n = cliques * clique_size;
   std::vector<double> rounds;
   double d = 0.0;
@@ -46,6 +47,7 @@ Point MeasureCliques(graph::NodeId cliques, graph::NodeId clique_size, int T,
     net::EngineOptions opts;
     opts.validate_tinterval = false;
     opts.threads = threads;
+    if (trial == 1) opts.recorder = recorder;  // single-consumer sink
     net::Engine<algo::HjswyProgram> engine(std::move(nodes), adv, opts);
     const net::RunStats stats = engine.Run();
     rounds.push_back(static_cast<double>(stats.rounds));
@@ -64,8 +66,11 @@ int Main(int argc, char** argv) {
   const int T = static_cast<int>(flags.GetInt("T", 2, "interval promise"));
   const int trials = static_cast<int>(flags.GetInt("trials", 3, "seeds"));
   const int threads = ThreadsFlag(flags);
+  BenchTracer tracer(flags);
 
   if (HelpRequested(flags, "bench_f3_rounds_vs_d")) return 0;
+  BenchManifest().Set("experiment", "f3_rounds_vs_d");
+  BenchManifest().Set("trials", trials);
 
   PrintBanner("F3: hjswy rounds vs dynamic flooding time d",
               "Rows sweep d (clique-chain length); columns sweep N at fixed "
@@ -87,7 +92,7 @@ int Main(int argc, char** argv) {
       const Point p =
           MeasureCliques(static_cast<graph::NodeId>(cliques),
                          static_cast<graph::NodeId>(clique_sizes[i]), T,
-                         trials, threads);
+                         trials, threads, tracer.Attach());
       row.push_back(util::Table::Num(p.d, 0));
       row.push_back(p.truncated ? "(truncated)"
                                 : util::Table::Num(p.rounds, 0));
@@ -103,6 +108,7 @@ int Main(int argc, char** argv) {
   }
   table.AddRow(slopes);
   Finish(table, "f3_rounds_vs_d.csv");
+  tracer.Write();
   return 0;
 }
 

@@ -45,7 +45,9 @@ Crossovers Sweep(Algorithm algorithm, graph::NodeId n,
 }
 
 std::string Cell(std::int64_t T, const std::vector<std::int64_t>& ts) {
-  return T < 0 ? ">" + std::to_string(ts.back()) : "T=" + std::to_string(T);
+  std::string out = T < 0 ? ">" : "T=";
+  out += std::to_string(T < 0 ? ts.back() : T);
+  return out;
 }
 
 int Main(int argc, char** argv) {
@@ -57,8 +59,12 @@ int Main(int argc, char** argv) {
   const std::string kind =
       flags.GetString("adversary", "spine-gnp", "adversary kind");
   const int threads = ThreadsFlag(flags);
+  BenchTracer tracer(flags);
 
   if (HelpRequested(flags, "bench_f5_crossover")) return 0;
+  BenchManifest().Set("experiment", "f5_crossover");
+  BenchManifest().Set("trials", trials);
+  BenchManifest().Set("adversary", kind);
 
   PrintBanner(
       "F5: stability T needed to reach near-linear (8N) and sublinear (N-1) "
@@ -82,6 +88,7 @@ int Main(int argc, char** argv) {
     at2.n = node_count;
     at2.T = 2;
     at2.adversary.kind = kind;
+    at2.recorder = tracer.Attach();  // first @T=2 cell only
     const Aggregate hjswy2 =
         Measure(Algorithm::kHjswyCensus, at2, trials, threads);
 
@@ -90,6 +97,7 @@ int Main(int argc, char** argv) {
                   Cell(hjswy.linear, ts), RoundsCell(hjswy2)});
   }
   Finish(table, "f5_crossover.csv");
+  tracer.Write();
   return 0;
 }
 

@@ -23,8 +23,11 @@ int Main(int argc, char** argv) {
   const int trials =
       static_cast<int>(flags.GetInt("trials", 10, "seeds per adversary"));
   const int threads = ThreadsFlag(flags);
+  BenchTracer tracer(flags);
 
   if (HelpRequested(flags, "bench_f7_adversaries")) return 0;
+  BenchManifest().Set("experiment", "f7_adversaries");
+  BenchManifest().Set("trials", trials);
 
   PrintBanner("F7: hjswy vs the adversary zoo (N=" + std::to_string(n) + ")",
               "failures counts trials where any node decided a wrong "
@@ -44,8 +47,10 @@ int Main(int argc, char** argv) {
         kind == "adaptive-asc") {
       config.adversary.volatile_edges = 0;
     }
+    config.recorder = tracer.Attach();  // first adversary's census run only
     const Aggregate census =
         Measure(Algorithm::kHjswyCensus, config, trials, threads);
+    config.recorder = nullptr;
     const Aggregate est =
         Measure(Algorithm::kHjswyEstimate, config, trials, threads);
     table.AddRow({kind, util::Table::Num(census.flood_d.median, 0),
@@ -58,6 +63,7 @@ int Main(int argc, char** argv) {
                   util::Table::Num(est.worst_count_rel_error * 100, 1) + "%"});
   }
   Finish(table, "f7_adversaries.csv");
+  tracer.Write();
   return 0;
 }
 

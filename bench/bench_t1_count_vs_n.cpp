@@ -27,8 +27,12 @@ int Main(int argc, char** argv) {
   const std::string kind =
       flags.GetString("adversary", "spine-gnp", "adversary kind");
   const int threads = ThreadsFlag(flags);
+  BenchTracer tracer(flags);
 
   if (HelpRequested(flags, "bench_t1_count_vs_n")) return 0;
+  BenchManifest().Set("experiment", "t1_count_vs_n");
+  BenchManifest().Set("trials", trials);
+  BenchManifest().Set("adversary", kind);
 
   PrintBanner("T1: Count rounds vs N (constant T)",
               "hjswy rows must stay near the measured flooding time d "
@@ -65,6 +69,7 @@ int Main(int argc, char** argv) {
         series[a].push_back(0.0);  // filtered out by the slope fit
         continue;
       }
+      config.recorder = tracer.Attach();  // first measured cell only
       const Aggregate agg = Measure(algorithms[a], config, trials, threads);
       row.push_back(RoundsCell(agg));
       series[a].push_back(RoundsPoint(agg));
@@ -84,6 +89,7 @@ int Main(int argc, char** argv) {
   table.AddRow(slope_row);
 
   Finish(table, "t1_count_vs_n.csv");
+  tracer.Write();
   std::cout << "Expected shape: flood b≈1.0, census b≈2.0, census-T b≈2 with"
                "\nsmaller constant, hjswy b≈0 (tracks d, not N); '!' marks"
                "\ntrials with a failed correctness grade.\n";

@@ -23,8 +23,12 @@ int Main(int argc, char** argv) {
   const std::string kind =
       flags.GetString("adversary", "spine-gnp", "adversary kind");
   const int threads = ThreadsFlag(flags);
+  BenchTracer tracer(flags);
 
   if (HelpRequested(flags, "bench_t4_max_consensus")) return 0;
+  BenchManifest().Set("experiment", "t4_max_consensus");
+  BenchManifest().Set("trials", trials);
+  BenchManifest().Set("adversary", kind);
 
   PrintBanner("T4: Max & Consensus rounds vs N (constant T)",
               "hjswy answers both exactly (whp) in rounds tracking d; the "
@@ -48,8 +52,10 @@ int Main(int argc, char** argv) {
     const Aggregate census =
         skip_census ? Aggregate{}
                     : Measure(Algorithm::kKloCensusT, config, trials, threads);
+    config.recorder = tracer.Attach();  // first hjswy cell only
     const Aggregate hjswy =
         Measure(Algorithm::kHjswyEstimate, config, trials, threads);
+    config.recorder = nullptr;
 
     table.AddRow({std::to_string(n),
                   util::Table::Num(hjswy.flood_d.median, 0),
@@ -65,6 +71,7 @@ int Main(int argc, char** argv) {
                 "b=" + util::Table::Num(util::LogLogSlope(ns_d, hjswy_rounds), 2),
                 "", ""});
   Finish(table, "t4_max_consensus.csv");
+  tracer.Write();
   return 0;
 }
 

@@ -23,8 +23,11 @@ int Main(int argc, char** argv) {
   const auto baseline_cap =
       flags.GetInt("baseline-cap", 256, "largest N for the census baseline");
   const int threads = ThreadsFlag(flags);
+  BenchTracer tracer(flags);
 
   if (HelpRequested(flags, "bench_t6_bandwidth")) return 0;
+  BenchManifest().Set("experiment", "t6_bandwidth");
+  BenchManifest().Set("trials", trials);
 
   PrintBanner("T6: bandwidth accounting",
               "avg/max bits per message vs the enforced per-message budget "
@@ -45,6 +48,7 @@ int Main(int argc, char** argv) {
           RunTrials(algorithm, [&] {
             RunConfig c = config;
             c.validate_tinterval = false;
+            c.recorder = tracer.Attach();  // first measured cell only
             return c;
           }(), Seeds(trials), threads);
       double avg = 0.0;
@@ -69,6 +73,7 @@ int Main(int argc, char** argv) {
     }
   }
   Finish(table, "t6_bandwidth.csv");
+  tracer.Write();
   return 0;
 }
 

@@ -6,8 +6,12 @@
 //   ./live_watch --n=256 --T=2 --algorithm=hjswy-census --every=25
 #include <algorithm>
 #include <iostream>
+#include <optional>
 
 #include "core/simulation.hpp"
+#include "obs/manifest.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -36,6 +40,8 @@ int main(int argc, char** argv) {
   config.adversary.kind =
       flags.GetString("adversary", "spine-gnp", "adversary kind");
   const auto every = flags.GetInt("every", 25, "print every k rounds");
+  const std::string trace_path = flags.GetString(
+      "trace", "", "write a Chrome trace (or .jsonl) of the watched run");
   const sdn::Algorithm algorithm = ParseAlgorithm(
       flags.GetString("algorithm", "hjswy-census", "algorithm to watch"));
   if (flags.Has("help")) {
@@ -43,11 +49,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::optional<sdn::obs::FlightRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder.emplace();
+    config.recorder = &*recorder;
+  }
+  config.collect_metrics = true;  // live deliveries/algo-work columns
+
   sdn::Simulation sim(algorithm, config);
   std::cout << "watching " << sdn::ToString(algorithm) << " on N=" << config.n
             << " (" << config.adversary.kind << ", T=" << config.T << ")\n\n";
-  sdn::util::Table table(
-      {"round", "decided", "min state", "max state", "edges", "msgs so far"});
+  sdn::util::Table table({"round", "decided", "min state", "max state",
+                          "edges", "msgs so far", "dlv/round p50", "algo work"});
 
   const auto snapshot = [&] {
     std::int64_t decided = 0;
@@ -60,11 +73,16 @@ int main(int argc, char** argv) {
       hi = std::max(hi, s);
     }
     const auto stats = sim.Stats();
+    const sdn::obs::MetricSample* dlv = stats.metrics.Find("round_deliveries");
+    const sdn::obs::MetricSample* work = stats.metrics.Find("algo_work");
     table.AddRow({std::to_string(sim.Round()),
                   std::to_string(decided) + "/" + std::to_string(config.n),
                   sdn::util::Table::Num(lo, 1), sdn::util::Table::Num(hi, 1),
                   std::to_string(sim.CurrentTopology().num_edges()),
-                  std::to_string(stats.messages_sent)});
+                  std::to_string(stats.messages_sent),
+                  dlv != nullptr && dlv->count > 0 ? std::to_string(dlv->p50)
+                                                   : "-",
+                  work != nullptr ? std::to_string(work->value) : "-"});
   };
 
   while (sim.Step()) {
@@ -77,5 +95,24 @@ int main(int argc, char** argv) {
   std::cout << "\nfinished in " << result.stats.rounds << " rounds (d="
             << result.stats.flooding.max_rounds << "), all grades "
             << (result.Ok() ? "passed" : "FAILED") << ".\n";
+
+  if (recorder.has_value()) {
+    sdn::obs::RunManifest manifest = sdn::obs::RunManifest::Collect();
+    manifest.Set("experiment", "live_watch");
+    manifest.Set("algorithm", sdn::ToString(algorithm));
+    manifest.Set("n", static_cast<long long>(config.n));
+    manifest.Set("T", config.T);
+    manifest.Set("seed", static_cast<long long>(config.seed));
+    manifest.Set("adversary", config.adversary.kind);
+    const bool jsonl =
+        trace_path.size() >= 6 &&
+        trace_path.compare(trace_path.size() - 6, 6, ".jsonl") == 0;
+    const bool ok = jsonl ? recorder->WriteJsonl(trace_path, &manifest)
+                          : recorder->WriteChromeTrace(trace_path, &manifest);
+    std::cout << (ok ? "(trace: " : "(trace: cannot write ") << trace_path
+              << (ok ? ", " + std::to_string(recorder->total_emitted()) +
+                           " events)\n"
+                     : ")\n");
+  }
   return result.Ok() ? 0 : 1;
 }

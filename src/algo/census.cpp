@@ -163,6 +163,8 @@ std::optional<CensusProgram::Message> CensusProgram::OnSend(Round r) {
 void CensusProgram::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
   const Position pos = LocateFast(r);
+  obs_phase_.label = pos.verifying ? "verify" : "disseminate";
+  obs_phase_.index = pos.guess_k;
 
   if (pos.verifying) {
     SDN_CHECK_MSG(verify_key_ == pos.guess_k,
@@ -179,13 +181,17 @@ void CensusProgram::OnReceive(Round r, Inbox<Message> inbox) {
       out.consensus_value = agg_min_value_;
       out.accepted_guess = pos.guess_k;
       decided_ = out;
+      obs_phase_.label = "decided";
     }
     return;
   }
 
   for (const Message& m : inbox) {
     if (m.tag != Tag::kToken) continue;
-    if (m.token >= 0) census_.Insert(m.token);
+    if (m.token >= 0 && !census_.Contains(m.token)) {
+      census_.Insert(m.token);
+      ++obs_phase_.work;
+    }
     if (m.min_id < agg_min_id_) {
       agg_min_id_ = m.min_id;
       agg_min_value_ = m.min_id_value;

@@ -103,6 +103,11 @@ class CensusProgram {
   /// OnSend/OnReceive go through this.
   [[nodiscard]] Position LocateFast(Round r) const;
 
+  /// Flight-recorder phase sample (net::ObservableProgram): label is the
+  /// guess segment ("disseminate"/"verify"/"decided"), index the guess k,
+  /// work the cumulative census insertions.
+  [[nodiscard]] net::ProgramPhase ObsPhase() const { return obs_phase_; }
+
   /// Tokens re-sent per window: B = ⌈pipeline_T / 2⌉.
   [[nodiscard]] std::int64_t band_size() const;
   /// Stage length in rounds for guess k (multiple of pipeline_T).
@@ -131,6 +136,10 @@ class CensusProgram {
   /// Schedule cursor for LocateFast (mutable: advancing it is invisible —
   /// every Position it produces equals Locate(r)).
   mutable PhaseCursor cursor_;
+
+  /// Updated in OnReceive; read by the engine only while a recorder is
+  /// attached.
+  net::ProgramPhase obs_phase_{.label = "disseminate", .index = 1};
 
   std::optional<CensusOutput> decided_;
 };

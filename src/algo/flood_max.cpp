@@ -21,7 +21,12 @@ void FloodMaxKnownN::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
   // Inbox may be dense-backed (direct outbox indexing) or a pointer gather;
   // iteration reads each neighbor's message in place either way.
-  for (const Message& m : inbox) best_ = std::max(best_, m.value);
+  for (const Message& m : inbox) {
+    if (m.value > best_) {
+      best_ = m.value;
+      ++obs_work_;
+    }
+  }
   // After round N-1, the running max has traversed any 1-interval-connected
   // sequence: the informed set grows by >= 1 node per round until it spans.
   if (r >= n_ - 1) decided_ = best_;
@@ -45,6 +50,7 @@ void ConsensusFloodKnownN::OnReceive(Round r, Inbox<Message> inbox) {
     if (m.leader < leader_) {
       leader_ = m.leader;
       leader_value_ = m.value;
+      ++obs_work_;
     }
   }
   if (r >= n_ - 1) decided_ = leader_value_;

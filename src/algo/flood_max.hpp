@@ -37,9 +37,18 @@ class FloodMaxKnownN {
 
   static AlgoInfo Info() { return {"flood-max(knownN)", false, true, false}; }
 
+  /// Flight-recorder phase sample (net::ObservableProgram): a single
+  /// "flood" segment until decision; work counts max improvements.
+  [[nodiscard]] net::ProgramPhase ObsPhase() const {
+    return {.label = decided_.has_value() ? "decided" : "flood",
+            .index = 0,
+            .work = obs_work_};
+  }
+
  private:
   NodeId n_;
   Value best_;
+  std::int64_t obs_work_ = 0;
   std::optional<Value> decided_;
 };
 
@@ -71,10 +80,19 @@ class ConsensusFloodKnownN {
     return {"flood-consensus(knownN)", false, true, false};
   }
 
+  /// Flight-recorder phase sample (net::ObservableProgram): a single
+  /// "flood" segment until decision; work counts leader improvements.
+  [[nodiscard]] net::ProgramPhase ObsPhase() const {
+    return {.label = decided_.has_value() ? "decided" : "flood",
+            .index = 0,
+            .work = obs_work_};
+  }
+
  private:
   NodeId n_;
   NodeId leader_;
   Value leader_value_;
+  std::int64_t obs_work_ = 0;
   std::optional<Value> decided_;
 };
 

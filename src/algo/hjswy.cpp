@@ -238,10 +238,14 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
              ++i) {
           const auto idx = static_cast<std::size_t>(m.coord_base) + i;
           if (idx < static_cast<std::size_t>(sketch_.size())) {
-            changed |= sketch_.MergeCoord(idx, BitsToDouble(m.coords[i]));
-            if (m.has_sum && sum_sketch_.has_value()) {
-              changed |=
-                  sum_sketch_->MergeCoord(idx, BitsToDouble(m.sum_coords[i]));
+            if (sketch_.MergeCoord(idx, BitsToDouble(m.coords[i]))) {
+              changed = true;
+              ++obs_phase_.work;
+            }
+            if (m.has_sum && sum_sketch_.has_value() &&
+                sum_sketch_->MergeCoord(idx, BitsToDouble(m.sum_coords[i]))) {
+              changed = true;
+              ++obs_phase_.work;
             }
           }
         }
@@ -270,12 +274,18 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
     const auto base = static_cast<std::size_t>(block_base);
     std::array<double, kMaxCoordsPerMsg> block;
     for (std::size_t i = 0; i < len; ++i) block[i] = BitsToDouble(block_bits[i]);
-    changed |= sketch_.MergeBlock(base, std::span(block.data(), len));
+    if (sketch_.MergeBlock(base, std::span(block.data(), len))) {
+      changed = true;
+      ++obs_phase_.work;
+    }
     if (block_has_sum && sum_sketch_.has_value()) {
       for (std::size_t i = 0; i < len; ++i) {
         block[i] = BitsToDouble(sum_block_bits[i]);
       }
-      changed |= sum_sketch_->MergeBlock(base, std::span(block.data(), len));
+      if (sum_sketch_->MergeBlock(base, std::span(block.data(), len))) {
+        changed = true;
+        ++obs_phase_.work;
+      }
     }
   }
   changed |= census_changed;
@@ -286,6 +296,9 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
   }
 
   if (decided_.has_value()) return;
+
+  obs_phase_.label = pos.in_suffix ? "suffix" : "disseminate";
+  obs_phase_.index = pos.phase;
 
   if (pos.in_suffix && (changed || neighbor_divergent || neighbor_alarm)) {
     alarm_ = true;
@@ -307,6 +320,7 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
     out.accepted_phase = pos.phase;
     out.accepted_horizon = pos.horizon;
     decided_ = out;
+    obs_phase_.label = "decided";
   }
 }
 

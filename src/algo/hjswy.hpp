@@ -157,6 +157,11 @@ class HjswyProgram {
   /// Whether this node has raised an alarm in the current phase (tests).
   [[nodiscard]] bool alarm_raised() const { return alarm_; }
 
+  /// Flight-recorder phase sample (net::ObservableProgram): label is the
+  /// schedule segment ("disseminate"/"suffix"/"decided"), index the doubling
+  /// phase, work the cumulative count of successful sketch merges.
+  [[nodiscard]] net::ProgramPhase ObsPhase() const { return obs_phase_; }
+
  private:
   [[nodiscard]] std::uint64_t StateFingerprint() const;
   [[nodiscard]] double CachedEstimate() const;
@@ -185,6 +190,10 @@ class HjswyProgram {
   /// Schedule cursor for LocateFast (mutable: advancing it is invisible —
   /// every Position it produces equals Locate(r)).
   mutable PhaseCursor cursor_;
+
+  /// Updated in OnReceive; read by the engine only while a recorder is
+  /// attached.
+  net::ProgramPhase obs_phase_{.label = "disseminate"};
 
   std::optional<HjswyOutput> decided_;
 };

@@ -205,6 +205,21 @@ std::optional<KloCommitteeProgram::Message> KloCommitteeProgram::OnSend(
 void KloCommitteeProgram::OnReceive(Round r, Inbox<Message> inbox) {
   if (decided_.has_value()) return;
   const Position pos = LocateFast(r);
+  switch (pos.phase) {
+    case Position::Phase::kPoll:
+      obs_phase_.label = "poll";
+      break;
+    case Position::Phase::kInvite:
+      obs_phase_.label = "invite";
+      break;
+    case Position::Phase::kVerify:
+      obs_phase_.label = "verify";
+      break;
+    case Position::Phase::kSize:
+      obs_phase_.label = "size";
+      break;
+  }
+  obs_phase_.index = pos.guess_k;
 
   for (const Message& m : inbox) {
     if (m.leader < leader_ && m.tag != Tag::kInvite) {
@@ -219,6 +234,7 @@ void KloCommitteeProgram::OnReceive(Round r, Inbox<Message> inbox) {
       case Tag::kInvite:
         if (m.invitee >= 0) {
           if (m.invitee == id_ && m.leader == leader_) {
+            if (committee_ != m.leader) ++obs_phase_.work;
             committee_ = m.leader;
           }
           if (InvitationLess(m.leader, m.invitee, invite_leader_,
@@ -244,6 +260,7 @@ void KloCommitteeProgram::OnReceive(Round r, Inbox<Message> inbox) {
     out.consensus_value = leader_value_;
     out.accepted_guess = pos.guess_k;
     decided_ = out;
+    obs_phase_.label = "decided";
   }
 }
 

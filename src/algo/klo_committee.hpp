@@ -88,6 +88,11 @@ class KloCommitteeProgram {
   /// OnSend/OnReceive go through this.
   [[nodiscard]] Position LocateFast(Round r) const;
 
+  /// Flight-recorder phase sample (net::ObservableProgram): label is the
+  /// guess segment ("poll"/"invite"/"verify"/"size"/"decided"), index the
+  /// guess k, work the cumulative committee joins observed by this node.
+  [[nodiscard]] net::ProgramPhase ObsPhase() const { return obs_phase_; }
+
  private:
   void ResetForGuess(std::int64_t k);
 
@@ -115,6 +120,10 @@ class KloCommitteeProgram {
   /// Schedule cursor for LocateFast (mutable: advancing it is invisible —
   /// every Position it produces equals Locate(r)).
   mutable PhaseCursor cursor_;
+
+  /// Updated in OnReceive; read by the engine only while a recorder is
+  /// attached.
+  net::ProgramPhase obs_phase_{.label = "poll", .index = 1};
 
   std::optional<Output> decided_;
 };

@@ -179,6 +179,8 @@ class TypedSim final : public detail::SimBase {
     opts.incremental_topology = config_.incremental_topology;
     opts.dense_delivery = config_.dense_delivery;
     opts.threads = config_.threads;
+    opts.recorder = config_.recorder;
+    opts.collect_metrics = config_.collect_metrics;
     engine_.emplace(std::move(nodes), *adversary_, opts);
   }
 
@@ -370,6 +372,10 @@ std::vector<RunResult> RunTrials(Algorithm algorithm, const RunConfig& config,
       if (i >= seeds.size()) return;
       RunConfig trial = budgeted;
       trial.seed = seeds[i];
+      // The flight recorder is a single-consumer sink: concurrent trials
+      // writing the same lanes would interleave runs, so only the first
+      // seed's trial traces (a representative run, deterministic choice).
+      if (i != 0) trial.recorder = nullptr;
       try {
         results[i] = RunAlgorithm(algorithm, trial);
       } catch (const std::exception& e) {

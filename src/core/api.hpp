@@ -18,6 +18,7 @@
 #include "algo/hjswy.hpp"
 #include "net/bandwidth.hpp"
 #include "net/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace sdn {
 
@@ -81,6 +82,14 @@ struct RunConfig {
   algo::HjswyOptions hjswy{};
   /// Knobs for the census baselines (pipeline_T synced from the choice).
   algo::CensusOptions census{};
+  /// Flight recorder handed to the engine (EngineOptions::recorder). Null =
+  /// tracing off (the zero-overhead default). Must outlive the run. The
+  /// recorder is a single-consumer sink: RunTrials attaches it to the first
+  /// seed's trial only, so parallel trials never interleave lanes.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Collect the per-round metrics registry into RunStats::metrics
+  /// (EngineOptions::collect_metrics).
+  bool collect_metrics = false;
 };
 
 /// Graded result of one run.

@@ -68,6 +68,12 @@ class TIntervalChecker {
   [[nodiscard]] std::int64_t first_bad_window() const {
     return first_bad_window_;
   }
+  /// Edges that have aged into every window ending at the last pushed round
+  /// (the checker's witness size, surfaced for the flight recorder's
+  /// kCheckerWindow track).
+  [[nodiscard]] std::int64_t stable_edge_count() const {
+    return stable_count_;
+  }
 
  private:
   static std::uint64_t Key(const Edge& e) {

@@ -52,6 +52,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -64,6 +65,8 @@
 #include "net/metrics.hpp"
 #include "net/program.hpp"
 #include "net/trace.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -110,6 +113,18 @@ struct EngineOptions {
   /// graph sequence in memory. Must outlive the engine; the engine does not
   /// Close() it.
   TraceRecorder* record_trace = nullptr;
+  /// Flight recorder for round events (phase spans, algorithm-phase
+  /// transitions, probe lifecycle, sketch merges, checker windows,
+  /// bandwidth high-water marks). Null = the sink is off and every
+  /// emission site reduces to one predicted branch — the zero-overhead
+  /// default. Must outlive the engine. Events are emitted outside the
+  /// timed phase windows and RunStats stays bit-identical with the
+  /// recorder attached or not (test_determinism pins it).
+  obs::FlightRecorder* recorder = nullptr;
+  /// Collect per-round histograms (edges, deliveries, phase latencies)
+  /// into a metrics registry snapshotted as RunStats::metrics. Off by
+  /// default; like the recorder, off costs one branch per round.
+  bool collect_metrics = false;
 };
 
 template <NodeProgram A>
@@ -236,6 +251,9 @@ class Engine final : private AdversaryView {
         acc.max_message_bits = std::max(acc.max_message_bits, bits);
       }
     });
+    // The send window ends at the phase barrier; the shard merge below is
+    // engine bookkeeping and lands in other_ns, not send_ns.
+    const auto t4 = Clock::now();
     std::int64_t round_sent = 0;
     for (const ShardAccum& acc : shard_accum_) {
       round_sent += acc.messages_sent;
@@ -248,12 +266,20 @@ class Engine final : private AdversaryView {
             BandwidthViolation{acc.violation_node, round_, acc.violation_bits};
       }
     }
-    const auto t4 = Clock::now();
 
     if (stats_.bandwidth_violation.has_value()) {
       stats_.rounds = round_;
       finished_ = true;
-      AccumulateTimings(t0, t1, t2, t3, t4, t4);
+      AccumulateTimings(t0, t1, t2, t3, t4, t4, t4, Clock::now());
+      if (rec_ != nullptr) {
+        const BandwidthViolation& v = *stats_.bandwidth_violation;
+        EmitPhaseSpans(t0, t1, t2, t3, t4);
+        rec_->Emit({.kind = obs::EventKind::kBandwidthViolation,
+                    .round = round_,
+                    .t_ns = rec_->RelNs(t4),
+                    .a = v.bits,
+                    .b = v.node});
+      }
       const BandwidthViolation& v = *stats_.bandwidth_violation;
       SDN_CHECK_MSG(false, "message of " << v.bits << " bits exceeds budget "
                                          << stats_.bit_limit << " at node "
@@ -300,6 +326,7 @@ class Engine final : private AdversaryView {
     // Decisions land in per-node slots plus a per-shard count, reduced
     // below instead of mutated inline.
     const bool dense = options_.dense_delivery && round_sent == n_;
+    const auto t5 = Clock::now();
     ForShards([this, &g, dense](int shard, std::int64_t begin,
                                 std::int64_t end) {
       using Message = typename A::Message;
@@ -340,9 +367,14 @@ class Engine final : private AdversaryView {
         }
       }
     });
+    // Deliver window ends at the barrier; merge + decision bookkeeping are
+    // other_ns.
+    const auto t6 = Clock::now();
     std::int64_t decided = 0;
+    std::int64_t round_delivered = 0;
     for (const ShardAccum& acc : shard_accum_) {
       stats_.messages_delivered += acc.messages_delivered;
+      round_delivered += acc.messages_delivered;
       decided += acc.decided;
     }
     if (decided > 0) {
@@ -350,15 +382,32 @@ class Engine final : private AdversaryView {
       stats_.last_decide_round = round_;
       undecided_ -= decided;
     }
-    const auto t5 = Clock::now();
-
-    AccumulateTimings(t0, t1, t2, t3, t4, t5);
     stats_.rounds = round_;
     if (undecided_ == 0) {
       finished_ = true;
     } else if (round_ >= options_.max_rounds) {
       finished_ = true;
       stats_.hit_max_rounds = true;
+    }
+    const auto t7 = Clock::now();
+    AccumulateTimings(t0, t1, t2, t3, t4, t5, t6, t7);
+
+    // Observability sinks run after the final clock read, so their cost
+    // never lands in any timing bucket — and RunStats (including timings)
+    // is identical with the sinks on or off.
+    if (rec_ != nullptr) {
+      ObserveRound(t0, t1, t2, t3, t4, t5, t6, round_delivered);
+    }
+    if (registry_ != nullptr) {
+      const auto ns = [](Clock::time_point a, Clock::time_point b) {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+            .count();
+      };
+      hist_round_edges_->Observe(g.num_edges());
+      hist_round_deliveries_->Observe(round_delivered);
+      hist_round_send_ns_->Observe(ns(t3, t4));
+      hist_round_deliver_ns_->Observe(ns(t5, t6));
+      hist_round_total_ns_->Observe(ns(t0, t7));
     }
     return true;
   }
@@ -379,6 +428,20 @@ class Engine final : private AdversaryView {
     out.tinterval_validated = options_.validate_tinterval && started_;
     out.tinterval_ok = !checker_.has_value() || checker_->ok();
     out.flooding = FloodingSnapshot();
+    if (registry_ != nullptr) {
+      // Mirror the scalar aggregates into the registry so the snapshot is
+      // self-contained (one structure to render or export).
+      registry_->GetGauge("messages_sent")->Set(stats_.messages_sent);
+      registry_->GetGauge("messages_delivered")->Set(stats_.messages_delivered);
+      registry_->GetGauge("edges_processed")->Set(stats_.edges_processed);
+      registry_->GetGauge("max_message_bits")->Set(stats_.max_message_bits);
+      if constexpr (ObservableProgram<A>) {
+        std::int64_t work = 0;
+        for (const A& node : nodes_) work += node.ObsPhase().work;
+        registry_->GetGauge("algo_work")->Set(work);
+      }
+      out.metrics = registry_->Snapshot();
+    }
     return out;
   }
 
@@ -434,28 +497,157 @@ class Engine final : private AdversaryView {
     }
   }
 
+  /// Named windows: topology t0..t1, validate t1..t2, probe t2..t3, send
+  /// t3..t4 (the ForShards barrier only), deliver t5..t6 (ditto); t7 is the
+  /// final clock read. other_ns is the residual — everything between the
+  /// named windows (shard merges, stats bookkeeping, prefetch launches) —
+  /// constructed as total minus the named phases so the partition identity
+  /// topology+validate+probe+send+deliver+other == total holds exactly
+  /// (debug-asserted below, pinned by test_bandwidth_metrics).
   void AccumulateTimings(std::chrono::steady_clock::time_point t0,
                          std::chrono::steady_clock::time_point t1,
                          std::chrono::steady_clock::time_point t2,
                          std::chrono::steady_clock::time_point t3,
                          std::chrono::steady_clock::time_point t4,
-                         std::chrono::steady_clock::time_point t5) {
+                         std::chrono::steady_clock::time_point t5,
+                         std::chrono::steady_clock::time_point t6,
+                         std::chrono::steady_clock::time_point t7) {
     const auto ns = [](std::chrono::steady_clock::time_point a,
                        std::chrono::steady_clock::time_point b) {
       return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
           .count();
     };
-    stats_.timings.topology_ns += ns(t0, t1);
-    stats_.timings.validate_ns += ns(t1, t2);
-    stats_.timings.probe_ns += ns(t2, t3);
-    stats_.timings.send_ns += ns(t3, t4);
-    stats_.timings.deliver_ns += ns(t4, t5);
-    stats_.timings.total_ns += ns(t0, t5);
+    const std::int64_t topology = ns(t0, t1);
+    const std::int64_t validate = ns(t1, t2);
+    const std::int64_t probe = ns(t2, t3);
+    const std::int64_t send = ns(t3, t4);
+    const std::int64_t deliver = ns(t5, t6);
+    const std::int64_t total = ns(t0, t7);
+    stats_.timings.topology_ns += topology;
+    stats_.timings.validate_ns += validate;
+    stats_.timings.probe_ns += probe;
+    stats_.timings.send_ns += send;
+    stats_.timings.deliver_ns += deliver;
+    stats_.timings.other_ns +=
+        total - (topology + validate + probe + send + deliver);
+    stats_.timings.total_ns += total;
+#ifndef NDEBUG
+    const EngineTimings& tm = stats_.timings;
+    SDN_CHECK_MSG(tm.topology_ns + tm.validate_ns + tm.probe_ns + tm.send_ns +
+                          tm.deliver_ns + tm.other_ns ==
+                      tm.total_ns,
+                  "EngineTimings phases must partition total_ns");
+#endif
+  }
+
+  /// Emits this round's engine-phase spans (kPhase) — the deliver window is
+  /// included only when the round got that far.
+  void EmitPhaseSpans(std::chrono::steady_clock::time_point t0,
+                      std::chrono::steady_clock::time_point t1,
+                      std::chrono::steady_clock::time_point t2,
+                      std::chrono::steady_clock::time_point t3,
+                      std::chrono::steady_clock::time_point t4,
+                      std::optional<std::chrono::steady_clock::time_point> t5 =
+                          std::nullopt,
+                      std::optional<std::chrono::steady_clock::time_point> t6 =
+                          std::nullopt) {
+    const auto span = [this](const char* label,
+                             std::chrono::steady_clock::time_point a,
+                             std::chrono::steady_clock::time_point b) {
+      rec_->Emit({.kind = obs::EventKind::kPhase,
+                  .round = round_,
+                  .t_ns = rec_->RelNs(a),
+                  .dur_ns = rec_->RelNs(b) - rec_->RelNs(a),
+                  .label = label});
+    };
+    span("topology", t0, t1);
+    span("validate", t1, t2);
+    span("probe", t2, t3);
+    span("send", t3, t4);
+    if (t5.has_value() && t6.has_value()) span("deliver", *t5, *t6);
+  }
+
+  /// Per-round flight-recorder emission (rec_ != nullptr only): phase
+  /// spans, the algorithm-phase track sampled from node 0, sketch-merge
+  /// progress summed over nodes, checker window state, and bandwidth
+  /// high-water marks. Runs after the round's final clock read.
+  void ObserveRound(std::chrono::steady_clock::time_point t0,
+                    std::chrono::steady_clock::time_point t1,
+                    std::chrono::steady_clock::time_point t2,
+                    std::chrono::steady_clock::time_point t3,
+                    std::chrono::steady_clock::time_point t4,
+                    std::chrono::steady_clock::time_point t5,
+                    std::chrono::steady_clock::time_point t6,
+                    std::int64_t round_delivered) {
+    EmitPhaseSpans(t0, t1, t2, t3, t4, t5, t6);
+    const std::int64_t now = rec_->RelNs(t6);
+    if constexpr (ObservableProgram<A>) {
+      // The run-level track samples node 0 (all nodes follow the same
+      // global schedule; divergence is exactly what the alarm machinery
+      // detects). Label identity is pointer identity — labels are static.
+      const ProgramPhase phase = nodes_[0].ObsPhase();
+      if (phase.label != obs_algo_label_ || phase.index != obs_algo_index_) {
+        obs_algo_label_ = phase.label;
+        obs_algo_index_ = phase.index;
+        rec_->Emit({.kind = obs::EventKind::kAlgoPhase,
+                    .round = round_,
+                    .t_ns = now,
+                    .a = phase.index,
+                    .label = phase.label});
+      }
+      std::int64_t merges = 0;
+      for (const A& node : nodes_) merges += node.ObsPhase().work;
+      if (merges != obs_merges_total_) {
+        rec_->Emit({.kind = obs::EventKind::kSketchMerge,
+                    .round = round_,
+                    .t_ns = now,
+                    .a = merges,
+                    .b = merges - obs_merges_total_});
+        obs_merges_total_ = merges;
+      }
+    }
+    if (checker_.has_value()) {
+      const std::int64_t stable = checker_->stable_edge_count();
+      const bool ok = checker_->ok();
+      if (stable != obs_stable_edges_ || ok != obs_checker_ok_) {
+        obs_stable_edges_ = stable;
+        obs_checker_ok_ = ok;
+        rec_->Emit({.kind = obs::EventKind::kCheckerWindow,
+                    .round = round_,
+                    .t_ns = now,
+                    .a = stable,
+                    .b = ok ? 1 : 0});
+      }
+    }
+    if (stats_.max_message_bits > obs_hw_bits_) {
+      obs_hw_bits_ = stats_.max_message_bits;
+      rec_->Emit({.kind = obs::EventKind::kBandwidthHighWater,
+                  .round = round_,
+                  .t_ns = now,
+                  .a = obs_hw_bits_});
+    }
+    rec_->Emit({.kind = obs::EventKind::kCounter,
+                .round = round_,
+                .t_ns = now,
+                .a = round_delivered,
+                .label = "deliveries"});
   }
 
   void EnsureStarted() {
     if (started_) return;
     started_ = true;
+    rec_ = options_.recorder;
+    if (options_.collect_metrics) {
+      registry_ = std::make_unique<obs::MetricsRegistry>();
+      hist_round_edges_ = registry_->GetHistogram("round_edges");
+      hist_round_deliveries_ = registry_->GetHistogram("round_deliveries");
+      hist_round_send_ns_ =
+          registry_->GetHistogram("round_send_ns", /*deterministic=*/false);
+      hist_round_deliver_ns_ =
+          registry_->GetHistogram("round_deliver_ns", /*deterministic=*/false);
+      hist_round_total_ns_ =
+          registry_->GetHistogram("round_total_ns", /*deterministic=*/false);
+    }
     stats_.decide_round.assign(static_cast<std::size_t>(n_), -1);
     stats_.sends_per_node.assign(static_cast<std::size_t>(n_), 0);
     stats_.bit_limit = options_.bandwidth.BitLimit(n_);
@@ -500,7 +692,7 @@ class Engine final : private AdversaryView {
       if (probes_.back().complete()) {
         probe_started_.back() = 1;
         ++probes_spawned_;
-        RecordProbeCompletion(probes_.back());
+        RecordProbeCompletion(static_cast<std::size_t>(i), probes_.back());
       }
     }
     for (graph::NodeId u = 0; u < n_; ++u) {
@@ -528,10 +720,17 @@ class Engine final : private AdversaryView {
         if (round_ < p.start_round()) continue;
         probe_started_[i] = 1;
         ++probes_spawned_;
+        if (rec_ != nullptr) {
+          rec_->Emit({.kind = obs::EventKind::kProbeSpawn,
+                      .round = round_,
+                      .t_ns = rec_->NowNs(),
+                      .a = static_cast<std::int64_t>(i),
+                      .b = p.source()});
+        }
       }
       p.Push(round_, g);
       if (!p.complete()) continue;
-      RecordProbeCompletion(p);
+      RecordProbeCompletion(i, p);
       // Stagger: relaunch this slot from a fresh source at round 2c. Start
       // rounds are sampled at geometrically spaced points of the run, and
       // the probe work stays O(E·d·log rounds) total instead of O(E·rounds).
@@ -540,10 +739,17 @@ class Engine final : private AdversaryView {
     }
   }
 
-  void RecordProbeCompletion(const FloodProbe& p) {
+  void RecordProbeCompletion(std::size_t slot, const FloodProbe& p) {
     ++probes_completed_;
     probe_max_rounds_ = std::max(probe_max_rounds_, p.completion_rounds());
     probe_total_rounds_ += static_cast<double>(p.completion_rounds());
+    if (rec_ != nullptr) {
+      rec_->Emit({.kind = obs::EventKind::kProbeComplete,
+                  .round = round_,
+                  .t_ns = rec_->NowNs(),
+                  .a = static_cast<std::int64_t>(slot),
+                  .b = p.completion_rounds()});
+    }
   }
 
   [[nodiscard]] FloodingSummary FloodingSnapshot() const {
@@ -610,6 +816,24 @@ class Engine final : private AdversaryView {
   std::future<graph::Graph> prefetch_;
   std::future<PrefetchedTopology> delta_prefetch_;
   std::int64_t prefetched_round_ = -1;
+
+  // Observability sinks (EnsureStarted): both null/off by default. The
+  // recorder pointer gate is the whole off-switch — no event code runs
+  // without it. Emission happens outside the timed windows, and nothing
+  // here feeds back into the run, so RunStats is bit-identical either way.
+  obs::FlightRecorder* rec_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  obs::Histogram* hist_round_edges_ = nullptr;
+  obs::Histogram* hist_round_deliveries_ = nullptr;
+  obs::Histogram* hist_round_send_ns_ = nullptr;
+  obs::Histogram* hist_round_deliver_ns_ = nullptr;
+  obs::Histogram* hist_round_total_ns_ = nullptr;
+  const char* obs_algo_label_ = nullptr;  // last emitted algo-phase label
+  std::int64_t obs_algo_index_ = -1;
+  std::int64_t obs_merges_total_ = 0;
+  std::int64_t obs_stable_edges_ = -1;  // last emitted checker state
+  bool obs_checker_ok_ = true;
+  std::int64_t obs_hw_bits_ = 0;  // last emitted bandwidth high water
 };
 
 }  // namespace sdn::net

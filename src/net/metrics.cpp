@@ -28,7 +28,7 @@ std::string EngineTimings::OneLine(std::int64_t rounds,
   os << std::fixed << std::setprecision(2) << "total=" << ms(total_ns)
      << "ms (topology=" << ms(topology_ns) << " validate=" << ms(validate_ns)
      << " probe=" << ms(probe_ns) << " send=" << ms(send_ns)
-     << " deliver=" << ms(deliver_ns) << ")"
+     << " deliver=" << ms(deliver_ns) << " other=" << ms(other_ns) << ")"
      << std::setprecision(0) << " rounds/s=" << RoundsPerSec(rounds)
      << " edges/s=" << EdgesPerSec(edges);
   return os.str();
@@ -62,6 +62,14 @@ std::string RunStats::OneLine() const {
   if (timings.total_ns > 0) {
     os << " rounds/s=" << static_cast<std::int64_t>(
         timings.RoundsPerSec(rounds));
+  }
+  if (const obs::MetricSample* s = metrics.Find("round_edges");
+      s != nullptr && s->count > 0) {
+    os << " edges/round=p50:" << s->p50 << "/p95:" << s->p95;
+  }
+  if (const obs::MetricSample* s = metrics.Find("round_deliveries");
+      s != nullptr && s->count > 0) {
+    os << " deliveries/round=p50:" << s->p50 << "/p95:" << s->p95;
   }
   return os.str();
 }

@@ -13,19 +13,26 @@
 #include <vector>
 
 #include "net/flooding.hpp"
+#include "obs/registry.hpp"
 
 namespace sdn::net {
 
 /// Per-run wall-clock breakdown of Engine::Step(), in nanoseconds.
-/// total_ns covers the whole step; the named phases partition it (up to
-/// clock-read slack). Collected with steady_clock reads per phase — a few
-/// tens of ns per round, negligible against the O(E) round work.
+/// total_ns covers the whole step and the named phases partition it
+/// *exactly*: other_ns is the residual (shard-merge reductions, stats
+/// bookkeeping, prefetch launches, event emission — everything between the
+/// named phase windows), computed per round as total minus the named
+/// phases, so topology + validate + probe + send + deliver + other ==
+/// total always holds (the engine debug-asserts it). Collected with
+/// steady_clock reads per phase — a few tens of ns per round, negligible
+/// against the O(E) round work.
 struct EngineTimings {
   std::int64_t topology_ns = 0;  ///< adversary TopologyFor + trace recording
   std::int64_t validate_ns = 0;  ///< streaming T-interval checker
   std::int64_t probe_ns = 0;     ///< flooding-time probes
   std::int64_t send_ns = 0;      ///< OnSend + bandwidth accounting
   std::int64_t deliver_ns = 0;   ///< inbox gather + OnReceive
+  std::int64_t other_ns = 0;     ///< residual: merges, bookkeeping, tracing
   std::int64_t total_ns = 0;     ///< sum of all Step() wall time
 
   [[nodiscard]] double TotalSeconds() const;
@@ -88,6 +95,13 @@ struct RunStats {
   FloodingSummary flooding;
 
   EngineTimings timings;
+
+  /// Registry snapshot (EngineOptions::collect_metrics): per-round
+  /// histograms and named counters mirroring the scalar fields above.
+  /// Empty unless collection was on. ns-valued entries are flagged
+  /// non-deterministic; everything else is bit-identical at any thread
+  /// count and with tracing on or off.
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] double AvgBitsPerMessage() const;
   /// Total bits divided by (nodes × rounds): per-node per-round bandwidth.

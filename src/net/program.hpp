@@ -150,4 +150,27 @@ concept NodeProgram = requires(
   { A::MessageBits(msg) } -> std::convertible_to<std::size_t>;
 };
 
+/// What a node reports about where it is inside its algorithm, for the
+/// flight recorder's algorithm-phase track (obs::EventKind::kAlgoPhase).
+struct ProgramPhase {
+  /// Static-storage-duration phase name ("disseminate", "verify", ...) —
+  /// the recorder stores the pointer, never a copy.
+  const char* label = "";
+  /// Phase ordinal within the algorithm's own numbering (hjswy doubling
+  /// phase, census/committee guess k, ...).
+  std::int64_t index = 0;
+  /// Monotone per-node work counter (e.g. successful sketch merges); the
+  /// engine sums this across nodes for kSketchMerge events.
+  std::int64_t work = 0;
+};
+
+/// Optional extension of NodeProgram: programs that expose a phase label
+/// get an algorithm-phase track in traces. ObsPhase() must be cheap (a
+/// member read) — the engine samples it per round while a recorder is
+/// attached, and never otherwise.
+template <typename A>
+concept ObservableProgram = NodeProgram<A> && requires(const A ca) {
+  { ca.ObsPhase() } -> std::same_as<ProgramPhase>;
+};
+
 }  // namespace sdn::net

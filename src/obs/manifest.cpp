@@ -1,0 +1,188 @@
+#include "obs/manifest.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "core/version.hpp"
+
+namespace sdn::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string Strip(const std::string& s) {
+  const std::size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const std::size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string ReadFirstLine(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) return "";
+  return Strip(line);
+}
+
+/// Resolves HEAD by walking .git from the working directory upward. Returns
+/// "unknown" outside a repo (or in a container without the metadata).
+std::string GitSha() {
+  if (const char* env = std::getenv("SDN_GIT_SHA"); env != nullptr && *env) {
+    return env;
+  }
+  std::string prefix;
+  for (int depth = 0; depth < 6; ++depth) {
+    const std::string head = ReadFirstLine(prefix + ".git/HEAD");
+    if (!head.empty()) {
+      if (head.rfind("ref: ", 0) == 0) {
+        const std::string sha = ReadFirstLine(prefix + ".git/" + head.substr(5));
+        return sha.empty() ? "unknown" : sha;
+      }
+      return head;  // detached HEAD: the SHA itself
+    }
+    prefix += "../";
+  }
+  return "unknown";
+}
+
+std::string Hostname() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
+std::string UtcNow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+RunManifest RunManifest::Collect() {
+  RunManifest m;
+  m.Set("sdn_version", std::to_string(kVersionMajor) + "." +
+                           std::to_string(kVersionMinor) + "." +
+                           std::to_string(kVersionPatch));
+  m.Set("git_sha", GitSha());
+#if defined(__VERSION__)
+  m.Set("compiler", __VERSION__);
+#else
+  m.Set("compiler", "unknown");
+#endif
+#if defined(SDN_BUILD_TYPE)
+  // Empty when CMake was configured without CMAKE_BUILD_TYPE.
+  m.Set("build_type", *SDN_BUILD_TYPE != '\0' ? SDN_BUILD_TYPE : "unspecified");
+#else
+  m.Set("build_type", "unknown");
+#endif
+#if defined(__OPTIMIZE__)
+  m.Set("optimized", "1");
+#else
+  m.Set("optimized", "0");
+#endif
+#if defined(NDEBUG)
+  m.Set("assertions", "off");
+#else
+  m.Set("assertions", "on");
+#endif
+  m.Set("hostname", Hostname());
+  m.Set("utc_time", UtcNow());
+  return m;
+}
+
+void RunManifest::Set(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : items) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  items.emplace_back(key, value);
+}
+
+void RunManifest::Set(const std::string& key, long long value) {
+  Set(key, std::to_string(value));
+}
+
+const std::string* RunManifest::Find(const std::string& key) const {
+  for (const auto& [k, v] : items) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string RunManifest::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : items) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += JsonEscape(k);
+    out += "\":\"";
+    out += JsonEscape(v);
+    out += '"';
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<std::string> RunManifest::CommentLines() const {
+  std::vector<std::string> out;
+  out.reserve(items.size());
+  for (const auto& [k, v] : items) {
+    out.push_back("# " + k + "=" + v);
+  }
+  return out;
+}
+
+bool RunManifest::WriteJson(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << ToJson() << "\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace sdn::obs

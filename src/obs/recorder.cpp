@@ -1,0 +1,266 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "obs/manifest.hpp"
+#include "util/check.hpp"
+
+namespace sdn::obs {
+
+const char* ToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPhase:
+      return "phase";
+    case EventKind::kAlgoPhase:
+      return "algo_phase";
+    case EventKind::kProbeSpawn:
+      return "probe_spawn";
+    case EventKind::kProbeComplete:
+      return "probe_complete";
+    case EventKind::kSketchMerge:
+      return "sketch_merge";
+    case EventKind::kCheckerWindow:
+      return "checker_window";
+    case EventKind::kBandwidthHighWater:
+      return "bandwidth_high_water";
+    case EventKind::kBandwidthViolation:
+      return "bandwidth_violation";
+    case EventKind::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(int lanes, std::size_t lane_capacity)
+    : epoch_(std::chrono::steady_clock::now()), capacity_(lane_capacity) {
+  SDN_CHECK(lanes >= 1 && lanes <= 256);
+  SDN_CHECK(capacity_ >= 1);
+  lanes_.resize(static_cast<std::size_t>(lanes));
+  for (Lane& lane : lanes_) lane.ring.reserve(std::min(capacity_, {1024}));
+}
+
+void FlightRecorder::EmitLane(int lane, Event e) {
+  if (lane < 0 || lane >= lanes()) lane = 0;
+  Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  e.lane = static_cast<std::uint8_t>(lane);
+  const std::size_t slot = static_cast<std::size_t>(l.emitted % capacity_);
+  if (slot < l.ring.size()) {
+    l.ring[slot] = e;  // wraparound: overwrite the oldest event
+  } else {
+    l.ring.push_back(e);
+  }
+  ++l.emitted;
+}
+
+std::uint64_t FlightRecorder::total_emitted() const {
+  std::uint64_t total = 0;
+  for (const Lane& l : lanes_) total += l.emitted;
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::uint64_t dropped = 0;
+  for (const Lane& l : lanes_) {
+    if (l.emitted > capacity_) dropped += l.emitted - capacity_;
+  }
+  return dropped;
+}
+
+std::vector<Event> FlightRecorder::Drain() const {
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(total_emitted() - dropped()));
+  for (const Lane& l : lanes_) {
+    if (l.emitted <= capacity_) {
+      out.insert(out.end(), l.ring.begin(), l.ring.end());
+    } else {
+      // The ring wrapped: chronological order starts at the write cursor.
+      const std::size_t head = static_cast<std::size_t>(l.emitted % capacity_);
+      out.insert(out.end(), l.ring.begin() + static_cast<std::ptrdiff_t>(head),
+                 l.ring.end());
+      out.insert(out.end(), l.ring.begin(),
+                 l.ring.begin() + static_cast<std::ptrdiff_t>(head));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+    return a.lane < b.lane;
+  });
+  return out;
+}
+
+void FlightRecorder::WriteJsonl(std::ostream& os,
+                                const RunManifest* manifest) const {
+  if (manifest != nullptr) {
+    os << "{\"type\":\"manifest\",\"manifest\":" << manifest->ToJson()
+       << "}\n";
+  }
+  os << "{\"type\":\"meta\",\"emitted\":" << total_emitted()
+     << ",\"dropped\":" << dropped() << ",\"lanes\":" << lanes() << "}\n";
+  for (const Event& e : Drain()) {
+    os << "{\"type\":\"event\",\"kind\":\"" << ToString(e.kind)
+       << "\",\"label\":\"" << e.label << "\",\"round\":" << e.round
+       << ",\"lane\":" << static_cast<int>(e.lane) << ",\"t_ns\":" << e.t_ns;
+    if (e.dur_ns != 0) os << ",\"dur_ns\":" << e.dur_ns;
+    os << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+  }
+}
+
+bool FlightRecorder::WriteJsonl(const std::string& path,
+                                const RunManifest* manifest) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteJsonl(os, manifest);
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+/// Microsecond timestamp for the Chrome trace format (which uses `us`).
+double Us(std::int64_t ns) { return static_cast<double>(ns) * 1e-3; }
+
+void ChromeEvent(std::ostream& os, bool& first, const std::string& body) {
+  os << (first ? "\n  " : ",\n  ") << body;
+  first = false;
+}
+
+}  // namespace
+
+void FlightRecorder::WriteChromeTrace(std::ostream& os,
+                                      const RunManifest* manifest) const {
+  const std::vector<Event> events = Drain();
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  const auto meta = [&](int tid, const char* name) {
+    std::string body = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,";
+    body += "\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":\"";
+    body += name;
+    body += "\"}}";
+    ChromeEvent(os, first, body);
+  };
+  ChromeEvent(os, first,
+              "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+              "\"args\":{\"name\":\"sdn engine\"}}");
+  meta(0, "engine phases");
+  meta(1, "algorithm phase");
+  meta(2, "flood probes");
+
+  // Algorithm-phase spans: each transition lasts until the next (or the end
+  // of the trace).
+  std::int64_t trace_end = 0;
+  for (const Event& e : events) {
+    trace_end = std::max(trace_end, e.t_ns + e.dur_ns);
+  }
+  std::vector<const Event*> algo;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kAlgoPhase) algo.push_back(&e);
+  }
+
+  char buf[512];
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kPhase:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"engine\",\"ph\":\"X\","
+                      "\"pid\":0,\"tid\":0,\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"args\":{\"round\":%lld}}",
+                      e.label, Us(e.t_ns), Us(e.dur_ns),
+                      static_cast<long long>(e.round));
+        ChromeEvent(os, first, buf);
+        break;
+      case EventKind::kAlgoPhase:
+        break;  // emitted as spans below
+      case EventKind::kProbeSpawn:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"probe %lld spawn (src %lld)\","
+                      "\"cat\":\"probe\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                      "\"tid\":2,\"ts\":%.3f,\"args\":{\"round\":%lld}}",
+                      static_cast<long long>(e.a),
+                      static_cast<long long>(e.b), Us(e.t_ns),
+                      static_cast<long long>(e.round));
+        ChromeEvent(os, first, buf);
+        break;
+      case EventKind::kProbeComplete:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"probe %lld complete (d=%lld)\","
+                      "\"cat\":\"probe\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                      "\"tid\":2,\"ts\":%.3f,\"args\":{\"round\":%lld}}",
+                      static_cast<long long>(e.a),
+                      static_cast<long long>(e.b), Us(e.t_ns),
+                      static_cast<long long>(e.round));
+        ChromeEvent(os, first, buf);
+        break;
+      case EventKind::kSketchMerge:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"sketch merges\",\"ph\":\"C\",\"pid\":0,"
+                      "\"ts\":%.3f,\"args\":{\"merges\":%lld}}",
+                      Us(e.t_ns), static_cast<long long>(e.a));
+        ChromeEvent(os, first, buf);
+        break;
+      case EventKind::kCheckerWindow:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"stable window edges\",\"ph\":\"C\","
+                      "\"pid\":0,\"ts\":%.3f,\"args\":{\"edges\":%lld}}",
+                      Us(e.t_ns), static_cast<long long>(e.a));
+        ChromeEvent(os, first, buf);
+        break;
+      case EventKind::kBandwidthHighWater:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"max message bits\",\"ph\":\"C\",\"pid\":0,"
+                      "\"ts\":%.3f,\"args\":{\"bits\":%lld}}",
+                      Us(e.t_ns), static_cast<long long>(e.a));
+        ChromeEvent(os, first, buf);
+        break;
+      case EventKind::kBandwidthViolation:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"BANDWIDTH VIOLATION (node %lld, %lld "
+                      "bits)\",\"cat\":\"engine\",\"ph\":\"i\",\"s\":\"g\","
+                      "\"pid\":0,\"tid\":0,\"ts\":%.3f,"
+                      "\"args\":{\"round\":%lld}}",
+                      static_cast<long long>(e.b),
+                      static_cast<long long>(e.a), Us(e.t_ns),
+                      static_cast<long long>(e.round));
+        ChromeEvent(os, first, buf);
+        break;
+      case EventKind::kCounter:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"ts\":%.3f,"
+                      "\"args\":{\"value\":%lld}}",
+                      e.label, Us(e.t_ns), static_cast<long long>(e.a));
+        ChromeEvent(os, first, buf);
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < algo.size(); ++i) {
+    const Event& e = *algo[i];
+    const std::int64_t end =
+        (i + 1 < algo.size()) ? algo[i + 1]->t_ns : trace_end;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s #%lld\",\"cat\":\"algo\",\"ph\":\"X\","
+                  "\"pid\":0,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"args\":{\"round\":%lld,\"phase_index\":%lld}}",
+                  e.label, static_cast<long long>(e.a), Us(e.t_ns),
+                  Us(std::max<std::int64_t>(0, end - e.t_ns)),
+                  static_cast<long long>(e.round),
+                  static_cast<long long>(e.a));
+    ChromeEvent(os, first, buf);
+  }
+  os << "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": ";
+  if (manifest != nullptr) {
+    os << manifest->ToJson();
+  } else {
+    os << "{}";
+  }
+  os << "\n}\n";
+}
+
+bool FlightRecorder::WriteChromeTrace(const std::string& path,
+                                      const RunManifest* manifest) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteChromeTrace(os, manifest);
+  return static_cast<bool>(os);
+}
+
+}  // namespace sdn::obs

@@ -1,0 +1,102 @@
+// Flight recorder: lock-free per-lane ring buffers of typed round events.
+//
+// The engine (and any harness) emits Events into lanes; each lane is a
+// fixed-capacity single-writer ring, so emission is a bounded store with no
+// locks, no allocation, and no syscalls — cheap enough to leave wired into
+// Engine::Step. The sink is *off by default*: every emission site is gated
+// on a null recorder pointer (the SDN_VERIFY_SORTED pattern applied to
+// tracing), so a run without a recorder pays one predicted branch per phase
+// and nothing else. Determinism tests pin that RunStats are bit-identical
+// with the recorder attached or not.
+//
+// When a ring fills, the oldest events are overwritten (flight-recorder
+// semantics: the most recent window of the run survives); the per-lane drop
+// count is reported so a truncated trace is never mistaken for a complete
+// one.
+//
+// Drain() merges the lanes chronologically; WriteJsonl / WriteChromeTrace
+// export the merged stream — the latter in the Chrome trace-event format
+// that chrome://tracing and Perfetto load directly, with engine phases,
+// an algorithm-phase track, probe instants, and counter tracks
+// (docs/OBSERVABILITY.md documents both schemas).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace sdn::obs {
+
+struct RunManifest;
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultLaneCapacity = std::size_t{1} << 16;
+
+  /// `lanes` independent single-writer rings of `lane_capacity` events each.
+  /// The epoch (t = 0) is the moment of construction.
+  explicit FlightRecorder(int lanes = 1,
+                          std::size_t lane_capacity = kDefaultLaneCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  [[nodiscard]] int lanes() const { return static_cast<int>(lanes_.size()); }
+  [[nodiscard]] std::size_t lane_capacity() const { return capacity_; }
+
+  /// Nanoseconds since the recorder epoch (for stamping Event::t_ns).
+  [[nodiscard]] std::int64_t NowNs() const {
+    return RelNs(std::chrono::steady_clock::now());
+  }
+  [[nodiscard]] std::int64_t RelNs(
+      std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+        .count();
+  }
+
+  /// Appends to lane 0. Single writer per lane: two threads may emit
+  /// concurrently only into *different* lanes.
+  void Emit(const Event& e) { EmitLane(0, e); }
+  /// Appends to `lane` (stamps Event::lane). Out-of-range lanes clamp to 0.
+  void EmitLane(int lane, Event e);
+
+  /// Events emitted / overwritten-by-wraparound across all lanes.
+  [[nodiscard]] std::uint64_t total_emitted() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// All retained events, merged across lanes in (t_ns, lane) order.
+  [[nodiscard]] std::vector<Event> Drain() const;
+
+  /// One JSON object per line: a `manifest` record first (when given), a
+  /// `meta` record (event/drop counts), then one `event` record per event.
+  void WriteJsonl(std::ostream& os, const RunManifest* manifest) const;
+  /// False (and nothing written) if the file cannot be opened.
+  bool WriteJsonl(const std::string& path,
+                  const RunManifest* manifest = nullptr) const;
+
+  /// Chrome trace-event JSON (`{"traceEvents": [...]}`), loadable in
+  /// chrome://tracing and Perfetto: engine phases as complete ("X") spans on
+  /// tid 0, the algorithm-phase track as spans on tid 1 (each kAlgoPhase
+  /// transition lasting until the next), probe lifecycle as instants on
+  /// tid 2, and sketch-merge / checker / bandwidth tracks as counter ("C")
+  /// events. The manifest rides in `otherData`.
+  void WriteChromeTrace(std::ostream& os, const RunManifest* manifest) const;
+  bool WriteChromeTrace(const std::string& path,
+                        const RunManifest* manifest = nullptr) const;
+
+ private:
+  struct Lane {
+    std::vector<Event> ring;    // capacity_ slots, written modulo capacity_
+    std::uint64_t emitted = 0;  // total Emit calls into this lane
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace sdn::obs

@@ -13,14 +13,13 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::once_flag g_env_once;
 std::mutex g_emit_mutex;
+std::function<void(const std::string&)> g_sink;  // guarded by g_emit_mutex
 
 void InitFromEnv() {
-  const char* env = std::getenv("SDN_LOG_LEVEL");
-  if (env == nullptr) return;
-  if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
-  if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
-  if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
-  if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
+  // Unknown values (typos, empty) leave the default untouched.
+  if (const auto level = ParseLogLevel(std::getenv("SDN_LOG_LEVEL"))) {
+    g_level = *level;
+  }
 }
 
 const char* Name(LogLevel level) {
@@ -39,6 +38,15 @@ const char* Name(LogLevel level) {
 
 }  // namespace
 
+std::optional<LogLevel> ParseLogLevel(const char* name) {
+  if (name == nullptr) return std::nullopt;
+  if (std::strcmp(name, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(name, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(name, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(name, "debug") == 0) return LogLevel::kDebug;
+  return std::nullopt;
+}
+
 LogLevel GetLogLevel() {
   std::call_once(g_env_once, InitFromEnv);
   return g_level.load(std::memory_order_relaxed);
@@ -52,7 +60,20 @@ void SetLogLevel(LogLevel level) {
 void LogLine(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) > static_cast<int>(GetLogLevel())) return;
   const std::scoped_lock lock(g_emit_mutex);
+  if (g_sink) {
+    std::string line = "[";
+    line += Name(level);
+    line += "] ";
+    line += message;
+    g_sink(line);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", Name(level), message.c_str());
+}
+
+void SetLogSink(std::function<void(const std::string&)> sink) {
+  const std::scoped_lock lock(g_emit_mutex);
+  g_sink = std::move(sink);
 }
 
 }  // namespace sdn::util

@@ -5,6 +5,8 @@
 // the SDN_LOG_LEVEL environment variable (error|warn|info|debug).
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -16,8 +18,18 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// "error"/"warn"/"info"/"debug" -> the level; nullopt for anything else
+/// (unknown values must fall back to the default, never crash a run).
+std::optional<LogLevel> ParseLogLevel(const char* name);
+
 /// Emits one line "[level] message" to stderr if `level` passes the filter.
 void LogLine(LogLevel level, const std::string& message);
+
+/// Redirects emission: the sink receives each fully formatted line (no
+/// trailing newline) under the same mutex that serializes stderr writes, so
+/// lines never interleave regardless of sink. nullptr restores stderr.
+/// Test/ harness hook — not for hot paths.
+void SetLogSink(std::function<void(const std::string&)> sink);
 
 namespace detail {
 

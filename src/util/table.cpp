@@ -78,9 +78,13 @@ void Table::Print(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
-void Table::WriteCsv(const std::string& path) const {
+void Table::WriteCsv(const std::string& path) const { WriteCsv(path, {}); }
+
+void Table::WriteCsv(const std::string& path,
+                     const std::vector<std::string>& preamble) const {
   std::ofstream out(path);
   SDN_CHECK_MSG(out.good(), "cannot open " << path);
+  for (const std::string& line : preamble) out << line << '\n';
   const auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c > 0) out << ',';

@@ -29,6 +29,11 @@ class Table {
   /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
   void WriteCsv(const std::string& path) const;
 
+  /// Same, preceded by verbatim comment lines (run-manifest `# key=value`
+  /// provenance header; readers skip lines starting with '#').
+  void WriteCsv(const std::string& path,
+                const std::vector<std::string>& preamble) const;
+
   [[nodiscard]] const std::vector<std::string>& header() const {
     return header_;
   }

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "core/api.hpp"
 #include "net/bandwidth.hpp"
 #include "net/metrics.hpp"
 #include "util/check.hpp"
@@ -79,6 +80,17 @@ TEST(RunStats, OneLineMentionsKeyFields) {
   EXPECT_NE(line.find("VIOLATED"), std::string::npos);
 }
 
+TEST(RunStats, OneLineAttributesBandwidthViolations) {
+  RunStats stats;
+  stats.bandwidth_violation = BandwidthViolation{17, 42, 4096};
+  const std::string line = stats.OneLine();
+  EXPECT_NE(line.find("BW-VIOLATION(node=17 round=42 bits=4096)"),
+            std::string::npos);
+  // No violation -> no mention.
+  stats.bandwidth_violation.reset();
+  EXPECT_EQ(stats.OneLine().find("BW-VIOLATION"), std::string::npos);
+}
+
 TEST(RunStats, OneLineReportsUnvalidatedHonestly) {
   // A run with validation off must not print a confident "ok".
   RunStats stats;
@@ -98,6 +110,25 @@ TEST(EngineTimings, ThroughputMath) {
   const std::string line = t.OneLine(100, 1'000'000);
   EXPECT_NE(line.find("rounds/s=50"), std::string::npos);
   EXPECT_NE(line.find("deliver="), std::string::npos);
+  EXPECT_NE(line.find("other="), std::string::npos);
+}
+
+// The named phases plus the residual partition total_ns exactly — on a real
+// run, not just by construction (the engine debug-asserts the same identity
+// per round; this pins it in release builds too).
+TEST(EngineTimings, PhasesPartitionTotalExactly) {
+  RunConfig config;
+  config.n = 64;
+  config.T = 2;
+  config.seed = 7;
+  config.adversary.kind = "spine-gnp";
+  const RunResult result = RunAlgorithm(Algorithm::kHjswyEstimate, config);
+  const EngineTimings& t = result.stats.timings;
+  EXPECT_GT(t.total_ns, 0);
+  EXPECT_GE(t.other_ns, 0);
+  EXPECT_EQ(t.topology_ns + t.validate_ns + t.probe_ns + t.send_ns +
+                t.deliver_ns + t.other_ns,
+            t.total_ns);
 }
 
 }  // namespace

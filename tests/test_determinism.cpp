@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
 
 namespace sdn {
 namespace {
@@ -89,6 +91,35 @@ TEST(Determinism, KloCommitteeOnObliviousSpine) {
 
 TEST(Determinism, KloCommitteeOnAdaptiveAdversary) {
   CheckThreadInvariance(Algorithm::kKloCommittee, "adaptive-desc", 2'000);
+}
+
+// The flight recorder is pure observation: attaching it (at any thread
+// count) must leave every statistic bit-identical to the untraced run, and
+// the deterministic subset of the metrics registry must match too.
+TEST(Determinism, TracingOnOrOffIsInvisibleToRunStats) {
+  RunConfig config;
+  config.n = 192;
+  config.T = 2;
+  config.seed = 12345;
+  config.adversary.kind = "spine-gnp";
+  config.validate_tinterval = false;
+  config.collect_metrics = true;
+
+  config.threads = 1;
+  const RunResult untraced = RunAlgorithm(Algorithm::kHjswyCensus, config);
+
+  for (const int threads : {1, 0}) {
+    obs::FlightRecorder recorder;
+    config.threads = threads;
+    config.recorder = &recorder;
+    const RunResult traced = RunAlgorithm(Algorithm::kHjswyCensus, config);
+    config.recorder = nullptr;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdenticalRuns(untraced, traced);
+    EXPECT_GT(recorder.total_emitted(), 0u);
+    EXPECT_EQ(untraced.stats.metrics.Deterministic(),
+              traced.stats.metrics.Deterministic());
+  }
 }
 
 }  // namespace

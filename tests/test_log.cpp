@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace sdn::util {
 namespace {
 
@@ -37,6 +41,68 @@ TEST(Log, EmittingMessagesDoNotCrash) {
   SetLogLevel(LogLevel::kDebug);
   SDN_LOG_ERROR << "test error line (expected in test output)";
   SDN_LOG_DEBUG << "test debug line (expected in test output)";
+}
+
+TEST(Log, ParseLogLevelAcceptsTheFourNames) {
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+}
+
+TEST(Log, ParseLogLevelRejectsGarbageWithoutCrashing) {
+  // An invalid SDN_LOG_LEVEL must fall back to the default, never abort:
+  // InitFromEnv only applies the parse when it succeeds.
+  EXPECT_EQ(ParseLogLevel(nullptr), std::nullopt);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), std::nullopt);  // case-sensitive
+  EXPECT_EQ(ParseLogLevel("warn "), std::nullopt);
+}
+
+TEST(Log, ConcurrentLogLinesNeverInterleave) {
+  const LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  // The sink runs under the emission mutex, so plain vector pushes are safe
+  // — that serialization is exactly what the test pins down.
+  std::vector<std::string> lines;
+  SetLogSink([&lines](const std::string& line) { lines.push_back(line); });
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SDN_LOG_INFO << "thread=" << t << " msg=" << i << " end";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  SetLogSink(nullptr);
+
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (const std::string& line : lines) {
+    // Every captured line is exactly one whole message: one prefix, one
+    // terminator, no fragments of other messages spliced in.
+    EXPECT_EQ(line.rfind("[info] thread=", 0), 0u) << line;
+    EXPECT_EQ(line.find(" end"), line.size() - 4) << line;
+    EXPECT_EQ(line.find("[info]", 1), std::string::npos) << line;
+  }
+}
+
+TEST(Log, SinkReceivesFormattedLineAndRestores) {
+  const LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  std::vector<std::string> lines;
+  SetLogSink([&lines](const std::string& line) { lines.push_back(line); });
+  SDN_LOG_WARN << "hello " << 7;
+  SDN_LOG_DEBUG << "filtered, never reaches the sink";
+  SetLogSink(nullptr);
+  SDN_LOG_WARN << "back to stderr (expected in test output)";
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[warn] hello 7");
 }
 
 TEST(Log, OrderingOfLevels) {

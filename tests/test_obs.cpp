@@ -1,0 +1,269 @@
+// Observability layer: flight-recorder ring semantics, the metrics
+// registry's determinism contract and quantile math, and run-manifest
+// serialisation (docs/OBSERVABILITY.md).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/manifest.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+namespace sdn::obs {
+namespace {
+
+Event At(std::int64_t t_ns, std::int64_t a = 0) {
+  Event e;
+  e.kind = EventKind::kCounter;
+  e.label = "x";
+  e.t_ns = t_ns;
+  e.a = a;
+  return e;
+}
+
+TEST(FlightRecorder, EmitsAndDrainsInTimeOrder) {
+  FlightRecorder rec;
+  rec.Emit(At(30));
+  rec.Emit(At(10));
+  rec.Emit(At(20));
+  EXPECT_EQ(rec.total_emitted(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const std::vector<Event> events = rec.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].t_ns, 10);
+  EXPECT_EQ(events[1].t_ns, 20);
+  EXPECT_EQ(events[2].t_ns, 30);
+}
+
+TEST(FlightRecorder, WraparoundKeepsNewestAndCountsDrops) {
+  FlightRecorder rec(/*lanes=*/1, /*lane_capacity=*/4);
+  for (std::int64_t i = 0; i < 10; ++i) rec.Emit(At(i, i));
+  EXPECT_EQ(rec.total_emitted(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const std::vector<Event> events = rec.Drain();
+  ASSERT_EQ(events.size(), 4u);
+  // Flight-recorder semantics: the most recent window survives.
+  EXPECT_EQ(events.front().a, 6);
+  EXPECT_EQ(events.back().a, 9);
+}
+
+TEST(FlightRecorder, LanesMergeChronologicallyWithLaneTiebreak) {
+  FlightRecorder rec(/*lanes=*/2);
+  rec.EmitLane(1, At(5));
+  rec.EmitLane(0, At(5));
+  rec.EmitLane(1, At(1));
+  const std::vector<Event> events = rec.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].t_ns, 1);
+  EXPECT_EQ(events[0].lane, 1);
+  EXPECT_EQ(events[1].lane, 0);  // equal t_ns: lane 0 first
+  EXPECT_EQ(events[2].lane, 1);
+}
+
+TEST(FlightRecorder, OutOfRangeLaneClampsToZero) {
+  FlightRecorder rec(/*lanes=*/2);
+  rec.EmitLane(7, At(1));
+  rec.EmitLane(-3, At(2));
+  const std::vector<Event> events = rec.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].lane, 0);
+  EXPECT_EQ(events[1].lane, 0);
+}
+
+TEST(FlightRecorder, JsonlCarriesManifestMetaAndEvents) {
+  FlightRecorder rec;
+  Event e = At(100, 7);
+  e.kind = EventKind::kSketchMerge;
+  e.round = 3;
+  e.dur_ns = 50;
+  rec.Emit(e);
+  RunManifest manifest;
+  manifest.Set("experiment", "unit-test");
+  std::ostringstream os;
+  rec.WriteJsonl(os, &manifest);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"type\":\"manifest\""), std::string::npos);
+  EXPECT_NE(out.find("\"experiment\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"meta\",\"emitted\":1,\"dropped\":0"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"sketch_merge\""), std::string::npos);
+  EXPECT_NE(out.find("\"round\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"dur_ns\":50"), std::string::npos);
+  EXPECT_NE(out.find("\"a\":7"), std::string::npos);
+}
+
+TEST(FlightRecorder, ChromeTraceHasTracksSpansAndManifest) {
+  FlightRecorder rec;
+  Event phase;
+  phase.kind = EventKind::kPhase;
+  phase.label = "deliver";
+  phase.t_ns = 1000;
+  phase.dur_ns = 500;
+  phase.round = 1;
+  rec.Emit(phase);
+  Event algo;
+  algo.kind = EventKind::kAlgoPhase;
+  algo.label = "disseminate";
+  algo.t_ns = 1100;
+  algo.a = 2;
+  rec.Emit(algo);
+  RunManifest manifest;
+  manifest.Set("git_sha", "abc123");
+  std::ostringstream os;
+  rec.WriteChromeTrace(os, &manifest);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(out.find("\"name\":\"deliver\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"disseminate #2\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"otherData\": {\"git_sha\":\"abc123\"}"),
+            std::string::npos);
+  // Braces balance — a cheap structural check that the JSON closes.
+  std::int64_t depth = 0;
+  for (const char c : out) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(FlightRecorder, WriteToUnopenablePathReturnsFalse) {
+  FlightRecorder rec;
+  EXPECT_FALSE(rec.WriteJsonl("/nonexistent-dir/trace.jsonl"));
+  EXPECT_FALSE(rec.WriteChromeTrace("/nonexistent-dir/trace.json"));
+}
+
+TEST(Histogram, SummaryStatisticsAreExact) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0);  // empty
+  h.Observe(0);
+  h.Observe(5);
+  h.Observe(5);
+  h.Observe(200);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 210);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 200);
+}
+
+TEST(Histogram, SingleValueQuantilesClampExactly) {
+  Histogram h;
+  h.Observe(5);
+  EXPECT_EQ(h.Quantile(0.0), 5);
+  EXPECT_EQ(h.Quantile(0.5), 5);
+  EXPECT_EQ(h.Quantile(1.0), 5);
+}
+
+TEST(Histogram, QuantilesLandInTheRightLog2Bucket) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 100; ++v) h.Observe(v);
+  const std::int64_t p50 = h.Quantile(0.50);
+  const std::int64_t p95 = h.Quantile(0.95);
+  // The true p50 is 50 (bucket 32..63); p95 is 95 (bucket 64..127, clamped
+  // to max=100). Log-bucketed estimates must stay inside those buckets.
+  EXPECT_GE(p50, 32);
+  EXPECT_LE(p50, 63);
+  EXPECT_GE(p95, 64);
+  EXPECT_LE(p95, 100);
+  EXPECT_LE(h.Quantile(1.0), 100);
+  EXPECT_GE(h.Quantile(0.0), 1);
+}
+
+TEST(Registry, InstrumentsAreStableAndSnapshotted) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("msgs");
+  c->Add(41);
+  c->Increment();
+  EXPECT_EQ(registry.GetCounter("msgs"), c);  // same name -> same instrument
+  registry.GetGauge("hw_bits")->Set(256);
+  Histogram* h = registry.GetHistogram("round_ns", /*deterministic=*/false);
+  h->Observe(1000);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "msgs");  // insertion order
+  const MetricSample* msgs = snap.Find("msgs");
+  ASSERT_NE(msgs, nullptr);
+  EXPECT_EQ(msgs->value, 42);
+  EXPECT_EQ(snap.Find("hw_bits")->value, 256);
+  EXPECT_EQ(snap.Find("round_ns")->count, 1);
+  EXPECT_EQ(snap.Find("nope"), nullptr);
+}
+
+TEST(Registry, KindMismatchIsRejected) {
+  MetricsRegistry registry;
+  registry.GetCounter("x");
+  EXPECT_THROW((void)registry.GetGauge("x"), util::CheckError);
+  EXPECT_THROW((void)registry.GetHistogram("x"), util::CheckError);
+}
+
+TEST(Registry, DeterministicSubsetExcludesWallClockMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("merges")->Add(3);
+  registry.GetHistogram("send_ns", /*deterministic=*/false)->Observe(123);
+  const std::vector<MetricSample> det = registry.Snapshot().Deterministic();
+  ASSERT_EQ(det.size(), 1u);
+  EXPECT_EQ(det[0].name, "merges");
+}
+
+TEST(Registry, OneLineRendersCountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("msgs")->Add(7);
+  Histogram* h = registry.GetHistogram("lat");
+  h->Observe(4);
+  h->Observe(4);
+  const std::string line = registry.Snapshot().OneLine();
+  EXPECT_NE(line.find("msgs=7"), std::string::npos);
+  EXPECT_NE(line.find("lat=p50:"), std::string::npos);
+}
+
+TEST(Manifest, CollectRecordsProvenanceKeys) {
+  const RunManifest manifest = RunManifest::Collect();
+  for (const char* key : {"sdn_version", "git_sha", "compiler", "build_type",
+                          "hostname", "utc_time"}) {
+    ASSERT_NE(manifest.Find(key), nullptr) << key;
+    EXPECT_FALSE(manifest.Find(key)->empty()) << key;
+  }
+  // ISO-8601 UTC: "2026-08-06T...Z".
+  const std::string& utc = *manifest.Find("utc_time");
+  EXPECT_EQ(utc.size(), 20u);
+  EXPECT_EQ(utc.back(), 'Z');
+  EXPECT_EQ(utc[4], '-');
+  EXPECT_EQ(utc[10], 'T');
+}
+
+TEST(Manifest, SetOverwritesAndSerialises) {
+  RunManifest manifest;
+  manifest.Set("experiment", "t1");
+  manifest.Set("trials", 3);
+  manifest.Set("experiment", "t1_count_vs_n");  // overwrite, keep position
+  EXPECT_EQ(manifest.ToJson(),
+            "{\"experiment\":\"t1_count_vs_n\",\"trials\":\"3\"}");
+  const std::vector<std::string> lines = manifest.CommentLines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "# experiment=t1_count_vs_n");
+  EXPECT_EQ(lines[1], "# trials=3");
+}
+
+TEST(Manifest, JsonEscapeHandlesQuotesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Events, KindNamesAreStable) {
+  EXPECT_STREQ(ToString(EventKind::kPhase), "phase");
+  EXPECT_STREQ(ToString(EventKind::kAlgoPhase), "algo_phase");
+  EXPECT_STREQ(ToString(EventKind::kBandwidthViolation),
+               "bandwidth_violation");
+}
+
+}  // namespace
+}  // namespace sdn::obs
