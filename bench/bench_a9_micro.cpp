@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <numeric>
 #include <thread>
 #include <vector>
 
@@ -168,16 +170,23 @@ constexpr std::int64_t kPr3DeliverNs = 49'017'393;
 /// figure, traced within 2x of untraced — trips on regressions, not jitter.
 constexpr std::int64_t kPr4SendPlusDeliverNs = 28'000'000;
 
+/// Combined send+deliver of the identical serial workload recorded by PR 5's
+/// bench run (6.25 ms send + 21.86 ms deliver; BENCH_engine.json history).
+/// PR 6 (SIMD deliver kernels, direct-send outbox, outbox prefetch,
+/// measured adaptive backing) gates >= 1.3x against this sum.
+constexpr std::int64_t kPr5SendPlusDeliverNs = 28'112'415;
+
 /// The fixed reference workload: one full hjswy run, N=1024, spine-gnp, T=2,
 /// validation and probes off so the measurement isolates the
 /// topology/send/deliver pipeline. `threads` is EngineOptions::threads
 /// (1 = serial reference; results are bit-identical at every setting),
-/// `incremental` toggles the delta-driven topology path and `dense` the
-/// CSR delivery path (both A/B'd below — results are bit-identical there
+/// `incremental` toggles the delta-driven topology path and `delivery` the
+/// Inbox backing policy (both A/B'd below — results are bit-identical there
 /// too).
-net::RunStats TimedReferenceRun(int threads, bool incremental = true,
-                                bool dense = true,
-                                obs::FlightRecorder* recorder = nullptr) {
+net::RunStats TimedReferenceRun(
+    int threads, bool incremental = true,
+    net::DeliveryMode delivery = net::DeliveryMode::kAdaptive,
+    obs::FlightRecorder* recorder = nullptr) {
   const graph::NodeId n = 1024;
   adversary::AdversaryConfig config;
   config.kind = "spine-gnp";
@@ -197,7 +206,7 @@ net::RunStats TimedReferenceRun(int threads, bool incremental = true,
   opts.flood_probes = 0;
   opts.threads = threads;
   opts.incremental_topology = incremental;
-  opts.dense_delivery = dense;
+  opts.delivery = delivery;
   opts.recorder = recorder;
   net::Engine<algo::HjswyProgram> engine(std::move(nodes), *adv, opts);
   return engine.Run();
@@ -211,13 +220,12 @@ struct RepSet {
   double median_rps = 0.0;
 };
 
-RepSet MeasuredRuns(int threads, bool incremental = true, bool dense = true,
-                    int reps = 3) {
+RepSet MeasuredRuns(int threads, bool incremental = true, int reps = 3) {
   RepSet out;
   double best_rps = -1.0;
   std::vector<double> rps_all;
   for (int rep = 0; rep < reps; ++rep) {
-    const net::RunStats stats = TimedReferenceRun(threads, incremental, dense);
+    const net::RunStats stats = TimedReferenceRun(threads, incremental);
     const double rps = stats.timings.RoundsPerSec(stats.rounds);
     rps_all.push_back(rps);
     if (rps > best_rps) {
@@ -235,7 +243,51 @@ RepSet MeasuredRuns(int threads, bool incremental = true, bool dense = true,
 
 /// Best-of-`reps` by rounds/sec at a fixed thread count.
 net::RunStats BestRun(int threads, bool incremental = true, int reps = 3) {
-  return MeasuredRuns(threads, incremental, /*dense=*/true, reps).best;
+  return MeasuredRuns(threads, incremental, reps).best;
+}
+
+using StatFn = std::function<std::int64_t(const net::RunStats&)>;
+
+/// Index of the median rep by `stat` (reps is odd in every caller, so this
+/// is the true median).
+std::size_t MedianIndex(const std::vector<net::RunStats>& runs,
+                        const StatFn& stat) {
+  std::vector<std::size_t> order(runs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return stat(runs[x]) < stat(runs[y]);
+  });
+  return order[order.size() / 2];
+}
+
+/// Honest A/B: the median rep of each arm, measured over `reps`
+/// *interleaved* pairs (A then B back to back, so both arms sample the same
+/// machine state across the session). The pre-PR 6 version of this file
+/// compared each arm's best rep selected across different moments of a
+/// loaded box — one quiet rep on either side could manufacture a speedup or
+/// a regression (it recorded topology_speedup 0.90 for a path that measures
+/// 1.1x when paired). Medians of paired reps cannot be gamed that way.
+struct ABResult {
+  net::RunStats a;         // median rep of arm A (the legacy arm)
+  net::RunStats b;         // median rep of arm B (the candidate arm)
+  double speedup = 0.0;    // stat(a) / stat(b): > 1 means B wins
+};
+
+ABResult PairedAB(const std::function<net::RunStats()>& run_a,
+                  const std::function<net::RunStats()>& run_b,
+                  const StatFn& stat, int reps = 3) {
+  std::vector<net::RunStats> a;
+  std::vector<net::RunStats> b;
+  for (int rep = 0; rep < reps; ++rep) {
+    a.push_back(run_a());
+    b.push_back(run_b());
+  }
+  ABResult out;
+  out.a = a[MedianIndex(a, stat)];
+  out.b = b[MedianIndex(b, stat)];
+  out.speedup = static_cast<double>(std::max<std::int64_t>(1, stat(out.a))) /
+                static_cast<double>(std::max<std::int64_t>(1, stat(out.b)));
+  return out;
 }
 
 void ReportEngineTimings() {
@@ -251,41 +303,52 @@ void ReportEngineTimings() {
               kBaselineRoundsPerSec, best_rps / kBaselineRoundsPerSec,
               reference.median_rps);
 
-  // Topology A/B: the identical serial workload on the legacy from-scratch
-  // path vs the delta-driven DynGraph path (every other phase untouched, so
-  // topology_ns is the whole difference; RunStats agree bit for bit).
-  const net::RunStats scratch = BestRun(/*threads=*/1, /*incremental=*/false);
-  std::printf(
-      "topology A/B (serial): scratch=%lld ns  incremental=%lld ns  "
-      "speedup=%.2fx\n",
-      static_cast<long long>(scratch.timings.topology_ns),
-      static_cast<long long>(best.timings.topology_ns),
-      static_cast<double>(scratch.timings.topology_ns) /
-          static_cast<double>(
-              std::max<std::int64_t>(1, best.timings.topology_ns)));
-
-  // Message-path A/B: the identical serial workload forced onto the legacy
-  // per-receiver pointer gather vs the dense CSR delivery the engine takes
-  // on all-sender rounds (RunStats agree bit for bit; send+deliver is the
-  // whole difference). The second figure tracks the combined send+deliver
-  // improvement against PR 3's recorded message path (gather delivery,
-  // per-coordinate merges, per-call Locate scans).
-  const net::RunStats gather =
-      MeasuredRuns(/*threads=*/1, /*incremental=*/true, /*dense=*/false).best;
-  const auto message_path_ns = [](const net::RunStats& s) {
+  const StatFn topology_ns = [](const net::RunStats& s) {
+    return s.timings.topology_ns;
+  };
+  const StatFn message_path_ns = [](const net::RunStats& s) {
     return std::max<std::int64_t>(1, s.timings.send_ns + s.timings.deliver_ns);
   };
-  const double message_path_speedup =
-      static_cast<double>(message_path_ns(gather)) /
-      static_cast<double>(message_path_ns(best));
+
+  // Topology A/B: the identical serial workload on the legacy from-scratch
+  // path vs the churn-adaptive incremental path (every other phase
+  // untouched, so topology_ns is the whole difference; RunStats agree bit
+  // for bit). Interleaved pairs, compared by medians — see PairedAB.
+  const ABResult topo = PairedAB(
+      [] { return TimedReferenceRun(/*threads=*/1, /*incremental=*/false); },
+      [] { return TimedReferenceRun(/*threads=*/1, /*incremental=*/true); },
+      topology_ns);
+  std::printf(
+      "topology A/B (serial, paired medians): scratch=%lld ns  "
+      "incremental=%lld ns  speedup=%.2fx\n",
+      static_cast<long long>(topo.a.timings.topology_ns),
+      static_cast<long long>(topo.b.timings.topology_ns), topo.speedup);
+
+  // Message-path A/B: the identical serial workload forced onto the legacy
+  // per-receiver pointer gather vs the measured adaptive backing the engine
+  // ships with (RunStats agree bit for bit; send+deliver is the whole
+  // difference). Interleaved pairs, compared by medians. The vs-PR3 figure
+  // tracks the combined send+deliver trend against PR 3's recorded message
+  // path (gather delivery, per-coordinate merges, per-call Locate scans).
+  const ABResult msg = PairedAB(
+      [] {
+        return TimedReferenceRun(/*threads=*/1, /*incremental=*/true,
+                                 net::DeliveryMode::kGather);
+      },
+      [] {
+        return TimedReferenceRun(/*threads=*/1, /*incremental=*/true,
+                                 net::DeliveryMode::kAdaptive);
+      },
+      message_path_ns);
+  const double message_path_speedup = msg.speedup;
   const double message_path_speedup_vs_pr3 =
       static_cast<double>(kPr3SendNs + kPr3DeliverNs) /
-      static_cast<double>(message_path_ns(best));
+      static_cast<double>(message_path_ns(msg.b));
   std::printf(
-      "message path A/B (serial): gather send+deliver=%lld ns  "
-      "dense send+deliver=%lld ns  speedup=%.2fx  vs PR3 recorded=%.2fx\n",
-      static_cast<long long>(message_path_ns(gather)),
-      static_cast<long long>(message_path_ns(best)), message_path_speedup,
+      "message path A/B (serial, paired medians): gather send+deliver=%lld ns"
+      "  adaptive send+deliver=%lld ns  speedup=%.2fx  vs PR3 recorded=%.2fx\n",
+      static_cast<long long>(message_path_ns(msg.a)),
+      static_cast<long long>(message_path_ns(msg.b)), message_path_speedup,
       message_path_speedup_vs_pr3);
 
   // Tracing overhead A/B: the identical serial workload with and without a
@@ -304,8 +367,8 @@ void ReportEngineTimings() {
   for (int rep = 0; rep < 3; ++rep) {
     auto rec = std::make_unique<obs::FlightRecorder>();
     const net::RunStats s =
-        TimedReferenceRun(/*threads=*/1, /*incremental=*/true, /*dense=*/true,
-                          rec.get());
+        TimedReferenceRun(/*threads=*/1, /*incremental=*/true,
+                          net::DeliveryMode::kAdaptive, rec.get());
     if (traced_rec == nullptr || message_path_ns(s) < message_path_ns(traced)) {
       traced = s;
       traced_rec = std::move(rec);
@@ -317,12 +380,16 @@ void ReportEngineTimings() {
   const double message_path_speedup_vs_pr4 =
       static_cast<double>(kPr4SendPlusDeliverNs) /
       static_cast<double>(untraced_sd_ns);
+  const double message_path_speedup_vs_pr5 =
+      static_cast<double>(kPr5SendPlusDeliverNs) /
+      static_cast<double>(untraced_sd_ns);
   std::printf(
       "tracing A/B (serial): untraced send+deliver=%lld ns  "
-      "traced=%lld ns  overhead=%.2fx  vs PR4 recorded=%.2fx\n",
+      "traced=%lld ns  overhead=%.2fx  vs PR4 recorded=%.2fx  "
+      "vs PR5 recorded=%.2fx\n",
       static_cast<long long>(untraced_sd_ns),
       static_cast<long long>(traced_sd_ns), trace_overhead_ratio,
-      message_path_speedup_vs_pr4);
+      message_path_speedup_vs_pr4, message_path_speedup_vs_pr5);
 
   obs::RunManifest manifest = obs::RunManifest::Collect();
   manifest.Set("experiment", "a9_micro");
@@ -386,7 +453,9 @@ void ReportEngineTimings() {
                "  \"workload\": {\"algorithm\": \"hjswy\", \"n\": 1024, "
                "\"adversary\": \"spine-gnp\", \"T\": 2, \"seed\": 42,\n"
                "               \"validate_tinterval\": false, \"flood_probes\": 0, "
-               "\"reps\": 3, \"selection\": \"best\"},\n"
+               "\"reps\": 3, \"selection\": "
+               "\"headline best-of-reps; A/Bs medians of interleaved paired "
+               "reps\"},\n"
                "  \"rounds\": %lld,\n"
                "  \"edges_processed\": %lld,\n"
                "  \"messages_delivered\": %lld,\n"
@@ -403,15 +472,18 @@ void ReportEngineTimings() {
                "  \"topology_scratch_ns\": %lld,\n"
                "  \"topology_incremental_ns\": %lld,\n"
                "  \"topology_speedup\": %.2f,\n"
-               "  \"send_scratch_ns\": %lld,\n"
-               "  \"send_dense_ns\": %lld,\n"
-               "  \"deliver_scratch_ns\": %lld,\n"
-               "  \"deliver_dense_ns\": %lld,\n"
+               "  \"send_gather_ns\": %lld,\n"
+               "  \"send_adaptive_ns\": %lld,\n"
+               "  \"deliver_gather_ns\": %lld,\n"
+               "  \"deliver_adaptive_ns\": %lld,\n"
                "  \"message_path_speedup\": %.2f,\n"
                "  \"pr3_send_plus_deliver_ns\": %lld,\n"
                "  \"message_path_speedup_vs_pr3\": %.2f,\n"
                "  \"pr4_send_plus_deliver_ns\": %lld,\n"
                "  \"message_path_speedup_vs_pr4\": %.2f,\n"
+               "  \"pr5_send_plus_deliver_ns\": %lld,\n"
+               "  \"message_path_speedup_vs_pr5\": %.2f,\n"
+               "  \"untraced_send_plus_deliver_ns\": %lld,\n"
                "  \"traced_send_plus_deliver_ns\": %lld,\n"
                "  \"trace_overhead_ratio\": %.3f,\n"
                "  \"threads_sweep_skipped\": [",
@@ -428,20 +500,21 @@ void ReportEngineTimings() {
                static_cast<long long>(best.timings.deliver_ns),
                static_cast<long long>(best.timings.other_ns),
                static_cast<long long>(best.timings.total_ns),
-               static_cast<long long>(scratch.timings.topology_ns),
-               static_cast<long long>(best.timings.topology_ns),
-               static_cast<double>(scratch.timings.topology_ns) /
-                   static_cast<double>(
-                       std::max<std::int64_t>(1, best.timings.topology_ns)),
-               static_cast<long long>(gather.timings.send_ns),
-               static_cast<long long>(best.timings.send_ns),
-               static_cast<long long>(gather.timings.deliver_ns),
-               static_cast<long long>(best.timings.deliver_ns),
+               static_cast<long long>(topo.a.timings.topology_ns),
+               static_cast<long long>(topo.b.timings.topology_ns),
+               topo.speedup,
+               static_cast<long long>(msg.a.timings.send_ns),
+               static_cast<long long>(msg.b.timings.send_ns),
+               static_cast<long long>(msg.a.timings.deliver_ns),
+               static_cast<long long>(msg.b.timings.deliver_ns),
                message_path_speedup,
                static_cast<long long>(kPr3SendNs + kPr3DeliverNs),
                message_path_speedup_vs_pr3,
                static_cast<long long>(kPr4SendPlusDeliverNs),
                message_path_speedup_vs_pr4,
+               static_cast<long long>(kPr5SendPlusDeliverNs),
+               message_path_speedup_vs_pr5,
+               static_cast<long long>(untraced_sd_ns),
                static_cast<long long>(traced_sd_ns), trace_overhead_ratio);
   for (std::size_t i = 0; i < skipped.size(); ++i) {
     std::fprintf(f, "%s%d", i == 0 ? "" : ", ", skipped[i]);

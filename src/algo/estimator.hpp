@@ -19,11 +19,13 @@
 // SDN_VERIFY_ESTIMATOR environment variable; tests flip it on).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "algo/kernels.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -75,18 +77,29 @@ class CardinalityEstimator {
   /// Columnwise min-merge of a contiguous coordinate block starting at
   /// `base`: mins[base+i] = min(mins[base+i], span[i]). The bounds check is
   /// hoisted out of the loop (always on — one check per block, not per
-  /// coordinate), so the loop body is a branch-predictable compare/store
-  /// the compiler can vectorize. Returns true if any coordinate decreased.
-  /// Same float-compare semantics as coordinate-at-a-time MergeCoord calls.
+  /// coordinate). The decrease test runs through the SIMD-dispatched
+  /// kernels::LtMaskF64 (scalar/SSE2/AVX2, bit-identical across tiers): one
+  /// vector compare per <=64-lane chunk answers "which lanes decreased", and
+  /// only those lanes pay the fingerprint rehash and store — the converged
+  /// steady state (no decrease, the common suffix-round case) is a pure
+  /// compare with no writes at all. Returns true if any coordinate
+  /// decreased. Same float-compare semantics as coordinate-at-a-time
+  /// MergeCoord calls.
   bool MergeBlock(std::size_t base, std::span<const double> vals) {
     SDN_CHECK(base + vals.size() <= mins_.size());
     double* mins = mins_.data() + base;
+    const double* v = vals.data();
     bool changed = false;
-    for (std::size_t i = 0; i < vals.size(); ++i) {
-      if (vals[i] < mins[i]) {
-        fingerprint_ ^= CoordHash(base + i, mins[i]) ^ CoordHash(base + i, vals[i]);
-        mins[i] = vals[i];
-        changed = true;
+    for (std::size_t off = 0; off < vals.size(); off += 64) {
+      const std::size_t len = std::min<std::size_t>(64, vals.size() - off);
+      std::uint64_t mask = kernels::LtMaskF64(v + off, mins + off, len);
+      changed |= mask != 0;
+      while (mask != 0) {
+        const std::size_t i =
+            off + static_cast<std::size_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        fingerprint_ ^= CoordHash(base + i, mins[i]) ^ CoordHash(base + i, v[i]);
+        mins[i] = v[i];
       }
     }
     return changed;

@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "algo/kernels.hpp"
 #include "util/check.hpp"
 
 namespace sdn::algo {
@@ -146,6 +147,12 @@ void HjswyProgram::RefreshCensusSnapshot() {
 }
 
 std::optional<HjswyProgram::Message> HjswyProgram::OnSend(Round r) {
+  std::optional<Message> m(std::in_place);
+  OnSendInto(r, *m);
+  return m;
+}
+
+bool HjswyProgram::OnSendInto(Round r, Message& m) {
   // Decided nodes keep broadcasting their (final) state: laggards must still
   // converge to the same aggregates, and a decided region must not look like
   // a hole in the network.
@@ -155,18 +162,18 @@ std::optional<HjswyProgram::Message> HjswyProgram::OnSend(Round r) {
     alarm_ = false;
   }
 
-  Message m;
   const int L = sketch_.size();
   const int c = std::min({options_.coords_per_msg, L, kMaxCoordsPerMsg});
   const int groups = (L + c - 1) / c;
   m.coord_base = static_cast<std::int32_t>((r % groups) * c);
+  m.num_coords = 0;
   const auto mins = sketch_.mins();
   for (int i = 0; i < c && m.coord_base + i < L; ++i) {
     m.coords[static_cast<std::size_t>(m.num_coords++)] =
         FloatBits(mins[static_cast<std::size_t>(m.coord_base + i)]);
   }
-  if (sum_sketch_.has_value()) {
-    m.has_sum = true;
+  m.has_sum = sum_sketch_.has_value();
+  if (m.has_sum) {
     const auto sum_mins = sum_sketch_->mins();
     for (int i = 0; i < m.num_coords; ++i) {
       m.sum_coords[static_cast<std::size_t>(i)] =
@@ -178,8 +185,12 @@ std::optional<HjswyProgram::Message> HjswyProgram::OnSend(Round r) {
   m.max_value = agg_max_value_;
   m.fingerprint = StateFingerprint();
   m.alarm = alarm_ && !decided_.has_value();
-  if (options_.exact_census) m.census = census_snapshot_;
-  return m;
+  if (options_.exact_census) {
+    m.census = census_snapshot_;
+  } else if (m.census != nullptr) {
+    m.census.reset();
+  }
+  return true;
 }
 
 void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
@@ -204,14 +215,18 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
   // a nonnegative float (Exp draws quantized to float, +inf for weight 0), and
   // for nonnegative IEEE floats value order coincides with unsigned order of
   // the bit patterns. That turns the per-message inner loop into a pure
-  // integer min the compiler vectorizes; the one conversion to double happens
-  // after the loop, when the reduced block is handed to MergeBlock.
+  // integer min, run through the SIMD-dispatched kernels::MinU32 (the
+  // dispatch pointer is hoisted out of the message loop, so each message
+  // pays one perfectly-predicted indirect call, not an atomic load); the one
+  // conversion to double happens after the loop, when the reduced block is
+  // handed to MergeBlock.
   std::int32_t block_base = -1;
   std::int32_t block_len = 0;
   bool block_has_sum = false;
   constexpr std::uint32_t kInfBits = 0x7f800000u;  // float32 +infinity
   std::array<std::uint32_t, kMaxCoordsPerMsg> block_bits{};
   std::array<std::uint32_t, kMaxCoordsPerMsg> sum_block_bits{};
+  const kernels::MinU32Fn min_u32 = kernels::MinU32Kernel();
 
   for (const Message& m : inbox) {
     if (m.num_coords > 0) {
@@ -223,15 +238,11 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
         std::fill_n(sum_block_bits.data(), block_len, kInfBits);
       }
       if (m.coord_base == block_base && m.num_coords == block_len) {
-        for (std::size_t i = 0; i < static_cast<std::size_t>(block_len); ++i) {
-          block_bits[i] = std::min(block_bits[i], m.coords[i]);
-        }
+        const auto len = static_cast<std::size_t>(block_len);
+        min_u32(block_bits.data(), m.coords.data(), len);
         if (m.has_sum) {
           block_has_sum = true;
-          for (std::size_t i = 0; i < static_cast<std::size_t>(block_len);
-               ++i) {
-            sum_block_bits[i] = std::min(sum_block_bits[i], m.sum_coords[i]);
-          }
+          min_u32(sum_block_bits.data(), m.sum_coords.data(), len);
         }
       } else {
         for (std::size_t i = 0; i < static_cast<std::size_t>(m.num_coords);

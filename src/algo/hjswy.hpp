@@ -127,6 +127,14 @@ class HjswyProgram {
   HjswyProgram(NodeId id, Value input, HjswyOptions options, util::Rng rng);
 
   std::optional<Message> OnSend(Round r);
+  /// Zero-copy send (net::DirectSendProgram): writes the round-r message
+  /// straight into `m` — typically the engine's outbox slot — and returns
+  /// whether a message was produced (hjswy always sends; see OnSend).
+  /// Overwrites every field a reader may touch (including clearing `census`
+  /// when exact_census is off), so a reused slot never leaks a stale field;
+  /// only coords/sum_coords lanes at index >= num_coords keep old bytes,
+  /// which the Message contract declares meaningless.
+  bool OnSendInto(Round r, Message& m);
   void OnReceive(Round r, Inbox<Message> inbox);
   [[nodiscard]] bool HasDecided() const { return decided_.has_value(); }
   [[nodiscard]] std::optional<Output> output() const { return decided_; }

@@ -177,7 +177,7 @@ class TypedSim final : public detail::SimBase {
     opts.probe_seed = util::MixSeed(config_.seed, 0x9e0be5ULL);
     opts.validate_tinterval = config_.validate_tinterval;
     opts.incremental_topology = config_.incremental_topology;
-    opts.dense_delivery = config_.dense_delivery;
+    opts.delivery = config_.delivery;
     opts.threads = config_.threads;
     opts.recorder = config_.recorder;
     opts.collect_metrics = config_.collect_metrics;

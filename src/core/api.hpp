@@ -16,6 +16,7 @@
 #include "algo/census.hpp"
 #include "algo/common.hpp"
 #include "algo/hjswy.hpp"
+#include "net/backing.hpp"
 #include "net/bandwidth.hpp"
 #include "net/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -68,10 +69,11 @@ struct RunConfig {
   /// adversary emits round-over-round deltas into one in-place DynGraph.
   /// Bit-identical results either way; off = legacy from-scratch path.
   bool incremental_topology = true;
-  /// Dense CSR delivery (EngineOptions::dense_delivery) on all-sender
-  /// rounds. Bit-identical results either way; off = legacy pointer-gather
-  /// path on every round, kept for A/B comparison.
-  bool dense_delivery = true;
+  /// Inbox backing policy for all-sender rounds (net::DeliveryMode):
+  /// kAdaptive (default) picks dense CSR indexing vs the pointer gather
+  /// per round from measured cost with hysteresis; kDense / kGather force
+  /// one arm for A/B runs. Bit-identical results in every mode.
+  net::DeliveryMode delivery = net::DeliveryMode::kAdaptive;
   /// Engine-internal parallelism (EngineOptions::threads): 0 = hardware,
   /// 1 = strictly serial, k = up to k lanes. Results are bit-identical at
   /// any setting; RunTrials additionally budgets this against its outer

@@ -1,0 +1,133 @@
+// Measurement-driven choice between two interchangeable backings.
+//
+// The engine has phases with two bit-identical implementations whose
+// relative cost depends on the workload and the machine, not on anything
+// knowable statically: dense CSR delivery vs the pointer gather, and (by a
+// separate churn heuristic in the engine) direct topology assignment vs
+// delta patching. PR 4 selected dense delivery with a static predicate
+// ("every node sent"), and BENCH_engine.json promptly recorded rounds where
+// the predicate held but dense measured *slower* — a static rule cannot see
+// the machine it runs on. ArmSelector replaces the rule with the
+// measurement itself.
+//
+// Protocol: each round the engine asks Choose() which arm (0 or 1) to run,
+// runs it, and reports the measured per-unit cost back via Observe(). The
+// selector keeps an EWMA of each arm's cost and prefers the cheaper one,
+// with two standard controls:
+//
+//   * Warmup — until both arms have kWarmup samples, Choose() alternates,
+//     so both EWMAs are seeded by real measurements (never a guess).
+//   * Hysteresis — the preferred arm only flips when the other arm's EWMA
+//     is below `hysteresis` (< 1) times the incumbent's, so measurement
+//     noise near parity cannot make the choice oscillate.
+//   * Re-probe — after warmup, one decision in every `reprobe_interval` is
+//     spent on the non-preferred arm to keep its EWMA fresh (phase changes
+//     in the workload would otherwise go unnoticed forever). This bounds
+//     the cost of a wrong arm at ~1/reprobe_interval of the phase budget.
+//
+// Outside warmup and re-probe decisions, Choose() returns the arm the
+// measurements say is cheaper — never a path the data says loses (the
+// PR 6 satellite contract; test_message_path pins it).
+//
+// The selector feeds on wall-clock measurements, so its *decisions* can
+// differ run to run — that is by design, and safe, because the two arms are
+// bit-identical in results (the property suites pin RunStats equality
+// across forced arms). Only timings, which are not compared, vary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace sdn::net {
+
+/// How the engine's deliver phase backs each receiver's Inbox on rounds
+/// where every node sent (rounds with silent nodes always gather — dense
+/// indexing is only *valid* when all slots are live).
+enum class DeliveryMode {
+  /// Always gather pointers to the flagged outbox slots (A/B arm).
+  kGather,
+  /// Dense CSR indexing on every all-sent round — PR 4's static predicate,
+  /// kept as the other A/B arm.
+  kDense,
+  /// Measured (default): an ArmSelector picks dense vs gather per all-sent
+  /// round from EWMAs of observed ns-per-delivered-message, with warmup,
+  /// hysteresis and periodic re-probe — dense runs only while it measures
+  /// cheaper on this workload and machine.
+  kAdaptive,
+};
+
+class ArmSelector {
+ public:
+  /// `warmup_per_arm` >= 1 samples seed each EWMA before any preference is
+  /// acted on; `reprobe_interval` >= 2 decisions between refreshes of the
+  /// losing arm; `hysteresis` in (0, 1]: the flip threshold (0.9 = the
+  /// challenger must measure >= 10% cheaper to take over).
+  ArmSelector(int warmup_per_arm, int reprobe_interval, double hysteresis)
+      : warmup_(warmup_per_arm),
+        reprobe_(reprobe_interval),
+        hysteresis_(hysteresis) {
+    SDN_CHECK(warmup_ >= 1);
+    SDN_CHECK(reprobe_ >= 2);
+    SDN_CHECK(hysteresis_ > 0.0 && hysteresis_ <= 1.0);
+  }
+
+  /// The arm to run next. Alternating during warmup, then the preferred arm
+  /// except for one re-probe of the other arm every reprobe_interval
+  /// decisions.
+  [[nodiscard]] int Choose() {
+    if (!warmed_up()) return samples_[1] < samples_[0] ? 1 : 0;
+    ++decisions_;
+    if (decisions_ % reprobe_ == 0) return 1 - preferred_;
+    return preferred_;
+  }
+
+  /// Reports the measured per-unit cost of the arm just run (any unit, as
+  /// long as it is the same for both arms — the engine feeds ns per
+  /// delivered message). Updates that arm's EWMA and, once warmed up,
+  /// re-evaluates the preference under hysteresis.
+  void Observe(int arm, double cost) {
+    SDN_CHECK(arm == 0 || arm == 1);
+    SDN_CHECK(cost >= 0.0);
+    auto& s = samples_[static_cast<std::size_t>(arm)];
+    auto& e = ewma_[static_cast<std::size_t>(arm)];
+    e = s == 0 ? cost : e + kAlpha * (cost - e);
+    ++s;
+    if (warmed_up()) {
+      const int other = 1 - preferred_;
+      if (ewma_[static_cast<std::size_t>(other)] <
+          hysteresis_ * ewma_[static_cast<std::size_t>(preferred_)]) {
+        preferred_ = other;
+      }
+    }
+  }
+
+  [[nodiscard]] bool warmed_up() const {
+    return samples_[0] >= warmup_ && samples_[1] >= warmup_;
+  }
+  [[nodiscard]] int preferred() const { return preferred_; }
+  [[nodiscard]] double ewma(int arm) const {
+    SDN_CHECK(arm == 0 || arm == 1);
+    return ewma_[static_cast<std::size_t>(arm)];
+  }
+  [[nodiscard]] std::int64_t observations(int arm) const {
+    SDN_CHECK(arm == 0 || arm == 1);
+    return samples_[static_cast<std::size_t>(arm)];
+  }
+
+ private:
+  /// EWMA smoothing: ~4-round memory, enough to ride out one noisy round
+  /// without ignoring a real shift.
+  static constexpr double kAlpha = 0.25;
+
+  int warmup_;
+  int reprobe_;
+  double hysteresis_;
+  int preferred_ = 0;
+  std::int64_t decisions_ = 0;
+  std::array<std::int64_t, 2> samples_{0, 0};
+  std::array<double, 2> ewma_{0.0, 0.0};
+};
+
+}  // namespace sdn::net

@@ -17,22 +17,36 @@
 // actual encoding would spend.
 //
 // Delivery is zero-copy: each round's messages live once in the reusable
-// outbox. When the send phase produced a message from every node (the
-// common case — tracked per shard and compared to n), each receiver's
-// Inbox is the topology's own CSR neighbor-id span indexing the outbox
-// directly: no per-receiver gather runs at all. Rounds with silent nodes
-// fall back to the sparse path — an Inbox of pointers gathered from the
-// occupied slots — so a broadcast to k neighbors costs at most k pointer
-// pushes and never a message copy (see net/program.hpp for the aliasing
-// contract). Every phase of Step() is wall-clocked into RunStats::timings.
+// raw outbox (one Message per node plus a sent-flag byte array — silentness
+// lives outside the message, so the gather never touches message cache
+// lines). Programs satisfying DirectSendProgram compose their message in
+// place in the outbox slot; others go through OnSend's optional-return path
+// with one move into the slot. On rounds where every node sent, each
+// receiver's Inbox can be the topology's own CSR neighbor-id span indexing
+// the outbox directly — no per-receiver gather at all; rounds with silent
+// nodes use the sparse path, an Inbox of pointers gathered from the flagged
+// slots. Which backing an all-sent round actually uses is decided by
+// EngineOptions::delivery: kAdaptive (default) runs an ArmSelector
+// (net/backing.hpp) on measured per-message deliver cost with hysteresis,
+// so dense indexing is only chosen while it measures cheaper; kDense and
+// kGather force one arm for A/B runs. Both paths software-prefetch each
+// receiver's message cache lines ahead of its OnReceive (the outbox reads
+// are data-dependent scatters the hardware prefetcher cannot predict).
+// Results are bit-identical across backings (pinned by tests); every phase
+// of Step() is wall-clocked into RunStats::timings.
 //
 // Topology is delta-driven by default (EngineOptions::incremental_topology):
 // the engine asks the adversary for the round-over-round TopologyDelta and
 // applies it to one in-place DynGraph instead of materializing a fresh Graph
-// per round; the streaming T-interval checker consumes the same delta. The
-// produced topology sequence, and therefore RunStats, is bit-identical to
-// the from-scratch path (the DeltaFor contract in net/adversary.hpp), which
-// stays available for A/B testing.
+// per round; the streaming T-interval checker consumes the same delta. When
+// per-round churn (EWMA of |delta| / |E|, hysteresis band below) is high
+// enough that patching loses to rebuilding, the engine flips to the
+// direct-assignment path — RoundEdgesInto straight into the DynGraph's edit
+// buffer — and derives the delta consumers still need with one DiffSorted;
+// a checker or trace recorder therefore sees every round's delta on either
+// sub-path (asserted). The produced topology sequence, and therefore
+// RunStats, is bit-identical to the from-scratch path (the DeltaFor
+// contract in net/adversary.hpp), which stays available for A/B testing.
 //
 // Parallel execution (EngineOptions::threads): the send and deliver phases
 // are embarrassingly parallel over nodes — OnSend(u) touches only node u and
@@ -61,6 +75,7 @@
 #include "graph/delta.hpp"
 #include "graph/tinterval.hpp"
 #include "net/adversary.hpp"
+#include "net/backing.hpp"
 #include "net/bandwidth.hpp"
 #include "net/metrics.hpp"
 #include "net/program.hpp"
@@ -100,11 +115,10 @@ struct EngineOptions {
   /// Results are bit-identical either way (the DeltaFor contract; tests pin
   /// it) — off gives the legacy from-scratch path for A/B comparison.
   bool incremental_topology = true;
-  /// Deliver via dense CSR indexing on rounds where every node sent (the
-  /// receiver's Inbox is the neighbor-id span over the outbox, skipping the
-  /// per-receiver pointer gather). Results are bit-identical either way —
-  /// off forces the legacy gather path on every round for A/B comparison.
-  bool dense_delivery = true;
+  /// Inbox backing policy for all-sent rounds (see DeliveryMode). Results
+  /// are bit-identical across modes (tests pin it) — only wall clock
+  /// differs, so forcing an arm is a pure A/B knob.
+  DeliveryMode delivery = DeliveryMode::kAdaptive;
   /// When set, every round's topology is appended here (replay/debugging)
   /// at the cost of exactly one Graph copy per round.
   std::vector<graph::Graph>* record_topologies = nullptr;
@@ -158,33 +172,56 @@ class Engine final : private AdversaryView {
     if (finished_) return false;
 
     const auto t0 = Clock::now();
+    bool has_delta = false;  // delta_ holds this round's delta
     if (incremental_) {
       // One topology call per round, in round order — either the prefetch
       // launched by the previous Step (join before mutating round_ or topo_,
       // both of which the in-flight call reads) or a synchronous call here.
       // Both schedules present the adversary the identical call sequence.
-      // Per round exactly one of two sub-paths runs, fixed for the whole
-      // run: RoundEdgesInto straight into the DynGraph's edit buffer (no
-      // delta consumers, adversary supports it) or DeltaFor + Apply.
+      // Per round one of two sub-paths runs, chosen by WantDirectTopology():
+      // RoundEdgesInto straight into the DynGraph's edit buffer — with one
+      // engine-side DiffSorted when a checker/trace consumes deltas — or
+      // DeltaFor + Apply. The choice only moves work between equivalent
+      // code paths; the produced graph (and every consumed delta) is
+      // identical either way.
       bool assigned = false;
       if (delta_prefetch_.valid()) {
         PrefetchedTopology pf = delta_prefetch_.get();
         round_ = prefetched_round_;
+        if (pf.tried_direct && !pf.assigned) topo_direct_supported_ = false;
         assigned = pf.assigned;
+        has_delta = pf.has_delta;
         delta_ = std::move(pf.delta);
       } else {
         ++round_;
-        assigned = !need_delta_ &&
-                   adversary_.RoundEdgesInto(round_, *this, topo_.EditBuffer());
+        if (WantDirectTopology()) {
+          assigned =
+              adversary_.RoundEdgesInto(round_, *this, topo_.EditBuffer());
+          if (!assigned) {
+            topo_direct_supported_ = false;
+          } else if (need_delta_) {
+            graph::DiffSorted(topo_.View().Edges(), topo_.EditBuffer(),
+                              delta_);
+            has_delta = true;
+          }
+        }
         if (!assigned) {
           adversary_.DeltaFor(round_, *this, topo_.View(), delta_);
+          has_delta = true;
         }
       }
       if (assigned) {
         topo_.CommitEdges();
+        ++topo_direct_rounds_;
       } else {
         topo_.Apply(delta_);  // CheckError on a contract-violating delta
+        ++topo_delta_rounds_;
       }
+      // Whatever sub-path ran, every delta consumer must have a delta for
+      // every round — the PR 6 regression was exactly this gate silently
+      // starving consumers when the fast path was picked.
+      SDN_CHECK(!need_delta_ || has_delta);
+      UpdateTopologyChurn(has_delta);
       if (options_.record_topologies != nullptr) {
         options_.record_topologies->push_back(topo_.View());
       }
@@ -228,19 +265,31 @@ class Engine final : private AdversaryView {
     StepProbes(g);
     const auto t3 = Clock::now();
 
-    // Send phase: every node's OnSend into its own outbox slot, shard
-    // accumulators for the message accounting. Budget violations are
-    // *recorded* per shard (first in node order) instead of thrown from a
-    // worker — the merge below deterministically picks the lowest node and
-    // fails the run from this thread.
+    // Send phase: every node's message lands in its own raw outbox slot
+    // (DirectSendProgram composes it in place; the generic path moves the
+    // OnSend optional's payload in), with silentness tracked in the
+    // separate sent_ byte array. Shard accumulators do the message
+    // accounting; budget violations are *recorded* per shard (first in
+    // node order) instead of thrown from a worker — the merge below
+    // deterministically picks the lowest node and fails the run from this
+    // thread.
     ForShards([this](int shard, std::int64_t begin, std::int64_t end) {
       ShardAccum& acc = shard_accum_[static_cast<std::size_t>(shard)];
       acc = ShardAccum{};
       for (std::int64_t u = begin; u < end; ++u) {
-        auto& msg = outbox_[static_cast<std::size_t>(u)];
-        msg = nodes_[static_cast<std::size_t>(u)].OnSend(round_);
-        if (!msg.has_value()) continue;
-        const auto bits = static_cast<std::int64_t>(A::MessageBits(*msg));
+        typename A::Message& slot = outbox_[static_cast<std::size_t>(u)];
+        bool sent;
+        if constexpr (DirectSendProgram<A>) {
+          sent = nodes_[static_cast<std::size_t>(u)].OnSendInto(round_, slot);
+        } else {
+          std::optional<typename A::Message> msg =
+              nodes_[static_cast<std::size_t>(u)].OnSend(round_);
+          sent = msg.has_value();
+          if (sent) slot = std::move(*msg);
+        }
+        sent_[static_cast<std::size_t>(u)] = sent ? 1 : 0;
+        if (!sent) continue;
+        const auto bits = static_cast<std::int64_t>(A::MessageBits(slot));
         if (bits > stats_.bit_limit && acc.violation_node < 0) {
           acc.violation_node = static_cast<graph::NodeId>(u);
           acc.violation_bits = bits;
@@ -297,15 +346,27 @@ class Engine final : private AdversaryView {
       if (incremental_) {
         // The side thread writes only the DynGraph's edit buffer (disjoint
         // from the view the deliver phase reads) or the moved-out delta.
+        // The sub-path choice is frozen at launch from this round's churn
+        // state — exactly what the synchronous schedule would pick, since
+        // churn was last updated in this Step's topology section.
         delta_prefetch_ = std::async(
-            std::launch::async,
-            [this, r = prefetched_round_, d = std::move(delta_)]() mutable {
+            std::launch::async, [this, r = prefetched_round_,
+                                 direct = WantDirectTopology(),
+                                 d = std::move(delta_)]() mutable {
               PrefetchedTopology pf;
-              pf.assigned =
-                  !need_delta_ &&
-                  adversary_.RoundEdgesInto(r, *this, topo_.EditBuffer());
+              pf.tried_direct = direct;
+              if (direct) {
+                pf.assigned =
+                    adversary_.RoundEdgesInto(r, *this, topo_.EditBuffer());
+                if (pf.assigned && need_delta_) {
+                  graph::DiffSorted(topo_.View().Edges(), topo_.EditBuffer(),
+                                    d);
+                  pf.has_delta = true;
+                }
+              }
               if (!pf.assigned) {
                 adversary_.DeltaFor(r, *this, topo_.View(), d);
+                pf.has_delta = true;
               }
               pf.delta = std::move(d);
               return pf;
@@ -318,25 +379,52 @@ class Engine final : private AdversaryView {
       }
     }
 
-    // Deliver phase. Zero-copy either way. Dense path (every node sent this
-    // round): each receiver's Inbox indexes the outbox through the graph's
-    // own CSR neighbor span — no gather at all. Sparse path (silent nodes):
-    // gather pointers to the occupied outbox slots into per-shard reusable
-    // buffers. The outbox is not mutated until the next round's send phase.
-    // Decisions land in per-node slots plus a per-shard count, reduced
-    // below instead of mutated inline.
-    const bool dense = options_.dense_delivery && round_sent == n_;
+    // Deliver phase. Zero-copy either way. Dense path (all-sent rounds
+    // only, when the backing policy picks it): each receiver's Inbox
+    // indexes the outbox through the graph's own CSR neighbor span — no
+    // gather at all. Sparse path: gather pointers to the flagged outbox
+    // slots into per-shard reusable buffers — the flags live in sent_, so
+    // the gather itself never touches a message cache line. Both paths
+    // issue a software prefetch for each receiver's message lines before
+    // its OnReceive: the slot addresses are data-dependent scatters the
+    // hardware prefetcher cannot see, and issuing them back to back buys
+    // memory-level parallelism across the receiver's whole inbox. The
+    // outbox is not mutated until the next round's send phase. Decisions
+    // land in per-node slots plus a per-shard count, reduced below instead
+    // of mutated inline.
+    const bool all_sent = round_sent == n_;
+    bool dense = false;
+    if (all_sent) {
+      switch (options_.delivery) {
+        case DeliveryMode::kGather:
+          break;
+        case DeliveryMode::kDense:
+          dense = true;
+          break;
+        case DeliveryMode::kAdaptive:
+          dense = delivery_selector_.Choose() == kDenseArm;
+          break;
+      }
+    }
+    if (dense) {
+      ++dense_rounds_;
+    } else {
+      ++gather_rounds_;
+    }
     const auto t5 = Clock::now();
     ForShards([this, &g, dense](int shard, std::int64_t begin,
                                 std::int64_t end) {
       using Message = typename A::Message;
       ShardAccum& acc = shard_accum_[static_cast<std::size_t>(shard)];
       acc = ShardAccum{};
+      const Message* outbox = outbox_.data();
       if (dense) {
-        const std::optional<Message>* outbox = outbox_.data();
         for (std::int64_t u = begin; u < end; ++u) {
           const std::span<const graph::NodeId> ids =
               g.Neighbors(static_cast<graph::NodeId>(u));
+          for (const graph::NodeId v : ids) {
+            __builtin_prefetch(outbox + v, 0, 3);
+          }
           acc.messages_delivered += static_cast<std::int64_t>(ids.size());
           A& node = nodes_[static_cast<std::size_t>(u)];
           const bool was_decided = node.HasDecided();
@@ -348,14 +436,18 @@ class Engine final : private AdversaryView {
         }
         return;
       }
+      const unsigned char* sent = sent_.data();
       std::vector<const Message*>& slots =
           shard_slots_[static_cast<std::size_t>(shard)];
       for (std::int64_t u = begin; u < end; ++u) {
         slots.clear();
         for (const graph::NodeId v :
              g.Neighbors(static_cast<graph::NodeId>(u))) {
-          const auto& msg = outbox_[static_cast<std::size_t>(v)];
-          if (msg.has_value()) slots.push_back(&*msg);
+          if (sent[static_cast<std::size_t>(v)]) {
+            const Message* slot = outbox + v;
+            __builtin_prefetch(slot, 0, 3);
+            slots.push_back(slot);
+          }
         }
         acc.messages_delivered += static_cast<std::int64_t>(slots.size());
         A& node = nodes_[static_cast<std::size_t>(u)];
@@ -376,6 +468,19 @@ class Engine final : private AdversaryView {
       stats_.messages_delivered += acc.messages_delivered;
       round_delivered += acc.messages_delivered;
       decided += acc.decided;
+    }
+    // Feed the adaptive backing controller (bookkeeping, lands in
+    // other_ns). Only all-sent rounds are observed: those are the rounds
+    // where a choice exists, and normalizing to ns per delivered message
+    // keeps rounds of different sizes comparable.
+    if (all_sent && options_.delivery == DeliveryMode::kAdaptive &&
+        round_delivered > 0) {
+      const auto deliver_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t6 - t5)
+              .count();
+      delivery_selector_.Observe(dense ? kDenseArm : kGatherArm,
+                                 static_cast<double>(deliver_ns) /
+                                     static_cast<double>(round_delivered));
     }
     if (decided > 0) {
       if (stats_.first_decide_round < 0) stats_.first_decide_round = round_;
@@ -452,6 +557,26 @@ class Engine final : private AdversaryView {
     return incremental_ ? topo_.View() : last_topology_;
   }
 
+  /// Per-path round counters (test/bench introspection; not part of
+  /// RunStats because the adaptive split is timing-driven and therefore
+  /// not deterministic).
+  [[nodiscard]] std::int64_t dense_delivery_rounds() const {
+    return dense_rounds_;
+  }
+  [[nodiscard]] std::int64_t gather_delivery_rounds() const {
+    return gather_rounds_;
+  }
+  [[nodiscard]] std::int64_t topology_direct_rounds() const {
+    return topo_direct_rounds_;
+  }
+  [[nodiscard]] std::int64_t topology_delta_rounds() const {
+    return topo_delta_rounds_;
+  }
+  /// The delivery ArmSelector (tests inspect warmup/preference state).
+  [[nodiscard]] const ArmSelector& delivery_selector() const {
+    return delivery_selector_;
+  }
+
   [[nodiscard]] const A& node(graph::NodeId u) const {
     SDN_CHECK(u >= 0 && u < n_);
     return nodes_[static_cast<std::size_t>(u)];
@@ -464,6 +589,33 @@ class Engine final : private AdversaryView {
   /// every EngineOptions::threads setting.
   static constexpr std::int64_t kMinShardNodes = 64;
   static constexpr std::int64_t kMaxShards = 64;
+
+  /// Adaptive delivery (DeliveryMode::kAdaptive): ArmSelector arms and
+  /// tuning. 3 warmup rounds per arm seed the EWMAs; one decision in 61 is
+  /// a re-probe of the losing arm (<2% of deliver time even when the loser
+  /// is much slower); the challenger must measure >=10% cheaper to flip the
+  /// preference (deliver-phase noise on a loaded box easily exceeds a few
+  /// percent round to round).
+  static constexpr int kDenseArm = 0;
+  static constexpr int kGatherArm = 1;
+  static constexpr int kDeliveryWarmupRounds = 3;
+  static constexpr int kDeliveryReprobeInterval = 61;
+  static constexpr double kDeliveryHysteresis = 0.9;
+
+  /// Churn-adaptive topology sub-path (incremental mode with delta
+  /// consumers): EWMA of |delta| / |E| with a hysteresis band. Above
+  /// kChurnHigh, in-place patching (Apply walks O(|Δ| log E) split points
+  /// plus the moved bytes, and itself degrades to a full linear merge once
+  /// |Δ| >= E/8) loses to rebuilding from the full round list (CommitEdges:
+  /// one swap plus an O(E) adjacency refill), so the engine flips to
+  /// RoundEdgesInto + one DiffSorted for the delta consumers; below
+  /// kChurnLow it flips back. The band brackets Apply's own E/8 dense-merge
+  /// crossover (docs/PERF.md records the measurement). Round 1's delta is
+  /// the full bootstrap graph (churn ratio ~1 by construction) and is
+  /// skipped as a bootstrap artifact.
+  static constexpr double kChurnAlpha = 0.25;
+  static constexpr double kChurnHigh = 0.15;
+  static constexpr double kChurnLow = 0.08;
 
   /// Per-shard accumulator for one phase; merged in shard order after the
   /// barrier. Cache-line aligned so neighboring shards don't false-share.
@@ -482,6 +634,37 @@ class Engine final : private AdversaryView {
   [[nodiscard]] double PublicState(graph::NodeId u) const override {
     SDN_CHECK(u >= 0 && u < n_);
     return nodes_[static_cast<std::size_t>(u)].PublicState();
+  }
+
+  /// Topology sub-path for the next round in incremental mode. Without
+  /// delta consumers the direct RoundEdgesInto path is strictly cheaper
+  /// (no diff runs anywhere); with consumers the churn hysteresis state
+  /// decides. An adversary without a native RoundEdgesInto permanently
+  /// pins the delta path the first time it declines.
+  [[nodiscard]] bool WantDirectTopology() const {
+    if (!topo_direct_supported_) return false;
+    if (!need_delta_) return true;
+    return topo_use_direct_;
+  }
+
+  /// Folds this round's |delta| / |E| into the churn EWMA and moves the
+  /// direct/delta preference across the hysteresis band. No-op on rounds
+  /// without a delta (direct path, no consumers — there is no choice to
+  /// steer) and on round 1 (bootstrap delta, see kChurnHigh).
+  void UpdateTopologyChurn(bool has_delta) {
+    if (!has_delta || round_ <= 1) return;
+    const auto edges = std::max<std::int64_t>(1, topo_.View().num_edges());
+    const double churn =
+        static_cast<double>(delta_.size()) / static_cast<double>(edges);
+    churn_ewma_ = churn_seeded_
+                      ? churn_ewma_ + kChurnAlpha * (churn - churn_ewma_)
+                      : churn;
+    churn_seeded_ = true;
+    if (topo_use_direct_) {
+      if (churn_ewma_ < kChurnLow) topo_use_direct_ = false;
+    } else if (churn_ewma_ > kChurnHigh) {
+      topo_use_direct_ = true;
+    }
   }
 
   /// Runs fn(shard, begin, end) over all shards — on the pool when parallel,
@@ -656,12 +839,16 @@ class Engine final : private AdversaryView {
     }
     incremental_ = options_.incremental_topology;
     if (incremental_) topo_.Reset(n_);
-    // Deltas are only materialized when something consumes them: the
-    // streaming validator or a trace recorder. Otherwise the adversary's
-    // RoundEdgesInto fast path (when it has one) hands the full round list
-    // straight to the DynGraph, skipping the per-round diff entirely.
+    // Deltas are materialized whenever something consumes them: the
+    // streaming validator or a trace recorder. With consumers attached the
+    // adversary's RoundEdgesInto fast path stays available — the engine
+    // derives the delta itself with one DiffSorted when churn makes the
+    // direct path the cheaper producer (WantDirectTopology); the Step
+    // assert guarantees consumers see a delta every round regardless of
+    // which sub-path ran.
     need_delta_ = checker_.has_value() || options_.record_trace != nullptr;
     outbox_.resize(static_cast<std::size_t>(n_));
+    sent_.assign(static_cast<std::size_t>(n_), 0);
     undecided_ = n_;
 
     // Parallel geometry. Shard count is a function of n alone; the thread
@@ -791,18 +978,37 @@ class Engine final : private AdversaryView {
   std::int64_t probes_completed_ = 0;
   std::int64_t probe_max_rounds_ = -1;
   double probe_total_rounds_ = 0.0;
-  std::vector<std::optional<typename A::Message>> outbox_;
+  std::vector<typename A::Message> outbox_;  // raw slots, one per node
+  std::vector<unsigned char> sent_;          // 1 iff the slot is live
   graph::Graph last_topology_{0};  // from-scratch mode only
   bool incremental_ = false;       // set from options_ by EnsureStarted
   bool need_delta_ = false;        // a checker or trace consumes deltas
   graph::DynGraph topo_{0};        // incremental mode's one live topology
   graph::TopologyDelta delta_;     // reused round-over-round delta buffer
 
-  /// What an incremental-mode topology prefetch produced: either the round
-  /// list already sits in topo_'s edit buffer (assigned) or `delta` holds
-  /// the round's delta.
+  // Churn-adaptive topology sub-path state (see kChurnHigh/kChurnLow).
+  bool topo_direct_supported_ = true;  // adversary has RoundEdgesInto
+  bool topo_use_direct_ = false;       // churn-hysteresis preference
+  bool churn_seeded_ = false;
+  double churn_ewma_ = 0.0;
+  std::int64_t topo_direct_rounds_ = 0;
+  std::int64_t topo_delta_rounds_ = 0;
+
+  // Adaptive delivery state (DeliveryMode::kAdaptive) and per-path round
+  // counters (kept for all modes — forced modes just count one arm).
+  ArmSelector delivery_selector_{kDeliveryWarmupRounds,
+                                 kDeliveryReprobeInterval,
+                                 kDeliveryHysteresis};
+  std::int64_t dense_rounds_ = 0;
+  std::int64_t gather_rounds_ = 0;
+
+  /// What an incremental-mode topology prefetch produced: the round list
+  /// already sits in topo_'s edit buffer (assigned) and/or `delta` holds
+  /// the round's delta (always when delta consumers exist).
   struct PrefetchedTopology {
+    bool tried_direct = false;
     bool assigned = false;
+    bool has_delta = false;
     graph::TopologyDelta delta;
   };
 

@@ -66,11 +66,10 @@ class Inbox {
 
     iterator() = default;
     explicit iterator(const M* const* slot) : slot_(slot) {}
-    iterator(const std::optional<M>* base, const std::int32_t* id)
-        : base_(base), id_(id) {}
+    iterator(const M* base, const std::int32_t* id) : base_(base), id_(id) {}
 
     reference operator*() const {
-      return base_ != nullptr ? *base_[static_cast<std::size_t>(*id_)]
+      return base_ != nullptr ? base_[static_cast<std::size_t>(*id_)]
                               : **slot_;
     }
     pointer operator->() const { return &operator*(); }
@@ -92,9 +91,9 @@ class Inbox {
     }
 
    private:
-    const M* const* slot_ = nullptr;          // sparse cursor
-    const std::optional<M>* base_ = nullptr;  // dense outbox base
-    const std::int32_t* id_ = nullptr;        // dense cursor
+    const M* const* slot_ = nullptr;  // sparse cursor
+    const M* base_ = nullptr;         // dense outbox base
+    const std::int32_t* id_ = nullptr;  // dense cursor
   };
   using const_iterator = iterator;
 
@@ -103,9 +102,11 @@ class Inbox {
   /// Sparse view over an externally owned pointer gather (the engine's, or
   /// a test's stack array of &message pointers).
   explicit Inbox(std::span<const M* const> slots) : slots_(slots) {}
-  /// Dense view: `outbox[ids[i]]` must be engaged for every i (the engine
-  /// takes this path only when every node sent this round).
-  Inbox(const std::optional<M>* outbox, std::span<const std::int32_t> ids)
+  /// Dense view: `outbox[ids[i]]` must hold a live round-r message for
+  /// every i (the engine takes this path only when every node sent this
+  /// round, so the raw slot array has no engaged/empty distinction to
+  /// encode — one pointer plus the CSR ids).
+  Inbox(const M* outbox, std::span<const std::int32_t> ids)
       : base_(outbox), ids_(ids) {}
 
   [[nodiscard]] std::size_t size() const {
@@ -113,7 +114,7 @@ class Inbox {
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] const M& operator[](std::size_t i) const {
-    return base_ != nullptr ? *base_[static_cast<std::size_t>(ids_[i])]
+    return base_ != nullptr ? base_[static_cast<std::size_t>(ids_[i])]
                             : *slots_[i];
   }
   [[nodiscard]] iterator begin() const {
@@ -130,9 +131,9 @@ class Inbox {
   [[nodiscard]] bool dense() const { return base_ != nullptr; }
 
  private:
-  std::span<const M* const> slots_;         // sparse backing
-  const std::optional<M>* base_ = nullptr;  // dense backing: outbox base
-  std::span<const std::int32_t> ids_;       // dense backing: neighbor ids
+  std::span<const M* const> slots_;  // sparse backing
+  const M* base_ = nullptr;          // dense backing: outbox base
+  std::span<const std::int32_t> ids_;  // dense backing: neighbor ids
 };
 
 template <typename A>
@@ -149,6 +150,24 @@ concept NodeProgram = requires(
   { ca.PublicState() } -> std::convertible_to<double>;
   { A::MessageBits(msg) } -> std::convertible_to<std::size_t>;
 };
+
+/// Optional extension of NodeProgram: programs that can compose their
+/// round-r message straight into a caller-provided slot, returning whether
+/// they sent. The engine uses this to write each node's message in place
+/// into its outbox slot — OnSend's `std::optional<Message>` return path
+/// costs a zero-init plus two full Message copies per send, which for a
+/// cache-line-aligned wire struct is most of the send phase. A provider
+/// must overwrite every field a receiver may read (slots are reused across
+/// rounds; only payload lanes beyond the declared count may keep stale
+/// bytes), and OnSendInto(r, m) must produce the same send decision and
+/// the same readable fields as OnSend(r) — the engine picks whichever path
+/// exists per program type, and the property suites pin RunStats equality
+/// between a direct-send program and its OnSend behavior.
+template <typename A>
+concept DirectSendProgram =
+    NodeProgram<A> && requires(A a, Round r, typename A::Message& m) {
+      { a.OnSendInto(r, m) } -> std::same_as<bool>;
+    };
 
 /// What a node reports about where it is inside its algorithm, for the
 /// flight recorder's algorithm-phase track (obs::EventKind::kAlgoPhase).

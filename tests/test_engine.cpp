@@ -12,6 +12,8 @@
 #include "adversary/static_adversary.hpp"
 #include "algo/flood_max.hpp"
 #include "graph/generators.hpp"
+#include "net/backing.hpp"
+#include "obs/recorder.hpp"
 #include "util/check.hpp"
 
 namespace sdn::net {
@@ -365,7 +367,7 @@ TEST(Engine, DeliveryMakesZeroMessageCopies) {
     StaticAdversary adv(graph::Complete(6));
     std::vector<CopySpy> nodes(6, CopySpy(4));
     EngineOptions opts;
-    opts.dense_delivery = dense;
+    opts.delivery = dense ? DeliveryMode::kDense : DeliveryMode::kGather;
     Engine<CopySpy> engine(std::move(nodes), adv, opts);
     const RunStats stats = engine.Run();
     EXPECT_EQ(CopySpy::Message::copies, 0) << "dense=" << dense;
@@ -453,16 +455,19 @@ TEST(Engine, ReceiversShareOneMessageInstance) {
 }
 
 TEST(Engine, DenseDeliveryAliasesOutboxSlots) {
-  // Complete(4) with everyone sending: each round is an all-sender round,
-  // so the engine takes the dense CSR path. The aliasing contract is the
-  // same as the gather path's: every receiver of sender v's round-r message
-  // reads the very same object (the sender's outbox slot), zero copies.
+  // Complete(4) with everyone sending and the dense backing forced: each
+  // round is an all-sender round, so every round takes the dense CSR path.
+  // The aliasing contract is the same as the gather path's: every receiver
+  // of sender v's round-r message reads the very same object (the sender's
+  // outbox slot), zero copies.
   StaticAdversary adv(graph::Complete(4));
   std::vector<AliasProbe> nodes;
   for (graph::NodeId u = 0; u < 4; ++u) {
     nodes.emplace_back(u, 3, /*all_send=*/true);
   }
-  Engine<AliasProbe> engine(std::move(nodes), adv, {});
+  EngineOptions opts;
+  opts.delivery = DeliveryMode::kDense;
+  Engine<AliasProbe> engine(std::move(nodes), adv, opts);
   (void)engine.Run();
   for (graph::NodeId u = 0; u < 4; ++u) {
     EXPECT_EQ(engine.node(u).dense_rounds(), 3);
@@ -539,7 +544,7 @@ TEST(Engine, DenseAndGatherAgreeAcrossSilentRounds) {
     std::vector<Alternator> nodes;
     for (graph::NodeId u = 0; u < 12; ++u) nodes.emplace_back(u, 8);
     EngineOptions opts;
-    opts.dense_delivery = dense;
+    opts.delivery = dense ? DeliveryMode::kDense : DeliveryMode::kGather;
     Engine<Alternator> engine(std::move(nodes), adv, opts);
     const RunStats stats = engine.Run();
     std::vector<std::int64_t> outputs;
@@ -641,6 +646,215 @@ TEST(Engine, WrongSizeAdversaryRejected) {
   std::vector<InboxCounter> nodes(2, InboxCounter(1));
   EXPECT_THROW((Engine<InboxCounter>(std::move(nodes), adv, {})),
                util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// ArmSelector: the measured chooser behind DeliveryMode::kAdaptive.
+
+TEST(ArmSelector, WarmupAlternatesUntilBothArmsSampled) {
+  ArmSelector sel(/*warmup_per_arm=*/3, /*reprobe_interval=*/10,
+                  /*hysteresis=*/0.9);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(sel.warmed_up());
+    const int arm = sel.Choose();
+    EXPECT_EQ(arm, i % 2) << "warmup must alternate";
+    sel.Observe(arm, 100.0);
+  }
+  EXPECT_TRUE(sel.warmed_up());
+  EXPECT_EQ(sel.observations(0), 3);
+  EXPECT_EQ(sel.observations(1), 3);
+}
+
+TEST(ArmSelector, NeverPicksTheMeasuredLoser) {
+  // The PR 6 satellite contract: outside warmup and the bounded re-probe,
+  // Choose() must return the arm the EWMAs say is cheaper. Arm 0 measures
+  // 10x cheaper here, so every non-re-probe decision must be arm 0.
+  ArmSelector sel(/*warmup_per_arm=*/2, /*reprobe_interval=*/7,
+                  /*hysteresis=*/0.9);
+  while (!sel.warmed_up()) {
+    const int arm = sel.Choose();
+    sel.Observe(arm, arm == 0 ? 10.0 : 100.0);
+  }
+  int reprobes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const int arm = sel.Choose();
+    if (arm == 1) ++reprobes;
+    sel.Observe(arm, arm == 0 ? 10.0 : 100.0);
+  }
+  EXPECT_EQ(sel.preferred(), 0);
+  // Exactly one decision in every reprobe_interval refreshes the loser.
+  EXPECT_EQ(reprobes, 200 / 7);
+}
+
+TEST(ArmSelector, HysteresisBlocksFlipsNearParity) {
+  ArmSelector sel(/*warmup_per_arm=*/1, /*reprobe_interval=*/100,
+                  /*hysteresis=*/0.9);
+  sel.Observe(0, 100.0);
+  sel.Observe(1, 95.0);  // 5% cheaper: inside the 10% hysteresis band
+  EXPECT_EQ(sel.preferred(), 0);
+  // 40% cheaper clears the band (one Observe moves the EWMA a quarter of
+  // the way, so feed a few).
+  for (int i = 0; i < 10; ++i) sel.Observe(1, 60.0);
+  EXPECT_EQ(sel.preferred(), 1);
+}
+
+TEST(ArmSelector, ReprobeRecoversFromWorkloadShift) {
+  // Arm 0 wins at first; then the workload shifts and arm 0 becomes 10x
+  // worse. Only the periodic re-probe ever samples arm 1 again, and it must
+  // be enough to flip the preference.
+  ArmSelector sel(/*warmup_per_arm=*/1, /*reprobe_interval=*/5,
+                  /*hysteresis=*/0.9);
+  sel.Observe(0, 10.0);
+  sel.Observe(1, 100.0);
+  EXPECT_EQ(sel.preferred(), 0);
+  for (int i = 0; i < 100 && sel.preferred() == 0; ++i) {
+    const int arm = sel.Choose();
+    sel.Observe(arm, arm == 0 ? 1000.0 : 100.0);
+  }
+  EXPECT_EQ(sel.preferred(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Direct-send (OnSendInto) programs.
+
+/// Alternator twin that composes its message in place via OnSendInto. The
+/// engine must produce the identical run, and silent decisions (return
+/// false) must keep the stale slot contents out of every inbox.
+class DirectAlternator {
+ public:
+  using Message = Alternator::Message;
+  using Output = std::int64_t;
+
+  DirectAlternator(graph::NodeId id, Round decide_after)
+      : id_(id), decide_after_(decide_after) {}
+
+  std::optional<Message> OnSend(Round r) {
+    Message m;
+    if (!OnSendInto(r, m)) return std::nullopt;
+    return m;
+  }
+  bool OnSendInto(Round r, Message& m) {
+    if (r % 2 == 1 && id_ % 2 == 1) {
+      m.payload = -1;  // deliberately poison the slot: must never be seen
+      return false;
+    }
+    m.payload = r * 31 + id_;
+    return true;
+  }
+  void OnReceive(Round r, Inbox<Message> inbox) {
+    for (const Message& m : inbox) {
+      SDN_CHECK(m.payload >= 0);  // a poisoned slot leaked into an inbox
+      sum_ += m.payload;
+    }
+    if (r >= decide_after_) decided_ = true;
+  }
+  [[nodiscard]] bool HasDecided() const { return decided_; }
+  [[nodiscard]] std::optional<Output> output() const {
+    return decided_ ? std::optional<Output>(sum_) : std::nullopt;
+  }
+  [[nodiscard]] double PublicState() const { return 0.0; }
+  static std::size_t MessageBits(const Message&) { return 64; }
+
+ private:
+  graph::NodeId id_;
+  Round decide_after_;
+  std::int64_t sum_ = 0;
+  bool decided_ = false;
+};
+
+static_assert(DirectSendProgram<DirectAlternator>);
+// Plain programs must keep taking the optional-returning path.
+static_assert(NodeProgram<Alternator> && !DirectSendProgram<Alternator>);
+
+TEST(Engine, DirectSendMatchesOptionalSend) {
+  // The same protocol via OnSendInto (composed in place in the outbox slot)
+  // and via OnSend (optional returned, moved into the slot) must produce
+  // bit-identical runs — and the DirectAlternator's OnReceive SDN_CHECK
+  // proves a declined slot's poisoned contents never reach an inbox.
+  const auto run = [](auto make_node) {
+    StaticAdversary adv(graph::Cycle(10));
+    using Node = decltype(make_node(graph::NodeId{0}));
+    std::vector<Node> nodes;
+    for (graph::NodeId u = 0; u < 10; ++u) nodes.push_back(make_node(u));
+    Engine<Node> engine(std::move(nodes), adv, {});
+    const RunStats stats = engine.Run();
+    std::vector<std::int64_t> outputs;
+    for (graph::NodeId u = 0; u < 10; ++u) {
+      outputs.push_back(*engine.node(u).output());
+    }
+    return std::pair(stats, outputs);
+  };
+  const auto [direct_stats, direct_out] =
+      run([](graph::NodeId u) { return DirectAlternator(u, 8); });
+  const auto [optional_stats, optional_out] =
+      run([](graph::NodeId u) { return Alternator(u, 8); });
+  EXPECT_EQ(direct_out, optional_out);
+  EXPECT_EQ(direct_stats.rounds, optional_stats.rounds);
+  EXPECT_EQ(direct_stats.messages_sent, optional_stats.messages_sent);
+  EXPECT_EQ(direct_stats.messages_delivered,
+            optional_stats.messages_delivered);
+  EXPECT_EQ(direct_stats.sends_per_node, optional_stats.sends_per_node);
+  EXPECT_EQ(direct_stats.decide_round, optional_stats.decide_round);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-topology delta gating (PR 6 satellite c).
+
+TEST(Engine, ConsumersSeeEveryDeltaOnIncrementalPath) {
+  // Regression for the delta-gating audit: the direct topology path skips
+  // delta production unless a consumer needs one, and the streaming
+  // T-interval checker, the topology trace and the flight recorder are all
+  // such consumers. Attach all three at once on the incremental path (the
+  // engine asserts internally that every consumer round has a delta) and
+  // pin the recorded trace against the legacy from-scratch path's.
+  adversary::AdversaryConfig config;
+  config.kind = "spine-gnp";
+  config.n = 32;
+  config.T = 2;
+  config.seed = 77;
+  const auto run = [&config](bool incremental, std::vector<graph::Graph>* trace,
+                             obs::FlightRecorder* rec) {
+    const auto adv = adversary::MakeAdversary(config);
+    std::vector<InboxCounter> nodes(32, InboxCounter(40));
+    EngineOptions opts;
+    opts.incremental_topology = incremental;
+    opts.record_topologies = trace;
+    opts.recorder = rec;
+    Engine<InboxCounter> engine(std::move(nodes), *adv, opts);
+    return engine.Run();
+  };
+  std::vector<graph::Graph> inc_trace;
+  std::vector<graph::Graph> scratch_trace;
+  obs::FlightRecorder rec;
+  const RunStats inc = run(true, &inc_trace, &rec);
+  const RunStats scratch = run(false, &scratch_trace, nullptr);
+  EXPECT_TRUE(inc.tinterval_validated);
+  EXPECT_TRUE(inc.tinterval_ok);
+  EXPECT_EQ(inc.rounds, scratch.rounds);
+  EXPECT_EQ(inc.messages_delivered, scratch.messages_delivered);
+  EXPECT_EQ(inc_trace, scratch_trace);
+  EXPECT_GT(rec.total_emitted(), 0u);
+}
+
+TEST(Engine, TopologyAndDeliveryPathCountersPartitionRounds) {
+  // Every round takes exactly one topology path (direct or delta) and one
+  // delivery backing (dense or gather) — the accessors the bench and PERF
+  // docs cite must account for all of them.
+  adversary::AdversaryConfig config;
+  config.kind = "spine-gnp";
+  config.n = 24;
+  config.T = 2;
+  config.seed = 5;
+  const auto adv = adversary::MakeAdversary(config);
+  std::vector<InboxCounter> nodes(24, InboxCounter(30));
+  EngineOptions opts;
+  opts.validate_tinterval = false;
+  Engine<InboxCounter> engine(std::move(nodes), *adv, opts);
+  const RunStats stats = engine.Run();
+  EXPECT_EQ(engine.topology_direct_rounds() + engine.topology_delta_rounds(),
+            stats.rounds);
+  EXPECT_EQ(engine.dense_delivery_rounds() + engine.gather_delivery_rounds(),
+            stats.rounds);
 }
 
 }  // namespace

@@ -1,13 +1,15 @@
-// Dense-vs-gather equivalence of the message path (docs/PERF.md).
+// Delivery-backing equivalence of the message path (docs/PERF.md).
 //
-// RunConfig::dense_delivery is documented as a pure throughput knob: on
+// RunConfig::delivery is documented as a pure throughput knob: on
 // all-sender rounds the engine may deliver straight out of the outbox via
 // the topology's CSR neighbor spans instead of gathering per-node pointer
-// lists, and every statistic except the wall-clock timings must be
-// bit-identical either way. These property tests pin that contract across
-// the algorithm zoo (flood baseline, committee, census, hjswy), an
-// oblivious and an adaptive adversary, and the serial/parallel engine —
-// the full matrix the bench's A/B comparison relies on.
+// lists, and kAdaptive picks between the two per round from measured cost —
+// but every statistic except the wall-clock timings must be bit-identical
+// in all three modes (the adaptive chooser reads only the clock, never the
+// payload). These property tests pin that contract across the algorithm
+// zoo (flood baseline, committee, census, hjswy), an oblivious and an
+// adaptive adversary, and the serial/parallel engine — the full matrix the
+// bench's A/B comparison relies on.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -53,13 +55,17 @@ void CheckDensePathInvariance(Algorithm algorithm,
 
   for (const int threads : {1, 2, 0}) {
     config.threads = threads;
-    config.dense_delivery = false;
+    config.delivery = net::DeliveryMode::kGather;
     const RunResult gather = RunAlgorithm(algorithm, config);
-    config.dense_delivery = true;
-    const RunResult dense = RunAlgorithm(algorithm, config);
     SCOPED_TRACE(std::string(ToString(algorithm)) + " on " + adversary +
                  " threads=" + std::to_string(threads));
-    ExpectIdenticalRuns(gather, dense);
+    for (const net::DeliveryMode mode :
+         {net::DeliveryMode::kDense, net::DeliveryMode::kAdaptive}) {
+      config.delivery = mode;
+      const RunResult other = RunAlgorithm(algorithm, config);
+      SCOPED_TRACE(mode == net::DeliveryMode::kDense ? "dense" : "adaptive");
+      ExpectIdenticalRuns(gather, other);
+    }
   }
 }
 
