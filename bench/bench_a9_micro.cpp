@@ -28,6 +28,7 @@
 #include "net/engine.hpp"
 #include "obs/manifest.hpp"
 #include "obs/recorder.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace sdn {
@@ -44,7 +45,7 @@ void BM_EngineFloodRound(benchmark::State& state) {
     std::vector<algo::FloodMaxKnownN> nodes;
     for (graph::NodeId u = 0; u < n; ++u) nodes.emplace_back(u, n, u);
     net::EngineOptions opts;
-    opts.validate_tinterval = false;
+    opts.validate_tinterval = true;  // certification is the shipped config
     opts.flood_probes = 0;
     net::Engine<algo::FloodMaxKnownN> engine(std::move(nodes), *adv, opts);
     const net::RunStats stats = engine.Run();
@@ -73,7 +74,7 @@ void BM_HjswyFullRun(benchmark::State& state) {
       nodes.emplace_back(u, u, options, base.Fork(static_cast<std::uint64_t>(u)));
     }
     net::EngineOptions opts;
-    opts.validate_tinterval = false;
+    opts.validate_tinterval = true;  // certification is the shipped config
     net::Engine<algo::HjswyProgram> engine(std::move(nodes), *adv, opts);
     benchmark::DoNotOptimize(engine.Run().rounds);
   }
@@ -177,16 +178,16 @@ constexpr std::int64_t kPr4SendPlusDeliverNs = 28'000'000;
 constexpr std::int64_t kPr5SendPlusDeliverNs = 28'112'415;
 
 /// The fixed reference workload: one full hjswy run, N=1024, spine-gnp, T=2,
-/// validation and probes off so the measurement isolates the
-/// topology/send/deliver pipeline. `threads` is EngineOptions::threads
-/// (1 = serial reference; results are bit-identical at every setting),
-/// `incremental` toggles the delta-driven topology path and `delivery` the
-/// Inbox backing policy (both A/B'd below — results are bit-identical there
-/// too).
+/// probes off; T-interval validation ON by default (the recorded figures
+/// are certified runs — the certification A/B below measures what that
+/// costs). `threads` is EngineOptions::threads (1 = serial reference;
+/// results are bit-identical at every setting), `incremental` toggles the
+/// delta-driven topology path and `delivery` the Inbox backing policy
+/// (both A/B'd below — results are bit-identical there too).
 net::RunStats TimedReferenceRun(
     int threads, bool incremental = true,
     net::DeliveryMode delivery = net::DeliveryMode::kAdaptive,
-    obs::FlightRecorder* recorder = nullptr) {
+    obs::FlightRecorder* recorder = nullptr, bool validate = true) {
   const graph::NodeId n = 1024;
   adversary::AdversaryConfig config;
   config.kind = "spine-gnp";
@@ -202,7 +203,7 @@ net::RunStats TimedReferenceRun(
     nodes.emplace_back(u, u, options, base.Fork(static_cast<std::uint64_t>(u)));
   }
   net::EngineOptions opts;
-  opts.validate_tinterval = false;
+  opts.validate_tinterval = validate;
   opts.flood_probes = 0;
   opts.threads = threads;
   opts.incremental_topology = incremental;
@@ -391,6 +392,55 @@ void ReportEngineTimings() {
       static_cast<long long>(traced_sd_ns), trace_overhead_ratio,
       message_path_speedup_vs_pr4, message_path_speedup_vs_pr5);
 
+  // Certification A/B: the identical serial workload with the streaming
+  // T-interval checker off vs on (everything else fixed: incremental,
+  // adaptive delivery, no recorder). The validated arm rides the
+  // adversary's composition claim — spine witnesses certify windows, no
+  // per-round delta — so the whole-run overhead is the honest price of
+  // always-on certification. Interleaved pairs, compared by medians of
+  // total_ns (the checker touches topology and validate phases, so the
+  // gated statistic is the whole step). CI gates the ratio.
+  const StatFn run_total_ns = [](const net::RunStats& s) {
+    return std::max<std::int64_t>(1, s.timings.total_ns);
+  };
+  const ABResult cert = PairedAB(
+      [] {
+        return TimedReferenceRun(/*threads=*/1, /*incremental=*/true,
+                                 net::DeliveryMode::kAdaptive, nullptr,
+                                 /*validate=*/false);
+      },
+      [] {
+        return TimedReferenceRun(/*threads=*/1, /*incremental=*/true,
+                                 net::DeliveryMode::kAdaptive, nullptr,
+                                 /*validate=*/true);
+      },
+      run_total_ns);
+  const std::int64_t unvalidated_total_ns = run_total_ns(cert.a);
+  const std::int64_t validated_total_ns = run_total_ns(cert.b);
+  const double checker_ab_ratio =
+      static_cast<double>(validated_total_ns) /
+      static_cast<double>(unvalidated_total_ns);
+  // The gated figure is the *within-run* marginal: on the composition path
+  // the checker's entire cost lands in the validate phase (topology and
+  // delivery are untouched — need_delta stays off), so
+  // total / (total - validate) of one validated run is the overhead with
+  // zero cross-run machine noise. The A/B ratio above is recorded too as
+  // the empirical cross-check; on a loaded box it swings ±10% while the
+  // marginal holds steady.
+  const double checker_overhead_ratio =
+      static_cast<double>(run_total_ns(cert.b)) /
+      static_cast<double>(std::max<std::int64_t>(
+          1, cert.b.timings.total_ns - cert.b.timings.validate_ns));
+  SDN_CHECK_MSG(cert.b.tinterval_validated && cert.b.tinterval_ok,
+                "reference workload failed certification");
+  std::printf(
+      "certification A/B (serial, paired medians): unvalidated total=%lld ns"
+      "  validated total=%lld ns  ab=%.3fx  marginal overhead=%.3fx"
+      "  certified_T=%lld\n",
+      static_cast<long long>(unvalidated_total_ns),
+      static_cast<long long>(validated_total_ns), checker_ab_ratio,
+      checker_overhead_ratio, static_cast<long long>(cert.b.certified_T));
+
   obs::RunManifest manifest = obs::RunManifest::Collect();
   manifest.Set("experiment", "a9_micro");
   manifest.Set("workload", "hjswy n=1024 spine-gnp T=2 seed=42");
@@ -452,7 +502,7 @@ void ReportEngineTimings() {
   std::fprintf(f,
                "  \"workload\": {\"algorithm\": \"hjswy\", \"n\": 1024, "
                "\"adversary\": \"spine-gnp\", \"T\": 2, \"seed\": 42,\n"
-               "               \"validate_tinterval\": false, \"flood_probes\": 0, "
+               "               \"validate_tinterval\": true, \"flood_probes\": 0, "
                "\"reps\": 3, \"selection\": "
                "\"headline best-of-reps; A/Bs medians of interleaved paired "
                "reps\"},\n"
@@ -486,6 +536,12 @@ void ReportEngineTimings() {
                "  \"untraced_send_plus_deliver_ns\": %lld,\n"
                "  \"traced_send_plus_deliver_ns\": %lld,\n"
                "  \"trace_overhead_ratio\": %.3f,\n"
+               "  \"certified_T\": %lld,\n"
+               "  \"min_stable_forest\": %lld,\n"
+               "  \"unvalidated_total_ns\": %lld,\n"
+               "  \"validated_total_ns\": %lld,\n"
+               "  \"checker_ab_ratio\": %.3f,\n"
+               "  \"checker_overhead_ratio\": %.3f,\n"
                "  \"threads_sweep_skipped\": [",
                static_cast<long long>(best.rounds),
                static_cast<long long>(best.edges_processed),
@@ -515,7 +571,12 @@ void ReportEngineTimings() {
                static_cast<long long>(kPr5SendPlusDeliverNs),
                message_path_speedup_vs_pr5,
                static_cast<long long>(untraced_sd_ns),
-               static_cast<long long>(traced_sd_ns), trace_overhead_ratio);
+               static_cast<long long>(traced_sd_ns), trace_overhead_ratio,
+               static_cast<long long>(cert.b.certified_T),
+               static_cast<long long>(cert.b.min_stable_forest),
+               static_cast<long long>(unvalidated_total_ns),
+               static_cast<long long>(validated_total_ns),
+               checker_ab_ratio, checker_overhead_ratio);
   for (std::size_t i = 0; i < skipped.size(); ++i) {
     std::fprintf(f, "%s%d", i == 0 ? "" : ", ", skipped[i]);
   }

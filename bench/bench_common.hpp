@@ -162,7 +162,7 @@ inline double RoundsPoint(const Aggregate& agg) {
 /// `threads` is the total budget passed through to RunTrials (0 = hardware).
 inline Aggregate Measure(Algorithm algorithm, RunConfig config, int trials,
                          int threads = 0) {
-  config.validate_tinterval = false;  // adversaries are property-tested
+  config.validate_tinterval = true;  // certification rides every recording
   return AggregateResults(RunTrials(algorithm, config, Seeds(trials), threads));
 }
 

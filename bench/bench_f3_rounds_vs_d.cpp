@@ -45,7 +45,7 @@ Point MeasureCliques(graph::NodeId cliques, graph::NodeId clique_size, int T,
                          base.Fork(static_cast<std::uint64_t>(u)));
     }
     net::EngineOptions opts;
-    opts.validate_tinterval = false;
+    opts.validate_tinterval = true;  // certification is the shipped config
     opts.threads = threads;
     if (trial == 1) opts.recorder = recorder;  // single-consumer sink
     net::Engine<algo::HjswyProgram> engine(std::move(nodes), adv, opts);

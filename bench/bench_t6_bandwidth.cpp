@@ -47,7 +47,7 @@ int Main(int argc, char** argv) {
       const std::vector<RunResult> runs =
           RunTrials(algorithm, [&] {
             RunConfig c = config;
-            c.validate_tinterval = false;
+            c.validate_tinterval = true;  // certification is the shipped config
             c.recorder = tracer.Attach();  // first measured cell only
             return c;
           }(), Seeds(trials), threads);

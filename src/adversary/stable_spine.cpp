@@ -100,6 +100,10 @@ void StableSpineAdversary::BuildRoundEdges(std::int64_t round,
       fresh_edges_.emplace_back(static_cast<graph::NodeId>(k >> 32),
                                 static_cast<graph::NodeId>(k & 0xffffffffULL));
     }
+    // Sorted-unique: the composition claim below exposes this span, and
+    // the merge's own duplicate check makes the dedup output-invariant.
+    fresh_edges_.erase(std::unique(fresh_edges_.begin(), fresh_edges_.end()),
+                       fresh_edges_.end());
   }
   const graph::Edge* b = base.data();
   const graph::Edge* const be = b + base.size();
@@ -123,6 +127,21 @@ void StableSpineAdversary::BuildRoundEdges(std::int64_t round,
     out.push_back(f);
   }
   out.insert(out.end(), b, be);
+
+  // Publish the round's structural claim (Composition): the round is
+  // exactly core ∪ support ∪ fresh, with era numbers as pinned-set ids.
+  // The pooled spine buffers are stable for the spans' required lifetime.
+  comp_.core = {current_spine_->data(), current_spine_->size()};
+  comp_.core_id = static_cast<std::uint64_t>(current_era_);
+  if (overlap) {
+    comp_.support = {previous_spine_->data(), previous_spine_->size()};
+    comp_.support_id = static_cast<std::uint64_t>(current_era_ - 1);
+  } else {
+    comp_.support = {};
+    comp_.support_id = graph::RoundComposition::kNoId;
+  }
+  comp_.fresh = {fresh_edges_.data(), fresh_edges_.size()};
+  comp_round_ = round;
 }
 
 graph::Graph StableSpineAdversary::TopologyFor(std::int64_t round,

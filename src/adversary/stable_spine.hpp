@@ -55,6 +55,15 @@ class StableSpineAdversary final : public net::Adversary {
   /// into the caller's buffer, skipping both the Graph build and the diff.
   bool RoundEdgesInto(std::int64_t round, const net::AdversaryView& view,
                       std::vector<graph::Edge>& out) override;
+  /// Certification fast path: every round is exactly
+  /// spine ∪ (previous spine during overlap) ∪ volatile edges, with the
+  /// era number as the spine's stable identity — the checker certifies
+  /// windows by spine witness without ever materializing a delta.
+  [[nodiscard]] bool has_composition() const override { return true; }
+  [[nodiscard]] const graph::RoundComposition* Composition(
+      std::int64_t round) const override {
+    return round == comp_round_ ? &comp_ : nullptr;
+  }
   [[nodiscard]] std::string name() const override;
 
   /// The spine active in `round`'s era (for tests and d-calibration).
@@ -86,6 +95,8 @@ class StableSpineAdversary final : public net::Adversary {
   std::vector<graph::Edge> round_edges_;  // DeltaFor's reused assembly buffer
   std::vector<graph::Edge> fresh_edges_;  // volatile-edge scratch
   std::vector<std::uint64_t> fresh_keys_;  // packed volatile draws pre-sort
+  graph::RoundComposition comp_;     // last built round's structure
+  std::int64_t comp_round_ = -1;     // round comp_ describes
 };
 
 }  // namespace sdn::adversary

@@ -61,7 +61,13 @@ std::vector<algo::Value> MakeInputs(graph::NodeId n, std::uint64_t seed) {
 }
 
 bool RunResult::Ok() const {
-  if (!stats.all_decided || !stats.tinterval_ok) return false;
+  if (!stats.all_decided) return false;
+  // Certification must be real: a validated run must have held the promise,
+  // and an unvalidated run only passes when the caller explicitly waived
+  // validation (vacuous tinterval_ok is not success).
+  if (stats.tinterval_validated ? !stats.tinterval_ok : !tinterval_waived) {
+    return false;
+  }
   if (count_exact.has_value() && !*count_exact) return false;
   if (max_correct.has_value() && !*max_correct) return false;
   if (consensus_agreement.has_value() && !*consensus_agreement) return false;
@@ -176,6 +182,7 @@ class TypedSim final : public detail::SimBase {
     opts.flood_probes = config_.flood_probes;
     opts.probe_seed = util::MixSeed(config_.seed, 0x9e0be5ULL);
     opts.validate_tinterval = config_.validate_tinterval;
+    opts.fail_fast_on_tinterval = config_.fail_fast_on_tinterval;
     opts.incremental_topology = config_.incremental_topology;
     opts.delivery = config_.delivery;
     opts.threads = config_.threads;
@@ -211,6 +218,7 @@ class TypedSim final : public detail::SimBase {
     result.T = config_.T;
     result.seed = config_.seed;
     result.stats = engine_->stats();
+    result.tinterval_waived = !config_.validate_tinterval;
     std::vector<NodeAnswers> answers;
     answers.reserve(static_cast<std::size_t>(config_.n));
     for (graph::NodeId u = 0; u < config_.n; ++u) {

@@ -61,10 +61,17 @@ struct RunConfig {
   /// Bounded-regime budget multiplier (bits = multiplier·log2 N).
   double bandwidth_multiplier = 64.0;
   int flood_probes = 4;
-  /// Streaming T-interval validation of the adversary. Costs O(T·E) per
-  /// round; property tests cover every adversary kind, so long bench runs
-  /// may turn this off.
+  /// Streaming T-interval validation of the adversary. Cheap enough to
+  /// stay on everywhere (composition-claiming adversaries are certified by
+  /// witness, others by the incremental-forest delta path; docs/PERF.md
+  /// "Certification"). Turning it off is an explicit waiver: the result
+  /// then reports certification as waived rather than vacuously ok.
   bool validate_tinterval = true;
+  /// Stop the run at the first T-interval violation instead of streaming
+  /// to the end (EngineOptions::fail_fast_on_tinterval): Step() throws
+  /// CheckError with the violating window, same shape as a bandwidth
+  /// violation.
+  bool fail_fast_on_tinterval = false;
   /// Delta-driven topology (EngineOptions::incremental_topology): the
   /// adversary emits round-over-round deltas into one in-place DynGraph.
   /// Bit-identical results either way; off = legacy from-scratch path.
@@ -102,6 +109,11 @@ struct RunResult {
   int T = 1;
   std::uint64_t seed = 0;
   net::RunStats stats;
+  /// The run was configured with validate_tinterval = false: the caller
+  /// explicitly waived certification, so Ok() does not demand a verified
+  /// promise. Without this waiver an unvalidated run is NOT Ok — a vacuous
+  /// tinterval_ok must not read as a certified one.
+  bool tinterval_waived = false;
 
   /// Ground truth.
   std::int64_t expected_count = 0;

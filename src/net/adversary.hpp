@@ -12,6 +12,7 @@
 
 #include "graph/delta.hpp"
 #include "graph/graph.hpp"
+#include "graph/tinterval.hpp"
 
 namespace sdn::net {
 
@@ -73,6 +74,26 @@ class Adversary {
   /// paths produce bit-identical topology sequences.
   virtual bool RoundEdgesInto(std::int64_t round, const AdversaryView& view,
                               std::vector<graph::Edge>& out);
+
+  /// Certification fast path: adversaries whose rounds share pinned
+  /// long-lived structure (spines) may expose how each round was
+  /// assembled (graph::RoundComposition), letting the streaming
+  /// T-interval checker certify windows by witness identity — one
+  /// connectivity pass per *new* pinned set instead of per round — with
+  /// no delta materialized anywhere. Contract: the return value of
+  /// has_composition() is fixed for the adversary's lifetime; when true,
+  /// Composition(r) must return non-null for the round most recently
+  /// produced (via TopologyFor, DeltaFor or RoundEdgesInto), the claimed
+  /// union must equal that round's edge list exactly (the checker
+  /// cross-checks with sampled probes plus scheduled full verification and
+  /// throws CheckError on divergence; tests pin exact equality), and the
+  /// spans must stay valid until the next topology call.
+  [[nodiscard]] virtual bool has_composition() const { return false; }
+  [[nodiscard]] virtual const graph::RoundComposition* Composition(
+      std::int64_t round) const {
+    (void)round;
+    return nullptr;
+  }
 
   /// True when TopologyFor never reads the view's node state (round and
   /// num_nodes are fine): the topology sequence is a pure function of the

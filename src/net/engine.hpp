@@ -95,6 +95,21 @@ struct EngineOptions {
   /// checker is even constructed and RunStats::tinterval_validated is false
   /// (tinterval_ok is then vacuous, not a verified promise).
   bool validate_tinterval = true;
+  /// Stop the run at the first T-interval violation: the engine records
+  /// the violating window in RunStats::tinterval_first_bad_window, marks
+  /// the run finished and throws CheckError from Step() — same shape as a
+  /// bandwidth violation. Off by default: the checker keeps streaming and
+  /// the verdict lands in RunStats at the end.
+  bool fail_fast_on_tinterval = false;
+  /// Let the checker use the adversary's Composition() certification fast
+  /// path when available (no per-round delta materialized; windows are
+  /// certified by pinned-set witnesses). Forced off automatically whenever
+  /// something needs the delta-driven checker instead: a flight recorder
+  /// (whose kCheckerWindow track reads stable_edge_count), a trace
+  /// recorder (deltas exist anyway), or from-scratch topology mode. Off is
+  /// a pure A/B knob — both paths produce identical verdicts (tests pin
+  /// it).
+  bool tinterval_composition = true;
   /// Number of concurrent flooding probes (node 0 plus random sources) used
   /// to measure d alongside the run. 0 disables measurement. Probe start
   /// rounds are staggered: when a probe completes at round c, its slot
@@ -252,12 +267,44 @@ class Engine final : private AdversaryView {
     const auto t1 = Clock::now();
 
     if (checker_.has_value()) {
-      // The checker consumes the same delta the topology was built from
-      // (diffing internally on the from-scratch path).
-      if (incremental_) {
-        checker_->PushDelta(delta_);
+      bool round_ok;
+      if (use_composition_) {
+        // Certification fast path: the adversary's structural claim for
+        // this round (cross-checked inside the checker) — no delta needed.
+        const graph::RoundComposition* comp = adversary_.Composition(round_);
+        SDN_CHECK_MSG(comp != nullptr,
+                      "adversary advertises has_composition but returned no "
+                      "composition for round "
+                          << round_);
+        round_ok = checker_->PushComposition(*comp, g);
+      } else if (incremental_) {
+        // The checker consumes the same delta the topology was built from.
+        round_ok = checker_->PushDelta(delta_);
       } else {
-        checker_->Push(g);
+        // From-scratch path: the checker diffs internally.
+        round_ok = checker_->Push(g);
+      }
+      if (!round_ok && options_.fail_fast_on_tinterval) {
+        // Mirror the bandwidth-violation fail shape: record, close the
+        // books, surface through the recorder, then throw from Step().
+        stats_.rounds = round_;
+        stats_.tinterval_first_bad_window = checker_->first_bad_window();
+        finished_ = true;
+        const auto tf = Clock::now();
+        AccumulateTimings(t0, t1, tf, tf, tf, tf, tf, Clock::now());
+        if (rec_ != nullptr) {
+          rec_->Emit({.kind = obs::EventKind::kCheckerWindow,
+                      .round = round_,
+                      .t_ns = rec_->RelNs(tf),
+                      .a = checker_->stable_edge_count(),
+                      .b = 0,
+                      .c = checker_->certified_T()});
+        }
+        SDN_CHECK_MSG(false,
+                      "T-interval violation: window starting at round "
+                          << checker_->first_bad_window() + 1
+                          << " has a disconnected intersection "
+                             "(fail_fast_on_tinterval)");
       }
     }
     const auto t2 = Clock::now();
@@ -532,6 +579,11 @@ class Engine final : private AdversaryView {
     out.all_decided = started_ && undecided_ == 0;
     out.tinterval_validated = options_.validate_tinterval && started_;
     out.tinterval_ok = !checker_.has_value() || checker_->ok();
+    if (checker_.has_value()) {
+      out.certified_T = checker_->certified_T();
+      out.tinterval_first_bad_window = checker_->first_bad_window();
+      out.min_stable_forest = checker_->min_stable_forest();
+    }
     out.flooding = FloodingSnapshot();
     if (registry_ != nullptr) {
       // Mirror the scalar aggregates into the registry so the snapshot is
@@ -792,14 +844,18 @@ class Engine final : private AdversaryView {
     if (checker_.has_value()) {
       const std::int64_t stable = checker_->stable_edge_count();
       const bool ok = checker_->ok();
-      if (stable != obs_stable_edges_ || ok != obs_checker_ok_) {
+      const std::int64_t cert = checker_->certified_T();
+      if (stable != obs_stable_edges_ || ok != obs_checker_ok_ ||
+          cert != obs_cert_) {
         obs_stable_edges_ = stable;
         obs_checker_ok_ = ok;
+        obs_cert_ = cert;
         rec_->Emit({.kind = obs::EventKind::kCheckerWindow,
                     .round = round_,
                     .t_ns = now,
                     .a = stable,
-                    .b = ok ? 1 : 0});
+                    .b = ok ? 1 : 0,
+                    .c = cert});
       }
     }
     if (stats_.max_message_bits > obs_hw_bits_) {
@@ -839,14 +895,25 @@ class Engine final : private AdversaryView {
     }
     incremental_ = options_.incremental_topology;
     if (incremental_) topo_.Reset(n_);
+    // Certification fast path: a composition-exposing adversary lets the
+    // checker certify windows by witness identity, so no delta needs to be
+    // materialized for it at all — the topology hot path stays identical
+    // to an unvalidated run. Excluded when a flight recorder is attached
+    // (its kCheckerWindow track reads the delta path's stable_edge_count)
+    // or a trace recorder forces deltas anyway.
+    use_composition_ = checker_.has_value() && options_.tinterval_composition &&
+                       incremental_ && adversary_.has_composition() &&
+                       rec_ == nullptr && options_.record_trace == nullptr;
     // Deltas are materialized whenever something consumes them: the
-    // streaming validator or a trace recorder. With consumers attached the
-    // adversary's RoundEdgesInto fast path stays available — the engine
-    // derives the delta itself with one DiffSorted when churn makes the
-    // direct path the cheaper producer (WantDirectTopology); the Step
-    // assert guarantees consumers see a delta every round regardless of
-    // which sub-path ran.
-    need_delta_ = checker_.has_value() || options_.record_trace != nullptr;
+    // streaming validator (unless it rides the composition fast path) or a
+    // trace recorder. With consumers attached the adversary's
+    // RoundEdgesInto fast path stays available — the engine derives the
+    // delta itself with one DiffSorted when churn makes the direct path
+    // the cheaper producer (WantDirectTopology); the Step assert
+    // guarantees consumers see a delta every round regardless of which
+    // sub-path ran.
+    need_delta_ = (checker_.has_value() && !use_composition_) ||
+                  options_.record_trace != nullptr;
     outbox_.resize(static_cast<std::size_t>(n_));
     sent_.assign(static_cast<std::size_t>(n_), 0);
     undecided_ = n_;
@@ -864,6 +931,10 @@ class Engine final : private AdversaryView {
     // Prefetch pays one thread launch per round; only worth it at sizes
     // where a round costs real work. Gated on threads > 1 so `threads = 1`
     // stays strictly single-threaded.
+    // Prefetch composes with the composition fast path: the checker reads
+    // the claimed spans right after the topology section, and the next
+    // round's overlapped build (which would invalidate them) only launches
+    // after the send phase — the future join orders the accesses.
     prefetch_enabled_ = threads > 1 && n_ >= 2 * kMinShardNodes &&
                         adversary_.oblivious();
     shard_accum_.assign(static_cast<std::size_t>(shards_), ShardAccum{});
@@ -983,6 +1054,8 @@ class Engine final : private AdversaryView {
   graph::Graph last_topology_{0};  // from-scratch mode only
   bool incremental_ = false;       // set from options_ by EnsureStarted
   bool need_delta_ = false;        // a checker or trace consumes deltas
+  bool use_composition_ = false;   // checker rides the adversary's
+                                   // composition claim — no delta needed
   graph::DynGraph topo_{0};        // incremental mode's one live topology
   graph::TopologyDelta delta_;     // reused round-over-round delta buffer
 
@@ -1039,6 +1112,7 @@ class Engine final : private AdversaryView {
   std::int64_t obs_merges_total_ = 0;
   std::int64_t obs_stable_edges_ = -1;  // last emitted checker state
   bool obs_checker_ok_ = true;
+  std::int64_t obs_cert_ = -1;          // last emitted certified-T
   std::int64_t obs_hw_bits_ = 0;  // last emitted bandwidth high water
 };
 

@@ -59,6 +59,12 @@ std::string RunStats::OneLine() const {
      << " d=" << flooding.max_rounds << " tinterval="
      << (!tinterval_validated ? "unvalidated"
                               : (tinterval_ok ? "ok" : "VIOLATED"));
+  if (tinterval_validated) {
+    os << " certT=" << certified_T;
+    if (!tinterval_ok) {
+      os << " firstBadWindow=" << tinterval_first_bad_window;
+    }
+  }
   if (timings.total_ns > 0) {
     os << " rounds/s=" << static_cast<std::int64_t>(
         timings.RoundsPerSec(rounds));

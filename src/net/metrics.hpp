@@ -91,6 +91,16 @@ struct RunStats {
   /// with validation off the engine reports ok vacuously and flags it here.
   bool tinterval_ok = true;
   bool tinterval_validated = false;
+  /// Largest T' <= T the observed round stream actually satisfied
+  /// (TIntervalChecker::certified_T): T while the promise held, the
+  /// observed level after a violation, 0 when unvalidated (no claim).
+  std::int64_t certified_T = 0;
+  /// First complete window (0-based start round index) whose intersection
+  /// was disconnected; -1 while the promise holds or unvalidated.
+  std::int64_t tinterval_first_bad_window = -1;
+  /// Minimum stable-forest size over complete windows (n-1 while ok);
+  /// -1 when unvalidated.
+  std::int64_t min_stable_forest = -1;
 
   FloodingSummary flooding;
 

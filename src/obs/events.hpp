@@ -34,7 +34,8 @@ enum class EventKind : std::uint8_t {
   /// nodes, b = merges this round.
   kSketchMerge = 4,
   /// Streaming T-interval checker state after this round: a = stable
-  /// (aged-into-every-window) edge count, b = 1 while the promise holds.
+  /// (aged-into-every-window) edge count, b = 1 while the promise holds,
+  /// c = certified-T (largest T' the observed stream satisfies so far).
   kCheckerWindow = 5,
   /// The per-message bit high-water mark rose: a = new max message bits.
   kBandwidthHighWater = 6,
@@ -61,6 +62,7 @@ struct Event {
   /// Kind-specific payload (see EventKind).
   std::int64_t a = 0;
   std::int64_t b = 0;
+  std::int64_t c = 0;
   /// Static-storage-duration label (never owned, never freed).
   const char* label = "";
 };

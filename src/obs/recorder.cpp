@@ -103,7 +103,9 @@ void FlightRecorder::WriteJsonl(std::ostream& os,
        << "\",\"label\":\"" << e.label << "\",\"round\":" << e.round
        << ",\"lane\":" << static_cast<int>(e.lane) << ",\"t_ns\":" << e.t_ns;
     if (e.dur_ns != 0) os << ",\"dur_ns\":" << e.dur_ns;
-    os << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+    os << ",\"a\":" << e.a << ",\"b\":" << e.b;
+    if (e.c != 0) os << ",\"c\":" << e.c;
+    os << "}\n";
   }
 }
 
@@ -201,8 +203,10 @@ void FlightRecorder::WriteChromeTrace(std::ostream& os,
       case EventKind::kCheckerWindow:
         std::snprintf(buf, sizeof(buf),
                       "{\"name\":\"stable window edges\",\"ph\":\"C\","
-                      "\"pid\":0,\"ts\":%.3f,\"args\":{\"edges\":%lld}}",
-                      Us(e.t_ns), static_cast<long long>(e.a));
+                      "\"pid\":0,\"ts\":%.3f,"
+                      "\"args\":{\"edges\":%lld,\"certified_T\":%lld}}",
+                      Us(e.t_ns), static_cast<long long>(e.a),
+                      static_cast<long long>(e.c));
         ChromeEvent(os, first, buf);
         break;
       case EventKind::kBandwidthHighWater:

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -10,6 +12,7 @@
 #include "adversary/mobile.hpp"
 #include "adversary/stable_spine.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/delta.hpp"
 #include "graph/tinterval.hpp"
 #include "util/check.hpp"
 
@@ -63,7 +66,8 @@ TEST_P(AdversaryPromiseTest, KeepsTIntervalPromise) {
 
   FakeView view(std::vector<double>(33, 0.0));
   const auto seq = Roll(*adv, 6 * T + 7, view);
-  const auto report = graph::ValidateTInterval(seq, T);
+  const auto report =
+      graph::ValidateTInterval(seq, T, graph::ValidateMode::kEarlyExit);
   EXPECT_TRUE(report.ok) << kind << " T=" << T << " seed=" << seed
                          << " bad window " << report.first_bad_window;
 }
@@ -131,6 +135,43 @@ TEST(StableSpine, SpinesDifferAcrossEras) {
   const graph::Graph s0 = adv.SpineForRound(1);
   const graph::Graph s1 = adv.SpineForRound(4);
   EXPECT_NE(s0, s1);
+}
+
+TEST(StableSpine, CompositionClaimIsExactlyTheRound) {
+  // The published RoundComposition must be the literal structural truth:
+  // core ∪ support ∪ fresh == the round's edge set, with stable ids (same
+  // id -> same span) — the certification fast path's entire trust basis.
+  StableSpineOptions opts;
+  opts.spine.kind = SpineKind::kRandomTree;
+  opts.volatile_edges = 8;
+  StableSpineAdversary adv(24, 3, opts, 13);
+  FakeView view(std::vector<double>(24, 0.0));
+  ASSERT_TRUE(adv.has_composition());
+  std::map<std::uint64_t, const graph::Edge*> id_to_ptr;
+  for (std::int64_t r = 1; r <= 12; ++r) {
+    const graph::Graph g = adv.TopologyFor(r, view);
+    const graph::RoundComposition* comp = adv.Composition(r);
+    ASSERT_NE(comp, nullptr) << "round " << r;
+    ASSERT_NE(comp->core_id, graph::RoundComposition::kNoId);
+    std::vector<graph::Edge> all;
+    graph::UnionSorted(comp->core, comp->support, all);
+    std::vector<graph::Edge> with_fresh;
+    graph::UnionSorted(all, comp->fresh, with_fresh);
+    const auto edges = g.Edges();
+    ASSERT_EQ(with_fresh.size(), edges.size()) << "round " << r;
+    EXPECT_TRUE(std::equal(with_fresh.begin(), with_fresh.end(),
+                           edges.begin()))
+        << "round " << r;
+    // Id stability: a repeated id must present the identical span.
+    for (const auto& [id, span, ptr] :
+         {std::tuple{comp->core_id, comp->core, comp->core.data()},
+          std::tuple{comp->support_id, comp->support,
+                     comp->support.data()}}) {
+      if (span.empty()) continue;
+      const auto [it, inserted] = id_to_ptr.emplace(id, ptr);
+      EXPECT_EQ(it->second, ptr) << "id " << id << " round " << r;
+    }
+  }
 }
 
 TEST(StableSpine, RejectsEraShorterThanTMinus1) {

@@ -164,6 +164,38 @@ TEST(Api, ValidationCanBeDisabled) {
   EXPECT_TRUE(r.Ok());
   EXPECT_TRUE(r.stats.tinterval_ok);  // trivially true when not checked
   EXPECT_FALSE(r.stats.tinterval_validated);  // ...and flagged as unchecked
+  EXPECT_TRUE(r.tinterval_waived);  // Ok() passed via the explicit waiver
+}
+
+TEST(Api, OkDemandsRealCertificationOrExplicitWaiver) {
+  // A vacuous tinterval_ok must not read as success: unvalidated and
+  // unwaived fails, unvalidated-but-waived passes, validated-and-held
+  // passes, validated-and-broken fails.
+  RunResult r;
+  r.stats.all_decided = true;
+  r.stats.tinterval_validated = false;
+  r.stats.tinterval_ok = true;  // vacuous
+  r.tinterval_waived = false;
+  EXPECT_FALSE(r.Ok());
+  r.tinterval_waived = true;
+  EXPECT_TRUE(r.Ok());
+  r.tinterval_waived = false;
+  r.stats.tinterval_validated = true;
+  EXPECT_TRUE(r.Ok());
+  r.stats.tinterval_ok = false;
+  EXPECT_FALSE(r.Ok());
+}
+
+TEST(Api, CertifiedTReachesRunResult) {
+  RunConfig config;
+  config.n = 16;
+  config.T = 2;
+  config.adversary.kind = "spine-gnp";
+  const RunResult r = RunAlgorithm(Algorithm::kHjswyCensus, config);
+  EXPECT_TRUE(r.Ok());
+  EXPECT_TRUE(r.stats.tinterval_validated);
+  EXPECT_EQ(r.stats.certified_T, 2);
+  EXPECT_FALSE(r.tinterval_waived);
 }
 
 TEST(Api, RunTrialsReportsFailingSeed) {

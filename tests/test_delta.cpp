@@ -267,7 +267,9 @@ TEST(TIntervalChecker, AgreesWithBatchValidator) {
           }
           seq[at] = Graph(n, pruned);
         }
-        const TIntervalReport batch = ValidateTInterval(seq, T);
+        // Only ok/first_bad_window are compared: early exit suffices.
+        const TIntervalReport batch =
+            ValidateTInterval(seq, T, ValidateMode::kEarlyExit);
         TIntervalChecker push_checker(n, T);
         TIntervalChecker delta_checker(n, T);
         Graph prev(n);

@@ -836,6 +836,98 @@ TEST(Engine, ConsumersSeeEveryDeltaOnIncrementalPath) {
   EXPECT_GT(rec.total_emitted(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Always-on certification (PR 7): certified-T reporting, fail-fast, and the
+// composition fast path.
+
+TEST(Engine, CertifiedTAndFirstBadWindowRecorded) {
+  // FlickerAdversary keeps every round connected (T=1 holds) but adjacent
+  // rounds share no edges, so no 2-window certifies: the run must report
+  // the observed level, not just a boolean.
+  FlickerAdversary adv;
+  std::vector<InboxCounter> nodes(4, InboxCounter(4));
+  Engine<InboxCounter> engine(std::move(nodes), adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_TRUE(stats.tinterval_validated);
+  EXPECT_FALSE(stats.tinterval_ok);
+  EXPECT_EQ(stats.certified_T, 1);
+  EXPECT_EQ(stats.tinterval_first_bad_window, 0);
+}
+
+TEST(Engine, CertifiedTEqualsTOnHonestRuns) {
+  adversary::AdversaryConfig config;
+  config.kind = "spine-gnp";
+  config.n = 32;
+  config.T = 3;
+  config.seed = 9;
+  const auto adv = adversary::MakeAdversary(config);
+  std::vector<InboxCounter> nodes(32, InboxCounter(20));
+  Engine<InboxCounter> engine(std::move(nodes), *adv, {});
+  const RunStats stats = engine.Run();
+  EXPECT_TRUE(stats.tinterval_ok);
+  EXPECT_EQ(stats.certified_T, 3);
+  EXPECT_EQ(stats.tinterval_first_bad_window, -1);
+  EXPECT_EQ(stats.min_stable_forest, 31);
+}
+
+TEST(Engine, FailFastOnTIntervalThrowsAndRecordsWindow) {
+  FlickerAdversary adv;
+  std::vector<InboxCounter> nodes(4, InboxCounter(4));
+  EngineOptions opts;
+  opts.fail_fast_on_tinterval = true;
+  Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+  EXPECT_THROW(engine.Run(), util::CheckError);
+  // Mirrors the bandwidth-violation shape: the books are closed before the
+  // throw, so the violation is attributable from the stats snapshot.
+  const RunStats stats = engine.stats();
+  EXPECT_EQ(stats.tinterval_first_bad_window, 0);
+  EXPECT_FALSE(stats.tinterval_ok);
+}
+
+TEST(Engine, FailFastIsInertOnHonestRuns) {
+  adversary::AdversaryConfig config;
+  config.kind = "spine-gnp";
+  config.n = 24;
+  config.T = 2;
+  config.seed = 3;
+  const auto adv = adversary::MakeAdversary(config);
+  std::vector<InboxCounter> nodes(24, InboxCounter(20));
+  EngineOptions opts;
+  opts.fail_fast_on_tinterval = true;
+  Engine<InboxCounter> engine(std::move(nodes), *adv, opts);
+  const RunStats stats = engine.Run();
+  EXPECT_TRUE(stats.tinterval_ok);
+  EXPECT_EQ(stats.certified_T, 2);
+}
+
+TEST(Engine, CompositionPathMatchesGeneralCheckerPath) {
+  // The certification fast path (witness ids) and the delta-driven exact
+  // checker must agree on every reported verdict field; only the internal
+  // mechanism differs.
+  adversary::AdversaryConfig config;
+  config.kind = "spine-gnp";
+  config.n = 48;
+  config.T = 2;
+  config.seed = 21;
+  const auto run = [&config](bool composition) {
+    const auto adv = adversary::MakeAdversary(config);
+    std::vector<InboxCounter> nodes(48, InboxCounter(40));
+    EngineOptions opts;
+    opts.tinterval_composition = composition;
+    Engine<InboxCounter> engine(std::move(nodes), *adv, opts);
+    return engine.Run();
+  };
+  const RunStats fast = run(true);
+  const RunStats general = run(false);
+  EXPECT_EQ(fast.tinterval_ok, general.tinterval_ok);
+  EXPECT_EQ(fast.certified_T, general.certified_T);
+  EXPECT_EQ(fast.tinterval_first_bad_window,
+            general.tinterval_first_bad_window);
+  EXPECT_EQ(fast.min_stable_forest, general.min_stable_forest);
+  EXPECT_EQ(fast.rounds, general.rounds);
+  EXPECT_EQ(fast.messages_delivered, general.messages_delivered);
+}
+
 TEST(Engine, TopologyAndDeliveryPathCountersPartitionRounds) {
   // Every round takes exactly one topology path (direct or delta) and one
   // delivery backing (dense or gather) — the accessors the bench and PERF

@@ -96,6 +96,23 @@ TEST(FlightRecorder, JsonlCarriesManifestMetaAndEvents) {
   EXPECT_NE(out.find("\"a\":7"), std::string::npos);
 }
 
+TEST(FlightRecorder, JsonlEmitsCertifiedTOnlyWhenSet) {
+  // kCheckerWindow carries certified-T in `c`; events that never set it
+  // must not grow a noise field.
+  FlightRecorder rec;
+  Event window = At(10, 5);
+  window.kind = EventKind::kCheckerWindow;
+  window.c = 2;
+  rec.Emit(window);
+  rec.Emit(At(20, 1));  // c left at 0
+  std::ostringstream os;
+  rec.WriteJsonl(os, nullptr);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"kind\":\"checker_window\""), std::string::npos);
+  EXPECT_NE(out.find("\"c\":2"), std::string::npos);
+  EXPECT_EQ(out.find("\"c\":0"), std::string::npos);
+}
+
 TEST(FlightRecorder, ChromeTraceHasTracksSpansAndManifest) {
   FlightRecorder rec;
   Event phase;

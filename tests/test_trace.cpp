@@ -74,7 +74,9 @@ TEST(Trace, RoundTripPreservesTIntervalValidity) {
   }
   SaveTrace(file.path(), seq, 3);
   const Trace trace = LoadTrace(file.path());
-  EXPECT_TRUE(graph::ValidateTInterval(trace.rounds, trace.interval).ok);
+  EXPECT_TRUE(graph::ValidateTInterval(trace.rounds, trace.interval,
+                                       graph::ValidateMode::kEarlyExit)
+                  .ok);
 }
 
 TEST(Trace, LoadedTraceDrivesReplayAdversary) {
