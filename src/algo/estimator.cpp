@@ -35,13 +35,38 @@ bool VerifyEstimatorChecks() {
   return g_verify_estimator.load(std::memory_order_relaxed);
 }
 
+void CardinalityEstimator::SetCoord(std::size_t i, double v) {
+  if (pool_ != nullptr) {
+    pool_->Store(node_, Col(i), static_cast<float>(v));
+  } else {
+    mins_[i] = v;
+  }
+}
+
 CardinalityEstimator::CardinalityEstimator(int L, util::Rng& rng,
                                            bool quantize_float32) {
   SDN_CHECK_MSG(L >= 3, "estimator needs L >= 3 (variance is undefined below)");
+  len_ = L;
   mins_.resize(static_cast<std::size_t>(L));
   for (auto& m : mins_) {
     m = rng.Exponential(1.0);
     if (quantize_float32) m = static_cast<double>(static_cast<float>(m));
+  }
+  RecomputeFingerprint();
+}
+
+CardinalityEstimator::CardinalityEstimator(int L, util::Rng& rng,
+                                           SketchPool* pool, std::size_t node,
+                                           int col_base)
+    : pool_(pool), node_(node), col_base_(col_base), len_(L) {
+  SDN_CHECK_MSG(L >= 3, "estimator needs L >= 3 (variance is undefined below)");
+  SDN_CHECK(pool != nullptr && node < pool->nodes());
+  SDN_CHECK(col_base >= 0 && col_base + L <= pool->columns());
+  // Same draw order as the owned constructor; float32 storage is the
+  // quantization.
+  for (int i = 0; i < L; ++i) {
+    pool_->Store(node_, Col(static_cast<std::size_t>(i)),
+                 static_cast<float>(rng.Exponential(1.0)));
   }
   RecomputeFingerprint();
 }
@@ -63,17 +88,42 @@ CardinalityEstimator CardinalityEstimator::ForWeight(std::uint64_t weight,
   return sketch;
 }
 
+CardinalityEstimator CardinalityEstimator::ForWeight(std::uint64_t weight,
+                                                     int L, util::Rng& rng,
+                                                     SketchPool* pool,
+                                                     std::size_t node,
+                                                     int col_base) {
+  CardinalityEstimator sketch(L, rng, pool, node, col_base);
+  if (weight == 0) {
+    for (int i = 0; i < L; ++i) {
+      sketch.SetCoord(static_cast<std::size_t>(i),
+                      std::numeric_limits<double>::infinity());
+    }
+    sketch.RecomputeFingerprint();
+    return sketch;
+  }
+  for (int i = 0; i < L; ++i) {
+    sketch.SetCoord(static_cast<std::size_t>(i),
+                    rng.Exponential(static_cast<double>(weight)));
+  }
+  sketch.RecomputeFingerprint();
+  return sketch;
+}
+
 double CardinalityEstimator::Estimate() const {
   double sum = 0.0;
-  for (const double m : mins_) sum += m;
+  for (int i = 0; i < len_; ++i) sum += Coord(static_cast<std::size_t>(i));
   if (std::isinf(sum)) return 0.0;  // all-zero-weight network
   SDN_CHECK(sum > 0.0);
-  return static_cast<double>(mins_.size() - 1) / sum;
+  return static_cast<double>(len_ - 1) / sum;
 }
 
 void CardinalityEstimator::RecomputeFingerprint() {
   std::uint64_t h = 0;
-  for (std::size_t i = 0; i < mins_.size(); ++i) h ^= CoordHash(i, mins_[i]);
+  for (int i = 0; i < len_; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    h ^= CoordHash(idx, Coord(idx));
+  }
   fingerprint_ = h;
 }
 

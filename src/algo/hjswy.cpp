@@ -22,11 +22,6 @@ std::uint64_t Mix(std::uint64_t h, std::uint64_t x) {
   return h ^ (h >> 29);
 }
 
-std::uint32_t FloatBits(double v) {
-  const auto f = static_cast<float>(v);
-  return std::bit_cast<std::uint32_t>(f);
-}
-
 double BitsToDouble(std::uint32_t bits) {
   return static_cast<double>(std::bit_cast<float>(bits));
 }
@@ -34,10 +29,15 @@ double BitsToDouble(std::uint32_t bits) {
 }  // namespace
 
 HjswyProgram::HjswyProgram(NodeId id, Value input, HjswyOptions options,
-                           util::Rng rng)
+                           util::Rng rng, SketchPool* pool)
     : options_(options),
       id_(id),
-      sketch_(options.sketch_len, rng, /*quantize_float32=*/true),
+      sketch_(pool != nullptr
+                  ? CardinalityEstimator(options.sketch_len, rng, pool,
+                                         static_cast<std::size_t>(id),
+                                         /*col_base=*/0)
+                  : CardinalityEstimator(options.sketch_len, rng,
+                                         /*quantize_float32=*/true)),
       agg_min_id_(id),
       agg_min_value_(input),
       agg_max_value_(input) {
@@ -55,8 +55,14 @@ HjswyProgram::HjswyProgram(NodeId id, Value input, HjswyOptions options,
   if (options_.track_sum) {
     const auto weight =
         input > 0 ? static_cast<std::uint64_t>(input) : std::uint64_t{0};
-    sum_sketch_ = CardinalityEstimator::ForWeight(
-        weight, options_.sketch_len, rng, /*quantize_float32=*/true);
+    sum_sketch_ =
+        pool != nullptr
+            ? CardinalityEstimator::ForWeight(
+                  weight, options_.sketch_len, rng, pool,
+                  static_cast<std::size_t>(id),
+                  /*col_base=*/options_.sketch_len)
+            : CardinalityEstimator::ForWeight(weight, options_.sketch_len, rng,
+                                              /*quantize_float32=*/true);
   }
 }
 
@@ -167,17 +173,15 @@ bool HjswyProgram::OnSendInto(Round r, Message& m) {
   const int groups = (L + c - 1) / c;
   m.coord_base = static_cast<std::int32_t>((r % groups) * c);
   m.num_coords = 0;
-  const auto mins = sketch_.mins();
   for (int i = 0; i < c && m.coord_base + i < L; ++i) {
     m.coords[static_cast<std::size_t>(m.num_coords++)] =
-        FloatBits(mins[static_cast<std::size_t>(m.coord_base + i)]);
+        sketch_.CoordBits(static_cast<std::size_t>(m.coord_base + i));
   }
   m.has_sum = sum_sketch_.has_value();
   if (m.has_sum) {
-    const auto sum_mins = sum_sketch_->mins();
     for (int i = 0; i < m.num_coords; ++i) {
       m.sum_coords[static_cast<std::size_t>(i)] =
-          FloatBits(sum_mins[static_cast<std::size_t>(m.coord_base + i)]);
+          sum_sketch_->CoordBits(static_cast<std::size_t>(m.coord_base + i));
     }
   }
   m.min_id = agg_min_id_;
@@ -283,17 +287,15 @@ void HjswyProgram::OnReceive(Round r, Inbox<Message> inbox) {
     const auto len = static_cast<std::size_t>(std::min<std::int32_t>(
         block_len, static_cast<std::int32_t>(sketch_.size()) - block_base));
     const auto base = static_cast<std::size_t>(block_base);
-    std::array<double, kMaxCoordsPerMsg> block;
-    for (std::size_t i = 0; i < len; ++i) block[i] = BitsToDouble(block_bits[i]);
-    if (sketch_.MergeBlock(base, std::span(block.data(), len))) {
+    // The reduced block stays in the wire's float32 bit domain: the
+    // estimator merges it bits-native in the pooled layout and decodes to
+    // double for the owned kernel path — identical outcomes either way.
+    if (sketch_.MergeBlockBits(base, block_bits.data(), len)) {
       changed = true;
       ++obs_phase_.work;
     }
     if (block_has_sum && sum_sketch_.has_value()) {
-      for (std::size_t i = 0; i < len; ++i) {
-        block[i] = BitsToDouble(sum_block_bits[i]);
-      }
-      if (sum_sketch_->MergeBlock(base, std::span(block.data(), len))) {
+      if (sum_sketch_->MergeBlockBits(base, sum_block_bits.data(), len)) {
         changed = true;
         ++obs_phase_.work;
       }

@@ -124,7 +124,20 @@ class HjswyProgram {
   using Output = HjswyOutput;
 
   /// `rng` seeds this node's private sketch draws (fork it per node).
-  HjswyProgram(NodeId id, Value input, HjswyOptions options, util::Rng rng);
+  ///
+  /// With `pool` non-null the sketches live in the shared SoA pool at row
+  /// `id` (the count sketch in columns [0, L), the track_sum sketch in
+  /// [L, 2L)): the pool must be sized for every node id in the run and for
+  /// track_sum if enabled (see RequiredPoolColumns), and must outlive the
+  /// program. Null keeps the per-node owned layout; both layouts are pinned
+  /// bit-identical (test_sketch_pool).
+  HjswyProgram(NodeId id, Value input, HjswyOptions options, util::Rng rng,
+               SketchPool* pool = nullptr);
+
+  /// Pool columns one node needs under `options` (L, or 2L with track_sum).
+  static int RequiredPoolColumns(const HjswyOptions& options) {
+    return options.track_sum ? 2 * options.sketch_len : options.sketch_len;
+  }
 
   std::optional<Message> OnSend(Round r);
   /// Zero-copy send (net::DirectSendProgram): writes the round-r message

@@ -151,8 +151,12 @@ class TypedSim final : public detail::SimBase {
  public:
   TypedSim(const RunConfig& config, algo::AlgoInfo info,
            const std::function<A(graph::NodeId, algo::Value)>& make_node,
-           std::function<NodeAnswers(const A&)> extract)
-      : config_(config), info_(std::move(info)), extract_(std::move(extract)) {
+           std::function<NodeAnswers(const A&)> extract,
+           std::shared_ptr<void> context = nullptr)
+      : config_(config),
+        info_(std::move(info)),
+        extract_(std::move(extract)),
+        context_(std::move(context)) {
     SDN_CHECK(config_.n >= 1);
     SDN_CHECK(config_.T >= 1);
 
@@ -188,6 +192,7 @@ class TypedSim final : public detail::SimBase {
     opts.threads = config_.threads;
     opts.recorder = config_.recorder;
     opts.collect_metrics = config_.collect_metrics;
+    opts.memory_budget = config_.memory_budget;
     engine_.emplace(std::move(nodes), *adversary_, opts);
   }
 
@@ -232,6 +237,10 @@ class TypedSim final : public detail::SimBase {
   RunConfig config_;
   algo::AlgoInfo info_;
   std::function<NodeAnswers(const A&)> extract_;
+  /// Shared state the node programs reference (e.g. the hjswy SketchPool);
+  /// the make_node lambda dies with MakeSim, so the sim owns it. Declared
+  /// before engine_ so it outlives the programs.
+  std::shared_ptr<void> context_;
   std::unique_ptr<net::Adversary> adversary_;
   std::vector<algo::Value> inputs_;
   std::optional<net::Engine<A>> engine_;
@@ -312,11 +321,26 @@ std::unique_ptr<SimBase> MakeSim(Algorithm algorithm,
       hjswy.exact_census = (algorithm == Algorithm::kHjswyCensus);
       hjswy.strict = (algorithm == Algorithm::kHjswyStrict);
       util::Rng base(util::MixSeed(config.seed, 0xb0b5ULL));
+      // SoA sketch backing (default): one float32 pool shared by all nodes,
+      // owned by the sim via the context handle. The rng draw sequence and
+      // merge semantics are identical to the per-node layout (pinned by
+      // test_sketch_pool), so this is purely a memory-layout choice.
+      std::shared_ptr<algo::SketchPool> pool;
+      if (config.pooled_sketches) {
+        pool = std::make_shared<algo::SketchPool>(
+            static_cast<std::size_t>(config.n),
+            algo::HjswyProgram::RequiredPoolColumns(hjswy));
+        if (config.memory_budget != nullptr) {
+          config.memory_budget->Get("sketch_pool")
+              ->SetCurrent(static_cast<std::int64_t>(pool->bytes()));
+        }
+      }
       return std::make_unique<TypedSim<algo::HjswyProgram>>(
           config, algo::HjswyProgram::InfoFor(hjswy),
-          [hjswy, &base](graph::NodeId u, algo::Value input) {
-            return algo::HjswyProgram(
-                u, input, hjswy, base.Fork(static_cast<std::uint64_t>(u)));
+          [hjswy, &base, &pool](graph::NodeId u, algo::Value input) {
+            return algo::HjswyProgram(u, input, hjswy,
+                                      base.Fork(static_cast<std::uint64_t>(u)),
+                                      pool.get());
           },
           [hjswy](const algo::HjswyProgram& node) {
             NodeAnswers a;
@@ -330,7 +354,8 @@ std::unique_ptr<SimBase> MakeSim(Algorithm algorithm,
               a.consensus = out->consensus_value;
             }
             return a;
-          });
+          },
+          pool);
     }
   }
   SDN_CHECK_MSG(false, "unknown algorithm");

@@ -20,6 +20,7 @@
 #include "net/bandwidth.hpp"
 #include "net/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "util/arena.hpp"
 
 namespace sdn {
 
@@ -99,6 +100,17 @@ struct RunConfig {
   /// Collect the per-round metrics registry into RunStats::metrics
   /// (EngineOptions::collect_metrics).
   bool collect_metrics = false;
+  /// Back the hjswy sketches with the shared structure-of-arrays float32
+  /// pool (algo::SketchPool) instead of per-node vectors. Bit-identical
+  /// results either way (the pin suite enforces RunStats equality); off is
+  /// a pure A/B knob for the per-node layout. Ignored by non-sketch
+  /// algorithms.
+  bool pooled_sketches = true;
+  /// Byte-accounting sink shared by the engine and the run's caller-side
+  /// subsystems (sketch pool). Null = the engine's internal budget is used
+  /// and RunStats::memory still reports the engine subsystems. Must
+  /// outlive the run.
+  util::MemoryBudget* memory_budget = nullptr;
 };
 
 /// Graded result of one run.

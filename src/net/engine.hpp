@@ -68,7 +68,9 @@
 #include <future>
 #include <memory>
 #include <optional>
+#include <span>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -82,6 +84,7 @@
 #include "net/trace.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -154,6 +157,15 @@ struct EngineOptions {
   /// into a metrics registry snapshotted as RunStats::metrics. Off by
   /// default; like the recorder, off costs one branch per round.
   bool collect_metrics = false;
+  /// Byte-accounting sink for the engine's deterministic allocations
+  /// (outbox slots, program array, live topology). Null = the engine uses
+  /// an internal budget, so RunStats::memory is populated either way; pass
+  /// one to aggregate engine charges with caller-side subsystems (sketch
+  /// pool, trace stream) under a single budget. Must outlive the engine.
+  /// Only size-deterministic subsystems are charged — timing-dependent
+  /// scratch (adaptive gather buffers) is excluded so RunStats stays
+  /// bit-identical across thread counts and delivery backings.
+  util::MemoryBudget* memory_budget = nullptr;
 };
 
 template <NodeProgram A>
@@ -176,6 +188,17 @@ class Engine final : private AdversaryView {
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  ~Engine() {
+    // The outbox lives in the arena, which never runs element destructors;
+    // message types with non-trivial state (e.g. a census shared_ptr) are
+    // destroyed here, before the arena member releases its chunks. Any
+    // in-flight topology prefetch only touches topo_/delta_, never the
+    // outbox, and its future blocks in the member destructors afterwards.
+    if constexpr (!std::is_trivially_destructible_v<typename A::Message>) {
+      for (typename A::Message& m : outbox_) std::destroy_at(&m);
+    }
+  }
 
   /// Executes one round. Returns false (and does nothing) once the run is
   /// over — every node decided or max_rounds executed. Throws CheckError
@@ -264,6 +287,15 @@ class Engine final : private AdversaryView {
     }
     const graph::Graph& g = incremental_ ? topo_.View() : last_topology_;
     stats_.edges_processed += g.num_edges();
+    // Live-topology footprint this round: edge list + CSR adjacency +
+    // offsets, plus the reused delta buffer. O(E_round), a pure function
+    // of the topology stream — the streaming pipeline's whole point is
+    // that this gauge never grows with the number of rounds.
+    mem_topology_->SetCurrent(static_cast<std::int64_t>(
+        static_cast<std::size_t>(g.num_edges()) *
+            (sizeof(graph::Edge) + 2 * sizeof(graph::NodeId)) +
+        static_cast<std::size_t>(n_ + 1) * sizeof(std::int64_t) +
+        static_cast<std::size_t>(delta_.size()) * sizeof(graph::Edge)));
     const auto t1 = Clock::now();
 
     if (checker_.has_value()) {
@@ -440,30 +472,45 @@ class Engine final : private AdversaryView {
     // land in per-node slots plus a per-shard count, reduced below instead
     // of mutated inline.
     const bool all_sent = round_sent == n_;
-    bool dense = false;
-    if (all_sent) {
-      switch (options_.delivery) {
-        case DeliveryMode::kGather:
-          break;
-        case DeliveryMode::kDense:
-          dense = true;
-          break;
-        case DeliveryMode::kAdaptive:
-          dense = delivery_selector_.Choose() == kDenseArm;
-          break;
+    // Arm choice happens per shard on this (the driving) thread — selector
+    // state is single-threaded by construction; workers only read their
+    // shard_arm_ slot. Rounds with silent nodes have no choice (gather).
+    const bool observe_arms =
+        all_sent && options_.delivery == DeliveryMode::kAdaptive;
+    bool all_dense = all_sent;
+    for (std::int64_t s = 0; s < shards_; ++s) {
+      bool dense = false;
+      if (all_sent) {
+        switch (options_.delivery) {
+          case DeliveryMode::kGather:
+            break;
+          case DeliveryMode::kDense:
+            dense = true;
+            break;
+          case DeliveryMode::kAdaptive:
+            dense = shard_selectors_[static_cast<std::size_t>(s)].Choose() ==
+                    kDenseArm;
+            break;
+        }
       }
+      shard_arm_[static_cast<std::size_t>(s)] = dense ? 1 : 0;
+      all_dense &= dense;
     }
-    if (dense) {
+    if (all_dense) {
       ++dense_rounds_;
     } else {
       ++gather_rounds_;
     }
     const auto t5 = Clock::now();
-    ForShards([this, &g, dense](int shard, std::int64_t begin,
-                                std::int64_t end) {
+    ForShards([this, &g, observe_arms](int shard, std::int64_t begin,
+                                       std::int64_t end) {
       using Message = typename A::Message;
       ShardAccum& acc = shard_accum_[static_cast<std::size_t>(shard)];
       acc = ShardAccum{};
+      const bool dense = shard_arm_[static_cast<std::size_t>(shard)] != 0;
+      const auto shard_start = observe_arms
+                                   ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
       const Message* outbox = outbox_.data();
       if (dense) {
         for (std::int64_t u = begin; u < end; ++u) {
@@ -480,6 +527,12 @@ class Engine final : private AdversaryView {
             stats_.decide_round[static_cast<std::size_t>(u)] = round_;
             ++acc.decided;
           }
+        }
+        if (observe_arms) {
+          acc.deliver_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - shard_start)
+                  .count();
         }
         return;
       }
@@ -505,6 +558,11 @@ class Engine final : private AdversaryView {
           ++acc.decided;
         }
       }
+      if (observe_arms) {
+        acc.deliver_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - shard_start)
+                             .count();
+      }
     });
     // Deliver window ends at the barrier; merge + decision bookkeeping are
     // other_ns.
@@ -516,18 +574,21 @@ class Engine final : private AdversaryView {
       round_delivered += acc.messages_delivered;
       decided += acc.decided;
     }
-    // Feed the adaptive backing controller (bookkeeping, lands in
+    // Feed the adaptive backing controllers (bookkeeping, lands in
     // other_ns). Only all-sent rounds are observed: those are the rounds
     // where a choice exists, and normalizing to ns per delivered message
-    // keeps rounds of different sizes comparable.
-    if (all_sent && options_.delivery == DeliveryMode::kAdaptive &&
-        round_delivered > 0) {
-      const auto deliver_ns =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t6 - t5)
-              .count();
-      delivery_selector_.Observe(dense ? kDenseArm : kGatherArm,
-                                 static_cast<double>(deliver_ns) /
-                                     static_cast<double>(round_delivered));
+    // keeps rounds of different sizes comparable. Each shard observes its
+    // own measured cost under the arm it actually ran.
+    if (observe_arms) {
+      for (std::int64_t s = 0; s < shards_; ++s) {
+        const ShardAccum& acc = shard_accum_[static_cast<std::size_t>(s)];
+        if (acc.messages_delivered <= 0) continue;
+        shard_selectors_[static_cast<std::size_t>(s)].Observe(
+            shard_arm_[static_cast<std::size_t>(s)] != 0 ? kDenseArm
+                                                         : kGatherArm,
+            static_cast<double>(acc.deliver_ns) /
+                static_cast<double>(acc.messages_delivered));
+      }
     }
     if (decided > 0) {
       if (stats_.first_decide_round < 0) stats_.first_decide_round = round_;
@@ -585,6 +646,11 @@ class Engine final : private AdversaryView {
       out.min_stable_forest = checker_->min_stable_forest();
     }
     out.flooding = FloodingSnapshot();
+    if (budget_ != nullptr) {
+      for (const util::MemoryBudget::Entry& e : budget_->Snapshot()) {
+        out.memory.push_back({e.subsystem, e.current_bytes, e.peak_bytes});
+      }
+    }
     if (registry_ != nullptr) {
       // Mirror the scalar aggregates into the registry so the snapshot is
       // self-contained (one structure to render or export).
@@ -624,9 +690,18 @@ class Engine final : private AdversaryView {
   [[nodiscard]] std::int64_t topology_delta_rounds() const {
     return topo_delta_rounds_;
   }
-  /// The delivery ArmSelector (tests inspect warmup/preference state).
+  /// Shard 0's delivery ArmSelector (tests inspect warmup/preference
+  /// state; below 2·kMinShardNodes nodes there is exactly one shard, so
+  /// this is the whole selector state).
   [[nodiscard]] const ArmSelector& delivery_selector() const {
-    return delivery_selector_;
+    SDN_CHECK(!shard_selectors_.empty());
+    return shard_selectors_.front();
+  }
+  /// Per-subsystem byte accounting (engine-owned budget unless
+  /// EngineOptions::memory_budget redirected the charges).
+  [[nodiscard]] const util::MemoryBudget& memory_budget() const {
+    SDN_CHECK(budget_ != nullptr);
+    return *budget_;
   }
 
   [[nodiscard]] const A& node(graph::NodeId u) const {
@@ -679,6 +754,10 @@ class Engine final : private AdversaryView {
     std::int64_t decided = 0;
     graph::NodeId violation_node = -1;  // first in node order within shard
     std::int64_t violation_bits = 0;
+    /// This shard's deliver wall clock (adaptive all-sent rounds only);
+    /// feeds its ArmSelector after the barrier. Timing only — never merged
+    /// into RunStats.
+    std::int64_t deliver_ns = 0;
   };
 
   // AdversaryView:
@@ -914,9 +993,26 @@ class Engine final : private AdversaryView {
     // sub-path ran.
     need_delta_ = (checker_.has_value() && !use_composition_) ||
                   options_.record_trace != nullptr;
-    outbox_.resize(static_cast<std::size_t>(n_));
-    sent_.assign(static_cast<std::size_t>(n_), 0);
+    // MakeArray value-initializes: outbox slots default-constructed, sent
+    // flags zero.
+    outbox_ = arena_.MakeArray<typename A::Message>(static_cast<std::size_t>(n_));
+    sent_ = arena_.MakeArray<unsigned char>(static_cast<std::size_t>(n_));
     undecided_ = n_;
+
+    // Memory accounting: resolve the gauges once, charge the fixed
+    // per-node structures now; the live-topology gauge is updated per
+    // round. All charged sizes are pure functions of n and the topology
+    // stream, so RunStats::memory is as deterministic as the rest of the
+    // stats.
+    budget_ = options_.memory_budget != nullptr ? options_.memory_budget
+                                                : &owned_budget_;
+    mem_outbox_ = budget_->Get("outbox");
+    mem_programs_ = budget_->Get("programs");
+    mem_topology_ = budget_->Get("topology");
+    mem_outbox_->SetCurrent(static_cast<std::int64_t>(
+        static_cast<std::size_t>(n_) * (sizeof(typename A::Message) + 1)));
+    mem_programs_->SetCurrent(
+        static_cast<std::int64_t>(static_cast<std::size_t>(n_) * sizeof(A)));
 
     // Parallel geometry. Shard count is a function of n alone; the thread
     // count only decides how many lanes execute those shards.
@@ -939,6 +1035,11 @@ class Engine final : private AdversaryView {
                         adversary_.oblivious();
     shard_accum_.assign(static_cast<std::size_t>(shards_), ShardAccum{});
     shard_slots_.resize(static_cast<std::size_t>(shards_));
+    shard_selectors_.assign(static_cast<std::size_t>(shards_),
+                            ArmSelector{kDeliveryWarmupRounds,
+                                        kDeliveryReprobeInterval,
+                                        kDeliveryHysteresis});
+    shard_arm_.assign(static_cast<std::size_t>(shards_), 0);
 
     for (int i = 0; i < options_.flood_probes; ++i) {
       const graph::NodeId src = (i == 0) ? graph::NodeId{0} : RandomSource();
@@ -1049,8 +1150,12 @@ class Engine final : private AdversaryView {
   std::int64_t probes_completed_ = 0;
   std::int64_t probe_max_rounds_ = -1;
   double probe_total_rounds_ = 0.0;
-  std::vector<typename A::Message> outbox_;  // raw slots, one per node
-  std::vector<unsigned char> sent_;          // 1 iff the slot is live
+  // Engine-lifetime arrays live in one arena: a single max-aligned chunk
+  // per array instead of vector headers + allocator round-trips, destroyed
+  // wholesale (see ~Engine for the non-trivial Message case).
+  util::Arena arena_;
+  std::span<typename A::Message> outbox_;  // raw slots, one per node
+  std::span<unsigned char> sent_;          // 1 iff the slot is live
   graph::Graph last_topology_{0};  // from-scratch mode only
   bool incremental_ = false;       // set from options_ by EnsureStarted
   bool need_delta_ = false;        // a checker or trace consumes deltas
@@ -1068,10 +1173,19 @@ class Engine final : private AdversaryView {
   std::int64_t topo_delta_rounds_ = 0;
 
   // Adaptive delivery state (DeliveryMode::kAdaptive) and per-path round
-  // counters (kept for all modes — forced modes just count one arm).
-  ArmSelector delivery_selector_{kDeliveryWarmupRounds,
-                                 kDeliveryReprobeInterval,
-                                 kDeliveryHysteresis};
+  // counters (kept for all modes — forced modes just count one arm). The
+  // selectors are per shard: at large n one global cost model washes out
+  // shard-local effects (node-order placement means shards differ in
+  // degree mix and cache residency), so each shard runs its own
+  // ArmSelector over its own measured per-message deliver cost. Arms are
+  // chosen on the driving thread before the phase (selector state is
+  // never touched from workers) into shard_arm_; workers only read their
+  // slot. A round counts as dense only when every shard chose dense, so
+  // dense+gather still partition the executed rounds (tests pin it; at
+  // n < 2·kMinShardNodes there is one shard and the behavior is exactly
+  // the old global selector's).
+  std::vector<ArmSelector> shard_selectors_;
+  std::vector<int> shard_arm_;  // this round's per-shard choice (1 = dense)
   std::int64_t dense_rounds_ = 0;
   std::int64_t gather_rounds_ = 0;
 
@@ -1095,6 +1209,15 @@ class Engine final : private AdversaryView {
   std::future<graph::Graph> prefetch_;
   std::future<PrefetchedTopology> delta_prefetch_;
   std::int64_t prefetched_round_ = -1;
+
+  // Memory accounting (EnsureStarted): budget_ points at the caller's
+  // MemoryBudget or the engine-owned fallback; gauge pointers are resolved
+  // once and stable.
+  util::MemoryBudget owned_budget_;
+  util::MemoryBudget* budget_ = nullptr;
+  util::MemoryGauge* mem_outbox_ = nullptr;
+  util::MemoryGauge* mem_programs_ = nullptr;
+  util::MemoryGauge* mem_topology_ = nullptr;
 
   // Observability sinks (EnsureStarted): both null/off by default. The
   // recorder pointer gate is the whole off-switch — no event code runs

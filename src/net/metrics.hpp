@@ -55,6 +55,13 @@ struct BandwidthViolation {
   std::int64_t bits = 0;
 };
 
+/// One subsystem's byte accounting in RunStats (from util::MemoryBudget).
+struct MemoryUse {
+  std::string subsystem;
+  std::int64_t current_bytes = 0;
+  std::int64_t peak_bytes = 0;
+};
+
 struct RunStats {
   /// Rounds actually executed (= last decide round when all_decided).
   std::int64_t rounds = 0;
@@ -105,6 +112,15 @@ struct RunStats {
   FloodingSummary flooding;
 
   EngineTimings timings;
+
+  /// Peak bytes per engine subsystem (util::MemoryBudget snapshot):
+  /// "outbox" (message slots + sent flags), "programs" (node state array),
+  /// "topology" (live CSR + delta buffer), plus caller-charged subsystems
+  /// ("sketch_pool", "trace_stream") when the run shares a budget through
+  /// EngineOptions::memory_budget. Every charged size is a pure function
+  /// of n and the topology stream — deterministic across thread counts
+  /// and delivery backings, unlike wall-clock timings.
+  std::vector<MemoryUse> memory;
 
   /// Registry snapshot (EngineOptions::collect_metrics): per-round
   /// histograms and named counters mirroring the scalar fields above.

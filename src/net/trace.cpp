@@ -204,6 +204,92 @@ Trace LoadTrace(const std::string& path) {
   return version == 1 ? LoadTraceV1(in, path) : LoadTraceV2(in, path);
 }
 
+TraceStreamReader::TraceStreamReader(const std::string& path)
+    : in_(path), path_(path) {
+  SDN_CHECK_MSG(in_.good(), "cannot open " << path);
+  SDN_CHECK_MSG(NextLine(in_, line_), "empty trace " << path);
+  int version = 0;
+  {
+    std::istringstream header(line_);
+    std::string magic;
+    header >> magic >> version;
+    SDN_CHECK_MSG(magic == "sdn-trace" && (version == 1 || version == 2),
+                  "bad trace header in " << path << ": " << line_);
+    SDN_CHECK_MSG(version == 2,
+                  "streaming reader requires a v2 (delta) trace: " << path);
+  }
+  SDN_CHECK_MSG(NextLine(in_, line_), "missing trace size line in " << path);
+  std::istringstream sizes(line_);
+  std::string nodes_kw;
+  std::string interval_kw;
+  std::string keyframe_kw;
+  sizes >> nodes_kw >> n_ >> interval_kw >> interval_ >> keyframe_kw >>
+      keyframe_every_;
+  SDN_CHECK_MSG(nodes_kw == "nodes" && interval_kw == "interval" &&
+                    keyframe_kw == "keyframe" && !sizes.fail(),
+                "bad trace size line: " << line_);
+  SDN_CHECK(n_ >= 1 && interval_ >= 1 && keyframe_every_ >= 1);
+}
+
+bool TraceStreamReader::Next(Round& out) {
+  if (!NextLine(in_, line_)) return false;
+  const std::int64_t r = ++rounds_;
+  std::istringstream round_header(line_);
+  std::string round_kw;
+  std::string kind_kw;
+  std::int64_t round_id = 0;
+  round_header >> round_kw >> round_id >> kind_kw;
+  SDN_CHECK_MSG(round_kw == "round" && !round_header.fail() && round_id == r,
+                "bad round header: " << line_);
+  const bool keyframe_due = (r - 1) % keyframe_every_ == 0;
+  out.round = r;
+  out.full.clear();
+  out.delta.clear();
+  if (kind_kw == "full") {
+    SDN_CHECK_MSG(keyframe_due, "unexpected keyframe at round " << r);
+    std::int64_t edge_count = 0;
+    round_header >> edge_count;
+    SDN_CHECK_MSG(!round_header.fail() && edge_count >= 0,
+                  "bad round header: " << line_);
+    out.keyframe = true;
+    out.full.reserve(static_cast<std::size_t>(edge_count));
+    for (std::int64_t e = 0; e < edge_count; ++e) {
+      SDN_CHECK_MSG(NextLine(in_, line_), "trace truncated in round " << r);
+      std::istringstream edge_line(line_);
+      graph::NodeId u = 0;
+      graph::NodeId v = 0;
+      edge_line >> u >> v;
+      SDN_CHECK_MSG(!edge_line.fail(), "bad edge line: " << line_);
+      out.full.emplace_back(u, v);
+    }
+  } else if (kind_kw == "delta") {
+    SDN_CHECK_MSG(!keyframe_due, "missing keyframe at round " << r);
+    std::int64_t added = 0;
+    std::int64_t removed = 0;
+    round_header >> added >> removed;
+    SDN_CHECK_MSG(!round_header.fail() && added >= 0 && removed >= 0,
+                  "bad round header: " << line_);
+    out.keyframe = false;
+    for (std::int64_t e = 0; e < added + removed; ++e) {
+      SDN_CHECK_MSG(NextLine(in_, line_), "trace truncated in round " << r);
+      const std::size_t first = line_.find_first_not_of(" \t\r");
+      const char sign = line_[first];
+      SDN_CHECK_MSG(sign == '+' || sign == '-', "bad delta line: " << line_);
+      SDN_CHECK_MSG(e < added ? sign == '+' : sign == '-',
+                    "delta lines out of order: " << line_);
+      std::istringstream edge_line(line_.substr(first + 1));
+      graph::NodeId u = 0;
+      graph::NodeId v = 0;
+      edge_line >> u >> v;
+      SDN_CHECK_MSG(!edge_line.fail(), "bad delta line: " << line_);
+      (sign == '+' ? out.delta.added : out.delta.removed).emplace_back(u, v);
+    }
+  } else {
+    SDN_CHECK_MSG(false, "bad round header: " << line_);
+  }
+  return true;
+}
+
 TraceRecorder::TraceRecorder(const std::string& path, graph::NodeId n,
                              int interval, std::int64_t keyframe_every)
     : out_(path), path_(path), n_(n), keyframe_every_(keyframe_every) {

@@ -68,6 +68,48 @@ void SaveTrace(const std::string& path, std::span<const graph::Graph> rounds,
 /// Parses a trace file of either version; CheckError on malformed input.
 Trace LoadTrace(const std::string& path);
 
+/// Streaming v2 reader: the dual of TraceRecorder. Rounds are parsed one at
+/// a time with O(E_round) live state — one reused edge/delta buffer, never
+/// the whole sequence — so a million-node trace can drive the engine
+/// (StreamingTraceAdversary) with a topology footprint independent of the
+/// number of rounds, where LoadTrace would materialize rounds · CSR.
+class TraceStreamReader {
+ public:
+  /// What one parsed round carries: a full (sorted) edge list on keyframe
+  /// rounds, a delta against round-1 otherwise. Buffers are reused across
+  /// Next() calls.
+  struct Round {
+    std::int64_t round = 0;
+    bool keyframe = false;
+    std::vector<graph::Edge> full;  // keyframe rounds only
+    graph::TopologyDelta delta;     // non-keyframe rounds only
+  };
+
+  /// Opens `path` and parses the v2 header; CheckError on I/O failure, a
+  /// malformed header, or a v1 trace (which has no delta stream to read).
+  explicit TraceStreamReader(const std::string& path);
+
+  [[nodiscard]] graph::NodeId num_nodes() const { return n_; }
+  [[nodiscard]] int interval() const { return interval_; }
+  [[nodiscard]] std::int64_t keyframe_every() const { return keyframe_every_; }
+
+  /// Parses the next round into `out`; false at EOF. Round numbering and
+  /// keyframe cadence are validated; delta contents are validated by the
+  /// consumer's DynGraph::Apply (same protocol as LoadTrace).
+  bool Next(Round& out);
+
+  [[nodiscard]] std::int64_t rounds_read() const { return rounds_; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  std::string line_;
+  graph::NodeId n_ = 0;
+  int interval_ = 1;
+  std::int64_t keyframe_every_ = 1;
+  std::int64_t rounds_ = 0;
+};
+
 /// Streaming v2 writer: rounds are appended one at a time and hit the file
 /// as they arrive, so the engine can record arbitrarily long runs without
 /// retaining the graph sequence in memory (EngineOptions::record_trace).

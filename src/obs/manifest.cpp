@@ -62,8 +62,29 @@ std::string ReadFirstLine(const std::string& path) {
   return Strip(line);
 }
 
-/// Resolves HEAD by walking .git from the working directory upward. Returns
-/// "unknown" outside a repo (or in a container without the metadata).
+/// `git rev-parse HEAD` via popen, cached once per process: the subprocess
+/// costs milliseconds and every manifest in a run wants the same answer.
+/// Only this fallback is cached — SDN_GIT_SHA and the .git walk stay freshly
+/// evaluated so tests can pin the override precedence.
+const std::string& GitShaFromSubprocess() {
+  static const std::string sha = [] {
+    std::string out;
+    if (FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r");
+        pipe != nullptr) {
+      char buf[128];
+      while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+      if (pclose(pipe) != 0) out.clear();
+    }
+    return Strip(out);
+  }();
+  return sha;
+}
+
+/// Resolves HEAD, in precedence order: the SDN_GIT_SHA override, walking
+/// .git from the working directory upward, then a cached
+/// `git rev-parse HEAD` (which also covers worktrees and gitfile redirects
+/// the manual walk cannot). Returns "unknown" outside a repo (or in a
+/// container without the metadata and no git binary).
 std::string GitSha() {
   if (const char* env = std::getenv("SDN_GIT_SHA"); env != nullptr && *env) {
     return env;
@@ -74,13 +95,15 @@ std::string GitSha() {
     if (!head.empty()) {
       if (head.rfind("ref: ", 0) == 0) {
         const std::string sha = ReadFirstLine(prefix + ".git/" + head.substr(5));
-        return sha.empty() ? "unknown" : sha;
+        if (!sha.empty()) return sha;
+        break;  // packed refs or similar: let the subprocess resolve it
       }
       return head;  // detached HEAD: the SHA itself
     }
     prefix += "../";
   }
-  return "unknown";
+  const std::string& sha = GitShaFromSubprocess();
+  return sha.empty() ? "unknown" : sha;
 }
 
 std::string Hostname() {

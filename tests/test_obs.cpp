@@ -3,6 +3,9 @@
 // serialisation (docs/OBSERVABILITY.md).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -253,6 +256,24 @@ TEST(Manifest, CollectRecordsProvenanceKeys) {
   EXPECT_EQ(utc.back(), 'Z');
   EXPECT_EQ(utc[4], '-');
   EXPECT_EQ(utc[10], 'T');
+}
+
+TEST(Manifest, GitShaOverridePrecedenceAndLocalFallback) {
+  // The SDN_GIT_SHA override (CI's pin of the exact commit under test)
+  // wins over any local resolution, verbatim.
+  ASSERT_EQ(setenv("SDN_GIT_SHA", "feedface0override", 1), 0);
+  EXPECT_EQ(*RunManifest::Collect().Find("git_sha"), "feedface0override");
+  ASSERT_EQ(unsetenv("SDN_GIT_SHA"), 0);
+  // Without the override the sha resolves locally: the .git/HEAD walk,
+  // then a cached `git rev-parse HEAD`. Run from anywhere inside this
+  // repository that must produce a real 40-hex commit id — the historic
+  // git_sha:"unknown" rows in recorded manifests were this fallback
+  // missing, not an unknowable sha.
+  const std::string sha = *RunManifest::Collect().Find("git_sha");
+  EXPECT_EQ(sha.size(), 40u) << "resolved git_sha: " << sha;
+  EXPECT_TRUE(std::all_of(sha.begin(), sha.end(), [](unsigned char c) {
+    return std::isxdigit(c) != 0;
+  })) << "resolved git_sha: " << sha;
 }
 
 TEST(Manifest, SetOverwritesAndSerialises) {
