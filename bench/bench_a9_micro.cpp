@@ -189,12 +189,16 @@ constexpr double kPr7RoundsPerSec = 2862.3;
 /// costs). `threads` is EngineOptions::threads (1 = serial reference;
 /// results are bit-identical at every setting), `incremental` toggles the
 /// delta-driven topology path and `delivery` the Inbox backing policy
-/// (both A/B'd below — results are bit-identical there too).
+/// (both A/B'd below — results are bit-identical there too). `overlaps`
+/// drives all three pipelining toggles (prefetch_topology,
+/// async_certification, fused_send_deliver) as one switch for the pipeline
+/// A/B; results are bit-identical either way (the determinism suite pins
+/// it).
 net::RunStats TimedReferenceRun(
     int threads, bool incremental = true,
     net::DeliveryMode delivery = net::DeliveryMode::kAdaptive,
     obs::FlightRecorder* recorder = nullptr, bool validate = true,
-    bool pooled = true) {
+    bool pooled = true, bool overlaps = true) {
   const graph::NodeId n = 1024;
   adversary::AdversaryConfig config;
   config.kind = "spine-gnp";
@@ -221,6 +225,9 @@ net::RunStats TimedReferenceRun(
   opts.incremental_topology = incremental;
   opts.delivery = delivery;
   opts.recorder = recorder;
+  opts.prefetch_topology = overlaps;
+  opts.async_certification = overlaps;
+  opts.fused_send_deliver = overlaps;
   net::Engine<algo::HjswyProgram> engine(std::move(nodes), *adv, opts);
   return engine.Run();
 }
@@ -548,6 +555,49 @@ void ReportEngineTimings() {
         hw);
   }
 
+  // Pipeline A/B: the same workload at threads=2 with every overlap off vs
+  // all three on (prefetch_topology + async_certification +
+  // fused_send_deliver). threads=2 is the minimal count where prefetch and
+  // the async checker can engage; fusion is thread-independent, so the off
+  // arm is the barriered phase engine and the on arm is the full pipeline.
+  // Interleaved pairs, medians of total_ns — same discipline as the other
+  // A/Bs. The aux_*_ns fields of the on arm report how much topology /
+  // certification work ran concurrently with deliver (overlap won, not
+  // just moved). On a box with hardware_concurrency < 2 the figure is
+  // marked oversubscribed and must not be read as a pipelining speedup —
+  // the multi-core CI job is where the gate lives.
+  const int pipeline_threads = 2;
+  const bool pipeline_oversubscribed = pipeline_threads > hw;
+  const ABResult pipe = PairedAB(
+      [] {
+        return TimedReferenceRun(/*threads=*/2, /*incremental=*/true,
+                                 net::DeliveryMode::kAdaptive, nullptr,
+                                 /*validate=*/true, /*pooled=*/true,
+                                 /*overlaps=*/false);
+      },
+      [] {
+        return TimedReferenceRun(/*threads=*/2, /*incremental=*/true,
+                                 net::DeliveryMode::kAdaptive, nullptr,
+                                 /*validate=*/true, /*pooled=*/true,
+                                 /*overlaps=*/true);
+      },
+      run_total_ns);
+  const std::int64_t pipeline_off_total_ns = run_total_ns(pipe.a);
+  const std::int64_t pipeline_on_total_ns = run_total_ns(pipe.b);
+  const double pipeline_speedup = pipe.speedup;
+  const std::int64_t pipeline_aux_topology_ns = pipe.b.timings.aux_topology_ns;
+  const std::int64_t pipeline_aux_validate_ns = pipe.b.timings.aux_validate_ns;
+  std::printf(
+      "pipeline A/B (threads=2, paired medians): barriers total=%lld ns  "
+      "pipelined total=%lld ns  speedup=%.3fx  overlapped topology=%lld ns  "
+      "overlapped certification=%lld ns%s\n",
+      static_cast<long long>(pipeline_off_total_ns),
+      static_cast<long long>(pipeline_on_total_ns), pipeline_speedup,
+      static_cast<long long>(pipeline_aux_topology_ns),
+      static_cast<long long>(pipeline_aux_validate_ns),
+      pipeline_oversubscribed ? "  (oversubscribed — not a scaling figure)"
+                              : "");
+
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "BENCH_engine.json: cannot open for writing\n");
@@ -607,6 +657,13 @@ void ReportEngineTimings() {
                "  \"sketch_pool_speedup\": %.3f,\n"
                "  \"pr7_rounds_per_sec\": %.1f,\n"
                "  \"speedup_vs_pr7\": %.3f,\n"
+               "  \"pipeline_threads\": %d,\n"
+               "  \"pipeline_oversubscribed\": %s,\n"
+               "  \"pipeline_all_off_total_ns\": %lld,\n"
+               "  \"pipeline_all_on_total_ns\": %lld,\n"
+               "  \"pipeline_speedup\": %.3f,\n"
+               "  \"pipeline_aux_topology_ns\": %lld,\n"
+               "  \"pipeline_aux_validate_ns\": %lld,\n"
                "  \"threads_sweep_skipped\": [",
                static_cast<long long>(best.rounds),
                static_cast<long long>(best.edges_processed),
@@ -645,7 +702,12 @@ void ReportEngineTimings() {
                checker_ab_ratio, checker_overhead_ratio,
                static_cast<long long>(run_total_ns(pool_ab.a)),
                static_cast<long long>(run_total_ns(pool_ab.b)),
-               sketch_pool_speedup, kPr7RoundsPerSec, speedup_vs_pr7);
+               sketch_pool_speedup, kPr7RoundsPerSec, speedup_vs_pr7,
+               pipeline_threads, pipeline_oversubscribed ? "true" : "false",
+               static_cast<long long>(pipeline_off_total_ns),
+               static_cast<long long>(pipeline_on_total_ns), pipeline_speedup,
+               static_cast<long long>(pipeline_aux_topology_ns),
+               static_cast<long long>(pipeline_aux_validate_ns));
   for (std::size_t i = 0; i < skipped.size(); ++i) {
     std::fprintf(f, "%s%d", i == 0 ? "" : ", ", skipped[i]);
   }

@@ -130,15 +130,21 @@ void StableSpineAdversary::BuildRoundEdges(std::int64_t round,
 
   // Publish the round's structural claim (Composition): the round is
   // exactly core ∪ support ∪ fresh, with era numbers as pinned-set ids.
-  // The pooled spine buffers are stable for the spans' required lifetime.
+  // The shared spine-pool vectors double as the span-lifetime contract's
+  // owners: a consumer pinning an era's spine (the checker's spine cache,
+  // the async certification lane) holds the shared_ptr, so the set
+  // survives era rotation with zero copies anywhere.
   comp_.core = {current_spine_->data(), current_spine_->size()};
   comp_.core_id = static_cast<std::uint64_t>(current_era_);
+  comp_.core_owner = current_spine_;
   if (overlap) {
     comp_.support = {previous_spine_->data(), previous_spine_->size()};
     comp_.support_id = static_cast<std::uint64_t>(current_era_ - 1);
+    comp_.support_owner = previous_spine_;
   } else {
     comp_.support = {};
     comp_.support_id = graph::RoundComposition::kNoId;
+    comp_.support_owner.reset();
   }
   comp_.fresh = {fresh_edges_.data(), fresh_edges_.size()};
   comp_round_ = round;

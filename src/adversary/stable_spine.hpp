@@ -64,6 +64,21 @@ class StableSpineAdversary final : public net::Adversary {
       std::int64_t round) const override {
     return round == comp_round_ ? &comp_ : nullptr;
   }
+  /// Generator buffers: the two live spine-pool vectors, the cached era
+  /// overlap union, and the per-round assembly/volatile scratch. Pure
+  /// function of the round sequence (capacities only grow along it).
+  [[nodiscard]] std::int64_t BufferBytes() const override {
+    const auto vec = [](const auto& v) {
+      using T = typename std::decay_t<decltype(v)>::value_type;
+      return static_cast<std::int64_t>(v.capacity() * sizeof(T));
+    };
+    std::int64_t total = vec(overlap_base_) + vec(round_edges_) +
+                         vec(fresh_edges_) + vec(fresh_keys_);
+    if (current_spine_ != nullptr) total += vec(*current_spine_);
+    if (previous_spine_ != nullptr) total += vec(*previous_spine_);
+    return total;
+  }
+
   [[nodiscard]] std::string name() const override;
 
   /// The spine active in `round`'s era (for tests and d-calibration).

@@ -111,8 +111,15 @@ CensusProgram::Position CensusProgram::LocateFast(Round r) const {
 }
 
 std::optional<CensusProgram::Message> CensusProgram::OnSend(Round r) {
-  if (decided_.has_value()) return std::nullopt;
+  std::optional<Message> m(std::in_place);
+  if (!OnSendInto(r, *m)) return std::nullopt;
+  return m;
+}
+
+bool CensusProgram::OnSendInto(Round r, Message& m) {
+  if (decided_.has_value()) return false;
   const Position pos = LocateFast(r);
+  m = Message{};  // full overwrite: the outbox slot is reused across rounds
 
   if (pos.verifying) {
     if (verify_key_ != pos.guess_k) {
@@ -120,11 +127,10 @@ std::optional<CensusProgram::Message> CensusProgram::OnSend(Round r) {
       frozen_hash_ = census_.Hash() & kHashMask;
       flag_ = census_.size() <= pos.guess_k;
     }
-    Message m;
     m.tag = Tag::kVerify;
     m.hash = frozen_hash_;
     m.flag = flag_;
-    return m;
+    return true;
   }
 
   // Dissemination round: the per-window sent-set resets whenever the
@@ -135,7 +141,6 @@ std::optional<CensusProgram::Message> CensusProgram::OnSend(Round r) {
     sent_this_window_.clear();
   }
 
-  Message m;
   m.tag = Tag::kToken;
   m.min_id = agg_min_id_;
   m.min_id_value = agg_min_value_;
@@ -157,7 +162,7 @@ std::optional<CensusProgram::Message> CensusProgram::OnSend(Round r) {
       sent_this_window_.push_back(candidate);
     }
   }
-  return m;
+  return true;
 }
 
 void CensusProgram::OnReceive(Round r, Inbox<Message> inbox) {

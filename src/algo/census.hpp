@@ -77,6 +77,13 @@ class CensusProgram {
   CensusProgram(NodeId id, Value input, CensusOptions options);
 
   std::optional<Message> OnSend(Round r);
+  /// Direct-send path (net::DirectSendProgram): composes the round's
+  /// message straight into `m`, overwriting every field (the slot is
+  /// reused across rounds). The window caches it refreshes (verify hash
+  /// freeze, per-window sent set) are keyed by the round's schedule
+  /// position, so a trailing speculative call mutates only state the
+  /// finished run never reads — the fused-send contract in net/program.hpp.
+  bool OnSendInto(Round r, Message& m);
   void OnReceive(Round r, Inbox<Message> inbox);
   [[nodiscard]] bool HasDecided() const { return decided_.has_value(); }
   [[nodiscard]] std::optional<Output> output() const { return decided_; }

@@ -12,9 +12,16 @@ FloodMaxKnownN::FloodMaxKnownN(NodeId id, NodeId n, Value input)
   if (n_ <= 1) decided_ = best_;
 }
 
-std::optional<FloodMaxKnownN::Message> FloodMaxKnownN::OnSend(Round) {
-  if (decided_.has_value()) return std::nullopt;
-  return Message{best_};
+std::optional<FloodMaxKnownN::Message> FloodMaxKnownN::OnSend(Round r) {
+  std::optional<Message> m(std::in_place);
+  if (!OnSendInto(r, *m)) return std::nullopt;
+  return m;
+}
+
+bool FloodMaxKnownN::OnSendInto(Round, Message& m) {
+  if (decided_.has_value()) return false;
+  m = Message{best_};
+  return true;
 }
 
 void FloodMaxKnownN::OnReceive(Round r, Inbox<Message> inbox) {
@@ -39,9 +46,16 @@ ConsensusFloodKnownN::ConsensusFloodKnownN(NodeId id, NodeId n, Value input)
 }
 
 std::optional<ConsensusFloodKnownN::Message> ConsensusFloodKnownN::OnSend(
-    Round) {
-  if (decided_.has_value()) return std::nullopt;
-  return Message{leader_, leader_value_};
+    Round r) {
+  std::optional<Message> m(std::in_place);
+  if (!OnSendInto(r, *m)) return std::nullopt;
+  return m;
+}
+
+bool ConsensusFloodKnownN::OnSendInto(Round, Message& m) {
+  if (decided_.has_value()) return false;
+  m = Message{leader_, leader_value_};
+  return true;
 }
 
 void ConsensusFloodKnownN::OnReceive(Round r, Inbox<Message> inbox) {

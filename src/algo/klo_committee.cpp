@@ -137,11 +137,17 @@ void KloCommitteeProgram::ResetForGuess(std::int64_t k) {
 
 std::optional<KloCommitteeProgram::Message> KloCommitteeProgram::OnSend(
     Round r) {
-  if (decided_.has_value()) return std::nullopt;
+  std::optional<Message> m(std::in_place);
+  if (!OnSendInto(r, *m)) return std::nullopt;
+  return m;
+}
+
+bool KloCommitteeProgram::OnSendInto(Round r, Message& m) {
+  if (decided_.has_value()) return false;
   const Position pos = LocateFast(r);
   if (pos.first_round_of_guess) ResetForGuess(pos.guess_k);
 
-  Message m;
+  m = Message{};  // full overwrite: the outbox slot is reused across rounds
   m.leader = leader_;
   m.leader_value = leader_value_;
   m.max_value = max_value_;
@@ -155,7 +161,7 @@ std::optional<KloCommitteeProgram::Message> KloCommitteeProgram::OnSend(
       }
       m.tag = Tag::kPoll;
       m.poll = poll_best_;
-      return m;
+      return true;
     }
     case Position::Phase::kInvite: {
       if (invite_cycle_ != pos.cycle) {
@@ -177,7 +183,7 @@ std::optional<KloCommitteeProgram::Message> KloCommitteeProgram::OnSend(
       // The invitation's issuer rides in the leader field when relaying.
       if (invite_leader_ >= 0) m.leader = invite_leader_;
       m.invitee = invite_target_;
-      return m;
+      return true;
     }
     case Position::Phase::kVerify: {
       if (!verify_initialized_) {
@@ -188,7 +194,7 @@ std::optional<KloCommitteeProgram::Message> KloCommitteeProgram::OnSend(
       m.tag = Tag::kVerify;
       m.committee = *committee_;
       m.flag = flag_;
-      return m;
+      return true;
     }
     case Position::Phase::kSize: {
       if (pos.round_in_phase == 0 && committee_ == id_) {
@@ -196,10 +202,10 @@ std::optional<KloCommitteeProgram::Message> KloCommitteeProgram::OnSend(
       }
       m.tag = Tag::kSize;
       m.size = size_claim_;
-      return m;
+      return true;
     }
   }
-  return std::nullopt;
+  return false;
 }
 
 void KloCommitteeProgram::OnReceive(Round r, Inbox<Message> inbox) {

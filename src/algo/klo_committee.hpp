@@ -59,6 +59,13 @@ class KloCommitteeProgram {
   KloCommitteeProgram(NodeId id, Value input);
 
   std::optional<Message> OnSend(Round r);
+  /// Direct-send path (net::DirectSendProgram): composes the round's
+  /// message straight into `m`, overwriting every field. Its cycle-keyed
+  /// state transitions (poll seed, invite issue, verify init) fire by
+  /// schedule position, so a trailing speculative call advances only state
+  /// the finished run never reads — the fused-send contract in
+  /// net/program.hpp.
+  bool OnSendInto(Round r, Message& m);
   void OnReceive(Round r, Inbox<Message> inbox);
   [[nodiscard]] bool HasDecided() const { return decided_.has_value(); }
   [[nodiscard]] std::optional<Output> output() const { return decided_; }

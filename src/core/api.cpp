@@ -190,6 +190,9 @@ class TypedSim final : public detail::SimBase {
     opts.incremental_topology = config_.incremental_topology;
     opts.delivery = config_.delivery;
     opts.threads = config_.threads;
+    opts.prefetch_topology = config_.prefetch_topology;
+    opts.async_certification = config_.async_certification;
+    opts.fused_send_deliver = config_.fused_send_deliver;
     opts.recorder = config_.recorder;
     opts.collect_metrics = config_.collect_metrics;
     opts.memory_budget = config_.memory_budget;

@@ -51,6 +51,12 @@ class UnionFind {
 
   [[nodiscard]] std::size_t num_components() const { return components_; }
 
+  /// Byte footprint of the owned buffers (memory-budget gauges).
+  [[nodiscard]] std::int64_t ApproxBytes() const {
+    return static_cast<std::int64_t>(parent_.capacity() * sizeof(NodeId) +
+                                     size_.capacity() * sizeof(std::int32_t));
+  }
+
  private:
   std::vector<NodeId> parent_;
   std::vector<std::int32_t> size_;
@@ -99,6 +105,12 @@ class IncrementalForest {
   }
   [[nodiscard]] std::int64_t tree_edges() const {
     return static_cast<std::int64_t>(tree_.size());
+  }
+
+  /// Byte footprint of the owned buffers (memory-budget gauges).
+  [[nodiscard]] std::int64_t ApproxBytes() const {
+    return uf_.ApproxBytes() +
+           static_cast<std::int64_t>(tree_.capacity() * sizeof(std::uint64_t));
   }
 
  private:

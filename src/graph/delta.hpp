@@ -109,6 +109,17 @@ class DynGraph {
   /// VerifySortedEdges() like the SortedEdges Graph constructor.
   const Graph& CommitEdges();
 
+  /// Byte footprint of the maintenance scratch (degrees, edit double
+  /// buffer, CSR fill cursors) — the allocation the View() itself does not
+  /// show. Capacities only, a pure function of the applied delta stream;
+  /// surfaced by the engine as the "topology_scratch" memory gauge.
+  [[nodiscard]] std::int64_t ScratchBytes() const {
+    return static_cast<std::int64_t>(
+        degrees_.capacity() * sizeof(NodeId) +
+        scratch_edges_.capacity() * sizeof(Edge) +
+        cursor_.capacity() * sizeof(std::int64_t));
+  }
+
  private:
   void RebuildDegrees();
   void RefillAdjacency();

@@ -230,11 +230,10 @@ std::int64_t TIntervalChecker::LargestConnectedSuffix(std::int64_t r,
 }
 
 bool TIntervalChecker::PushComposition(const RoundComposition& comp,
-                                       const Graph& g) {
+                                       std::span<const Edge> round_edges) {
   if (mode_ == Mode::kNone) mode_ = Mode::kComposition;
   SDN_CHECK_MSG(mode_ == Mode::kComposition,
                 "TIntervalChecker feed methods must not be mixed");
-  SDN_CHECK(g.num_nodes() == n_);
   SDN_CHECK_MSG(comp.core_id != kNoId,
                 "RoundComposition requires a core id");
   const std::int64_t r = ++rounds_seen_;
@@ -249,13 +248,14 @@ bool TIntervalChecker::PushComposition(const RoundComposition& comp,
                      comp.support.empty() ? kNoId : comp.support_id};
 
   bool full_verify = false;
-  EnsureSpineVerified(comp.core_id, comp.core, &full_verify);
+  EnsureSpineVerified(comp.core_id, comp.core, comp.core_owner, &full_verify);
   if (!comp.support.empty()) {
     SDN_CHECK_MSG(comp.support_id != kNoId,
                   "RoundComposition support span without an id");
-    EnsureSpineVerified(comp.support_id, comp.support, &full_verify);
+    EnsureSpineVerified(comp.support_id, comp.support, comp.support_owner,
+                        &full_verify);
   }
-  CheckComposition(comp, g, r, full_verify);
+  CheckComposition(comp, round_edges, r, full_verify);
 
   const std::int64_t cap = std::min<std::int64_t>(t_, r);
   bool connected = false;
@@ -291,9 +291,21 @@ const TIntervalChecker::SpineRecord* TIntervalChecker::FindSpine(
   return nullptr;
 }
 
-void TIntervalChecker::EnsureSpineVerified(std::uint64_t id,
-                                           std::span<const Edge> edges,
-                                           bool* full_verify) {
+void TIntervalChecker::EnsureSpineVerified(
+    std::uint64_t id, std::span<const Edge> edges,
+    const std::shared_ptr<const std::vector<Edge>>& owner,
+    bool* full_verify) {
+  // Shared-ownership span-lifetime contract: the span must point into the
+  // owner's buffer, which the record below pins for as long as the id can
+  // be referenced (ring lifetime). No defensive copy is made anywhere.
+  SDN_CHECK_MSG(owner != nullptr,
+                "RoundComposition id " << id
+                                       << " has no shared owner (the span-"
+                                          "lifetime contract requires one)");
+  SDN_CHECK_MSG(edges.data() >= owner->data() &&
+                    edges.data() + edges.size() <= owner->data() + owner->size(),
+                "RoundComposition id " << id
+                                       << " span outside its owner's buffer");
   for (const SpineRecord& rec : spines_) {
     if (rec.id != id) continue;
     SDN_CHECK_MSG(rec.data == edges.data() && rec.size == edges.size(),
@@ -345,13 +357,13 @@ void TIntervalChecker::EnsureSpineVerified(std::uint64_t id,
   rec->data = edges.data();
   rec->size = edges.size();
   rec->connected = connected;
-  rec->owned.assign(edges.begin(), edges.end());
+  rec->owner = owner;
 }
 
 void TIntervalChecker::CheckComposition(const RoundComposition& comp,
-                                        const Graph& g, std::int64_t r,
-                                        bool full) {
-  const auto edges = g.Edges();
+                                        std::span<const Edge> round_edges,
+                                        std::int64_t r, bool full) {
+  const auto edges = round_edges;
   const auto e_size = static_cast<std::int64_t>(edges.size());
   SDN_CHECK_MSG(
       e_size >= static_cast<std::int64_t>(comp.core.size()) &&
@@ -447,10 +459,10 @@ void TIntervalChecker::ReconstructRound(std::int64_t s, std::vector<Edge>& out) 
     SDN_CHECK_MSG(support != nullptr,
                   "T-interval checker: spine id " << ids[1]
                       << " evicted while round " << s << " is in the ring");
-    UnionSorted(core->owned, support->owned, recon_base_);
+    UnionSorted(core->edges(), support->edges(), recon_base_);
     UnionSorted(recon_base_, fresh, out);
   } else {
-    UnionSorted(core->owned, fresh, out);
+    UnionSorted(core->edges(), fresh, out);
   }
 }
 
@@ -494,6 +506,30 @@ std::int64_t TIntervalChecker::LargestConnectedSuffixFromRing(
     best = len;
   }
   return best;
+}
+
+std::int64_t TIntervalChecker::ApproxBytes() const {
+  const auto vec = [](const auto& v) {
+    using T = typename std::decay_t<decltype(v)>::value_type;
+    return static_cast<std::int64_t>(v.capacity() * sizeof(T));
+  };
+  // Hash map: per-entry node (key + value + chain pointer) plus the bucket
+  // array. Both counts are pure functions of the pushed stream, so the
+  // total is as deterministic as the rest of the checker's state.
+  std::int64_t total = static_cast<std::int64_t>(
+      since_.size() *
+          (sizeof(std::uint64_t) + sizeof(std::int64_t) + sizeof(void*)) +
+      since_.bucket_count() * sizeof(void*));
+  for (const auto& bucket : aging_) total += vec(bucket);
+  total += forest_.ApproxBytes() + scratch_uf_.ApproxBytes();
+  for (const auto& bucket : sweep_buckets_) total += vec(bucket);
+  total += vec(prev_edges_);
+  total += vec(scratch_delta_.added) + vec(scratch_delta_.removed);
+  for (const auto& fresh : ring_fresh_) total += vec(fresh);
+  total += vec(ring_ids_);
+  total += static_cast<std::int64_t>(spines_.capacity() * sizeof(SpineRecord));
+  total += vec(isect_a_) + vec(isect_b_) + vec(recon_) + vec(recon_base_);
+  return total;
 }
 
 std::int64_t TIntervalChecker::certified_T() const { return cert_; }

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -64,8 +65,18 @@ TIntervalReport ValidateTInterval(std::span<const Graph> sequence, int T,
 /// window the moment one connected id appears in every round of it —
 /// literally the T-interval promise's common connected spanning subgraph —
 /// so per-round certification cost collapses to one connectivity pass per
-/// *new* id instead of per round. Spans must stay valid until the next
-/// topology call.
+/// *new* id instead of per round.
+///
+/// Span lifetime is a shared-ownership contract: `core_owner` /
+/// `support_owner` hold the vectors the `core` / `support` spans point
+/// into. A consumer (the checker's spine cache, the engine's async
+/// certification lane) retains the shared_ptr instead of copying the
+/// edges, and the adversary may retire the pinned set whenever it likes —
+/// the data outlives it as long as anyone still certifies against it.
+/// Owners are required whenever the matching span is non-empty (the
+/// checker enforces it); `fresh` stays a borrowed span, valid only until
+/// the next topology call — consumers that outlive the round copy it
+/// (it is O(volatile edges), not O(E)).
 struct RoundComposition {
   static constexpr std::uint64_t kNoId = ~0ULL;
   std::span<const Edge> core;
@@ -73,6 +84,11 @@ struct RoundComposition {
   std::span<const Edge> support;       // empty when the round has none
   std::uint64_t support_id = kNoId;    // meaningful iff !support.empty()
   std::span<const Edge> fresh;         // per-round extras (volatile edges)
+  /// Shared owners of the buffers `core`/`support` point into. Each span
+  /// must lie inside its owner's buffer; the checker pins the owner for as
+  /// long as the id can still be referenced (span-identity test pins this).
+  std::shared_ptr<const std::vector<Edge>> core_owner;
+  std::shared_ptr<const std::vector<Edge>> support_owner;
 };
 
 /// Incremental validator for streaming use (the engine validates as the
@@ -120,7 +136,19 @@ class TIntervalChecker {
   /// cross-checked against `g` (per-round sampled membership probes, full
   /// union verification on a fixed schedule of first-seen ids); a claim
   /// that fails a check throws CheckError rather than certifying garbage.
-  bool PushComposition(const RoundComposition& comp, const Graph& g);
+  bool PushComposition(const RoundComposition& comp, const Graph& g) {
+    SDN_CHECK(g.num_nodes() == n_);
+    return PushComposition(comp, g.Edges());
+  }
+
+  /// Span form of the composition push: `round_edges` is the round's full
+  /// sorted edge list (what g.Edges() would be). This is the entry point
+  /// the engine's asynchronous certification lane uses — the lane owns a
+  /// copy of the round's edge list plus the composition (whose core /
+  /// support data is pinned through the shared-ownership contract), so no
+  /// Graph needs to stay alive while certification trails the round.
+  bool PushComposition(const RoundComposition& comp,
+                       std::span<const Edge> round_edges);
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] std::int64_t rounds_seen() const { return rounds_seen_; }
@@ -146,6 +174,15 @@ class TIntervalChecker {
   /// whole-prefix intersection, matching ValidateTInterval's clamping.
   [[nodiscard]] std::int64_t min_stable_forest() const;
 
+  /// Byte footprint of the checker's owned state (edge-age map, aging
+  /// ring, incremental forest, scratch buffers, fresh-edge ring). A pure
+  /// function of the pushed round stream, so it is safe to surface as a
+  /// memory-budget gauge: identical at any engine thread count and with
+  /// certification synchronous or on the async lane. Spine data held
+  /// through shared owners is the adversary's allocation and is not
+  /// double-counted here.
+  [[nodiscard]] std::int64_t ApproxBytes() const;
+
  private:
   enum class Mode { kNone, kGraph, kDelta, kComposition };
 
@@ -154,10 +191,13 @@ class TIntervalChecker {
     const Edge* data = nullptr;  // span identity (same id => same span)
     std::size_t size = 0;
     bool connected = false;
-    /// Owned copy, made once at verification: the exact-window fallback
-    /// reconstructs past rounds from it after the adversary's spans have
-    /// gone stale (they are only valid until the next topology call).
-    std::vector<Edge> owned;
+    /// Shared owner pinning [data, data+size): the exact-window fallback
+    /// reconstructs past rounds straight from the adversary's buffer —
+    /// the shared-ownership contract replaced the per-id defensive copy
+    /// the checker used to make here.
+    std::shared_ptr<const std::vector<Edge>> owner;
+
+    [[nodiscard]] std::span<const Edge> edges() const { return {data, size}; }
   };
 
   static std::uint64_t Key(const Edge& e) {
@@ -174,11 +214,14 @@ class TIntervalChecker {
   /// ({since <= r-L+1}) connected; 0 if even E_r is disconnected.
   std::int64_t LargestConnectedSuffix(std::int64_t r, std::int64_t cap);
   // --- composition path ---
-  void EnsureSpineVerified(std::uint64_t id, std::span<const Edge> edges,
-                           bool* full_verify);
+  void EnsureSpineVerified(
+      std::uint64_t id, std::span<const Edge> edges,
+      const std::shared_ptr<const std::vector<Edge>>& owner,
+      bool* full_verify);
   [[nodiscard]] const SpineRecord* FindSpine(std::uint64_t id) const;
-  void CheckComposition(const RoundComposition& comp, const Graph& g,
-                        std::int64_t r, bool full);
+  void CheckComposition(const RoundComposition& comp,
+                        std::span<const Edge> round_edges, std::int64_t r,
+                        bool full);
   /// Witness id connected and present in every round of the window of
   /// `cap` rounds ending at r, or kNoId.
   std::uint64_t FindWitness(std::int64_t r, std::int64_t cap) const;

@@ -87,7 +87,13 @@ class Adversary {
   /// union must equal that round's edge list exactly (the checker
   /// cross-checks with sampled probes plus scheduled full verification and
   /// throws CheckError on divergence; tests pin exact equality), and the
-  /// spans must stay valid until the next topology call.
+  /// core/support spans must carry shared owners
+  /// (RoundComposition::core_owner / support_owner): a consumer that needs
+  /// a pinned set beyond the current round — the checker's spine cache,
+  /// the engine's asynchronous certification lane — retains the owner
+  /// instead of copying, so the buffer must not be mutated once published
+  /// under an id (publish a fresh vector per era instead). Only the
+  /// `fresh` span may be a per-round volatile buffer.
   [[nodiscard]] virtual bool has_composition() const { return false; }
   [[nodiscard]] virtual const graph::RoundComposition* Composition(
       std::int64_t round) const {
@@ -103,6 +109,14 @@ class Adversary {
   /// sequence is identical; only the wall-clock overlap changes. Adaptive
   /// adversaries (which sample PublicState mid-run) must return false.
   [[nodiscard]] virtual bool oblivious() const { return true; }
+
+  /// Byte footprint of the adversary's generator buffers (spine pools,
+  /// assembly scratch, RNG state — whatever the implementation retains
+  /// between rounds). Surfaced by the engine as the "adversary" memory
+  /// gauge; must be a pure function of the call sequence (capacities, not
+  /// timing-dependent scratch) so RunStats::memory stays deterministic.
+  /// The default (0) opts out of accounting.
+  [[nodiscard]] virtual std::int64_t BufferBytes() const { return 0; }
 
   /// Stable name for report rows.
   [[nodiscard]] virtual std::string name() const = 0;

@@ -57,15 +57,33 @@
 // merged in shard (= ascending node) order after the phase barrier. Every
 // merged quantity is either per-node (disjoint writes) or an
 // order-independent integer reduction, so results are bit-identical at any
-// thread count — docs/PERF.md spells out the argument. For oblivious
-// adversaries the next round's topology is additionally prefetched
-// concurrently with the deliver phase (calls stay sequential and in round
-// order, so the produced graph sequence is unchanged).
+// thread count — docs/PERF.md spells out the argument.
+//
+// Software pipelining (EngineOptions::{prefetch_topology,
+// async_certification, fused_send_deliver}, all individually toggleable,
+// all on by default; docs/PERF.md "Pipelining"): the deliver phase is the
+// round's long pole, and three independent overlaps hide the rest of the
+// round behind it. (1) Topology prefetch — for oblivious adversaries a
+// persistent auxiliary lane (util::AuxLane) computes round r+1's
+// delta/edge list concurrently with round r's deliver; calls stay
+// sequential and in round order, so the produced graph sequence is
+// unchanged. (2) Asynchronous certification — the T-interval checker
+// consumes owned copies of each round's delta or composition claim on a
+// second bounded lane, with a deterministic rendezvous (stats() drains the
+// lane) before any verdict is read; fail-fast runs keep the synchronous
+// checker so an abort lands at the same round as the serial engine.
+// (3) Fused send/deliver — DirectSendProgram nodes compose round r+1's
+// message immediately after their round-r OnReceive, into the inactive
+// half of a double-buffered outbox; the buffers flip in round r+1's send
+// window, after validate/probes, so an abort discards the staged round and
+// the books match the serial engine's exactly. Every overlap preserves
+// bit-identical RunStats (test_determinism's overlap matrix pins it);
+// EngineTimings::aux_*_ns report the overlapped work for the
+// critical-path-vs-sum-of-phases efficiency ratio.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
-#include <future>
 #include <memory>
 #include <optional>
 #include <span>
@@ -137,6 +155,36 @@ struct EngineOptions {
   /// are bit-identical across modes (tests pin it) — only wall clock
   /// differs, so forcing an arm is a pure A/B knob.
   DeliveryMode delivery = DeliveryMode::kAdaptive;
+  /// Overlap the next round's topology construction with this round's
+  /// deliver phase on a persistent auxiliary lane. Engages only when the
+  /// adversary is oblivious, threads > 1 and n clears the sharding floor;
+  /// the adversary still sees strictly sequential in-order calls, so
+  /// RunStats is bit-identical on or off — off is a pure A/B knob for the
+  /// pipeline benchmarks.
+  bool prefetch_topology = true;
+  /// Run the streaming T-interval checker on a bounded auxiliary
+  /// certification lane instead of the round's critical path. The lane
+  /// consumes owned copies (delta, or composition claim + round edges), so
+  /// the topology may mutate freely; stats() is the deterministic
+  /// rendezvous — it drains the lane before reading any verdict, and a
+  /// checker error (e.g. a lying composition) surfaces there instead of
+  /// mid-Step. Engages only when threads > 1 in incremental mode with no
+  /// flight recorder (its per-round checker track needs synchronous state)
+  /// and without fail_fast_on_tinterval (fail-fast keeps the synchronous
+  /// checker so the abort round matches the serial engine exactly).
+  /// RunStats is bit-identical on or off.
+  bool async_certification = true;
+  /// Fuse the send phase into the previous round's deliver pass:
+  /// DirectSendProgram nodes compose round r+1's message right after their
+  /// round-r OnReceive, into the inactive half of a double-buffered
+  /// outbox, killing the send-phase barrier and its outbox sweep. The
+  /// buffers flip in round r+1's send window — after validate and probes —
+  /// so staged work is discarded on abort and RunStats stays bit-identical
+  /// (the per-node call order is exactly the serial engine's; see the
+  /// speculative-call contract in net/program.hpp). Engages only for
+  /// DirectSendProgram algorithms under oblivious adversaries (adaptive
+  /// ones sample PublicState between deliver r and send r+1).
+  bool fused_send_deliver = true;
   /// When set, every round's topology is appended here (replay/debugging)
   /// at the cost of exactly one Graph copy per round.
   std::vector<graph::Graph>* record_topologies = nullptr;
@@ -192,11 +240,15 @@ class Engine final : private AdversaryView {
   ~Engine() {
     // The outbox lives in the arena, which never runs element destructors;
     // message types with non-trivial state (e.g. a census shared_ptr) are
-    // destroyed here, before the arena member releases its chunks. Any
-    // in-flight topology prefetch only touches topo_/delta_, never the
-    // outbox, and its future blocks in the member destructors afterwards.
+    // destroyed here — both halves of the double buffer — before the arena
+    // member releases its chunks. In-flight auxiliary-lane tasks touch
+    // only topo_/delta_/checker_ (never the outbox); the lanes are the
+    // last-declared members, so their destructors join before anything
+    // they read dies.
     if constexpr (!std::is_trivially_destructible_v<typename A::Message>) {
-      for (typename A::Message& m : outbox_) std::destroy_at(&m);
+      for (std::span<typename A::Message> buf : outbox_bufs_) {
+        for (typename A::Message& m : buf) std::destroy_at(&m);
+      }
     }
   }
 
@@ -223,8 +275,14 @@ class Engine final : private AdversaryView {
       // code paths; the produced graph (and every consumed delta) is
       // identical either way.
       bool assigned = false;
-      if (delta_prefetch_.valid()) {
-        PrefetchedTopology pf = delta_prefetch_.get();
+      if (prefetch_pending_) {
+        // Join the lane task launched by the previous Step (it wrote
+        // prefetch_slot_ and possibly topo_'s edit buffer); Drain rethrows
+        // any adversary error and orders its writes before our reads.
+        topo_lane_.Drain();
+        prefetch_pending_ = false;
+        stats_.timings.aux_topology_ns += prefetch_ns_;
+        PrefetchedTopology& pf = prefetch_slot_;
         round_ = prefetched_round_;
         if (pf.tried_direct && !pf.assigned) topo_direct_supported_ = false;
         assigned = pf.assigned;
@@ -268,8 +326,11 @@ class Engine final : private AdversaryView {
       }
     } else {
       graph::Graph g(0);
-      if (prefetch_.valid()) {
-        g = prefetch_.get();
+      if (prefetch_pending_) {
+        topo_lane_.Drain();
+        prefetch_pending_ = false;
+        stats_.timings.aux_topology_ns += prefetch_ns_;
+        g = std::move(prefetch_graph_);
         round_ = prefetched_round_;
       } else {
         ++round_;
@@ -296,9 +357,57 @@ class Engine final : private AdversaryView {
             (sizeof(graph::Edge) + 2 * sizeof(graph::NodeId)) +
         static_cast<std::size_t>(n_ + 1) * sizeof(std::int64_t) +
         static_cast<std::size_t>(delta_.size()) * sizeof(graph::Edge)));
+    // The companion gauges: the DynGraph's maintenance scratch and the
+    // adversary's generator buffers. Both are capacity-based pure
+    // functions of the call stream (sampled here, after the lane joined),
+    // so RunStats::memory stays bit-identical across thread counts and
+    // overlap toggles.
+    if (incremental_) mem_topology_scratch_->SetCurrent(topo_.ScratchBytes());
+    mem_adversary_->SetCurrent(adversary_.BufferBytes());
     const auto t1 = Clock::now();
 
-    if (checker_.has_value()) {
+    if (checker_.has_value() && async_cert_) {
+      // Certification lane: ship this round's claim as owned copies and
+      // let the checker consume it off the critical path. The bounded
+      // queue backpressures Submit, so the lane lags at most
+      // kCertQueueDepth rounds; stats() is the rendezvous that drains it
+      // before any verdict (or checker error) is read. The round_ok value
+      // is only consumed by fail-fast, which pins the synchronous path.
+      if (use_composition_) {
+        const graph::RoundComposition* comp = adversary_.Composition(round_);
+        SDN_CHECK_MSG(comp != nullptr,
+                      "adversary advertises has_composition but returned no "
+                      "composition for round "
+                          << round_);
+        // The claim's core/support spans ride on their shared owners (the
+        // span-lifetime contract — no spine copy); only the volatile
+        // fresh span and the round's edge list need owned copies. Vector
+        // moves keep the heap buffer, so spans fixed up at execution time
+        // survive the closure's moves through the queue.
+        cert_lane_.Submit(util::UniqueTask(
+            [this, jc = *comp,
+             fresh = std::vector<graph::Edge>(comp->fresh.begin(),
+                                              comp->fresh.end()),
+             edges = std::vector<graph::Edge>(g.Edges().begin(),
+                                              g.Edges().end())]() mutable {
+              const auto c0 = std::chrono::steady_clock::now();
+              jc.fresh = fresh;
+              (void)checker_->PushComposition(
+                  jc, std::span<const graph::Edge>(edges));
+              cert_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - c0)
+                              .count();
+            }));
+      } else {
+        cert_lane_.Submit(util::UniqueTask([this, d = delta_]() {
+          const auto c0 = std::chrono::steady_clock::now();
+          (void)checker_->PushDelta(d);
+          cert_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - c0)
+                          .count();
+        }));
+      }
+    } else if (checker_.has_value()) {
       bool round_ok;
       if (use_composition_) {
         // Certification fast path: the adversary's structural claim for
@@ -352,38 +461,57 @@ class Engine final : private AdversaryView {
     // node order) instead of thrown from a worker — the merge below
     // deterministically picks the lowest node and fails the run from this
     // thread.
-    ForShards([this](int shard, std::int64_t begin, std::int64_t end) {
-      ShardAccum& acc = shard_accum_[static_cast<std::size_t>(shard)];
-      acc = ShardAccum{};
-      for (std::int64_t u = begin; u < end; ++u) {
-        typename A::Message& slot = outbox_[static_cast<std::size_t>(u)];
-        bool sent;
-        if constexpr (DirectSendProgram<A>) {
-          sent = nodes_[static_cast<std::size_t>(u)].OnSendInto(round_, slot);
-        } else {
-          std::optional<typename A::Message> msg =
-              nodes_[static_cast<std::size_t>(u)].OnSend(round_);
-          sent = msg.has_value();
-          if (sent) slot = std::move(*msg);
+    //
+    // Fused fast path: when the previous round's deliver pass already
+    // staged this round's messages (fused_send_deliver), the send phase
+    // degenerates to a buffer flip — the staged half of the double buffer
+    // becomes the live outbox, and the staged accumulators are folded into
+    // the stats exactly as a freshly-run send phase's would be. The flip
+    // sits here, after validate and probes, so an abort above leaves the
+    // staged round unmerged — the serial engine's books at the same round.
+    const bool fused_consume = staged_valid_;
+    if (fused_consume) {
+      staged_valid_ = false;
+      live_buf_ ^= 1;
+      outbox_ = outbox_bufs_[live_buf_];
+      sent_ = sent_bufs_[live_buf_];
+    } else {
+      ForShards([this](int shard, std::int64_t begin, std::int64_t end) {
+        ShardAccum& acc = shard_accum_[static_cast<std::size_t>(shard)];
+        acc = ShardAccum{};
+        for (std::int64_t u = begin; u < end; ++u) {
+          typename A::Message& slot = outbox_[static_cast<std::size_t>(u)];
+          bool sent;
+          if constexpr (DirectSendProgram<A>) {
+            sent = nodes_[static_cast<std::size_t>(u)].OnSendInto(round_, slot);
+          } else {
+            std::optional<typename A::Message> msg =
+                nodes_[static_cast<std::size_t>(u)].OnSend(round_);
+            sent = msg.has_value();
+            if (sent) slot = std::move(*msg);
+          }
+          sent_[static_cast<std::size_t>(u)] = sent ? 1 : 0;
+          if (!sent) continue;
+          const auto bits = static_cast<std::int64_t>(A::MessageBits(slot));
+          if (bits > stats_.bit_limit && acc.violation_node < 0) {
+            acc.violation_node = static_cast<graph::NodeId>(u);
+            acc.violation_bits = bits;
+          }
+          ++acc.messages_sent;
+          ++stats_.sends_per_node[static_cast<std::size_t>(u)];
+          acc.total_message_bits += bits;
+          acc.max_message_bits = std::max(acc.max_message_bits, bits);
         }
-        sent_[static_cast<std::size_t>(u)] = sent ? 1 : 0;
-        if (!sent) continue;
-        const auto bits = static_cast<std::int64_t>(A::MessageBits(slot));
-        if (bits > stats_.bit_limit && acc.violation_node < 0) {
-          acc.violation_node = static_cast<graph::NodeId>(u);
-          acc.violation_bits = bits;
-        }
-        ++acc.messages_sent;
-        ++stats_.sends_per_node[static_cast<std::size_t>(u)];
-        acc.total_message_bits += bits;
-        acc.max_message_bits = std::max(acc.max_message_bits, bits);
-      }
-    });
-    // The send window ends at the phase barrier; the shard merge below is
-    // engine bookkeeping and lands in other_ns, not send_ns.
+      });
+    }
+    // The send window ends at the phase barrier (or the fused flip); the
+    // shard merge below is engine bookkeeping and lands in other_ns, not
+    // send_ns.
     const auto t4 = Clock::now();
     std::int64_t round_sent = 0;
-    for (const ShardAccum& acc : shard_accum_) {
+    const std::vector<ShardAccum>& send_accums =
+        fused_consume ? staged_accum_ : shard_accum_;
+    for (const ShardAccum& acc : send_accums) {
       round_sent += acc.messages_sent;
       stats_.messages_sent += acc.messages_sent;
       stats_.total_message_bits += acc.total_message_bits;
@@ -392,6 +520,15 @@ class Engine final : private AdversaryView {
       if (!stats_.bandwidth_violation.has_value() && acc.violation_node >= 0) {
         stats_.bandwidth_violation =
             BandwidthViolation{acc.violation_node, round_, acc.violation_bits};
+      }
+    }
+    if (fused_consume) {
+      // Staged stats had to stay discardable until the merge, so the
+      // per-node send tally was deferred; fold it in from the sent flags.
+      std::int64_t* const spn = stats_.sends_per_node.data();
+      const unsigned char* const sent = sent_.data();
+      for (std::int64_t u = 0; u < n_; ++u) {
+        spn[u] += sent[u];
       }
     }
 
@@ -415,23 +552,25 @@ class Engine final : private AdversaryView {
     }
 
     // Overlap the next round's topology with the deliver phase: for an
-    // oblivious adversary the call reads no node state, so running it on a
-    // side thread while OnReceive mutates the nodes is race-free and the
-    // produced sequence is identical to the synchronous schedule. In
-    // incremental mode the side thread reads topo_.View(), which is not
-    // touched again until the future is joined at the top of the next Step.
+    // oblivious adversary the call reads no node state, so running it on
+    // the persistent auxiliary lane while OnReceive mutates the nodes is
+    // race-free and the produced call sequence is identical to the
+    // synchronous schedule. In incremental mode the lane reads topo_.View(),
+    // which is not touched again until the next Step drains the lane.
     if (prefetch_enabled_ && round_ < options_.max_rounds) {
       prefetched_round_ = round_ + 1;
+      prefetch_pending_ = true;
       if (incremental_) {
-        // The side thread writes only the DynGraph's edit buffer (disjoint
-        // from the view the deliver phase reads) or the moved-out delta.
-        // The sub-path choice is frozen at launch from this round's churn
-        // state — exactly what the synchronous schedule would pick, since
-        // churn was last updated in this Step's topology section.
-        delta_prefetch_ = std::async(
-            std::launch::async, [this, r = prefetched_round_,
-                                 direct = WantDirectTopology(),
-                                 d = std::move(delta_)]() mutable {
+        // The lane writes only the DynGraph's edit buffer (disjoint from
+        // the view the deliver phase reads), the moved-out delta and the
+        // prefetch result slots. The sub-path choice is frozen at launch
+        // from this round's churn state — exactly what the synchronous
+        // schedule would pick, since churn was last updated in this Step's
+        // topology section.
+        topo_lane_.Submit(util::UniqueTask(
+            [this, r = prefetched_round_, direct = WantDirectTopology(),
+             d = std::move(delta_)]() mutable {
+              const auto p0 = std::chrono::steady_clock::now();
               PrefetchedTopology pf;
               pf.tried_direct = direct;
               if (direct) {
@@ -448,13 +587,20 @@ class Engine final : private AdversaryView {
                 pf.has_delta = true;
               }
               pf.delta = std::move(d);
-              return pf;
-            });
+              prefetch_slot_ = std::move(pf);
+              prefetch_ns_ =
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - p0)
+                      .count();
+            }));
       } else {
-        prefetch_ = std::async(std::launch::async,
-                               [this, r = prefetched_round_]() {
-                                 return adversary_.TopologyFor(r, *this);
-                               });
+        topo_lane_.Submit(util::UniqueTask([this, r = prefetched_round_]() {
+          const auto p0 = std::chrono::steady_clock::now();
+          prefetch_graph_ = adversary_.TopologyFor(r, *this);
+          prefetch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - p0)
+                             .count();
+        }));
       }
     }
 
@@ -501,9 +647,18 @@ class Engine final : private AdversaryView {
     } else {
       ++gather_rounds_;
     }
+    // Fused staging: while this round's deliver pass holds each node hot,
+    // compose its round r+1 message into the inactive outbox half. The
+    // per-node call order (OnReceive(r), OnSendInto(r+1)) is exactly the
+    // serial engine's — nothing between them ever touches node state —
+    // and the staged stats stay in staged_accum_, discardable until round
+    // r+1's flip merges them. sends_per_node is deferred to the merge for
+    // the same reason.
+    const bool stage_next = fused_enabled_ && round_ < options_.max_rounds;
     const auto t5 = Clock::now();
-    ForShards([this, &g, observe_arms](int shard, std::int64_t begin,
-                                       std::int64_t end) {
+    ForShards([this, &g, observe_arms, stage_next](int shard,
+                                                   std::int64_t begin,
+                                                   std::int64_t end) {
       using Message = typename A::Message;
       ShardAccum& acc = shard_accum_[static_cast<std::size_t>(shard)];
       acc = ShardAccum{};
@@ -512,6 +667,34 @@ class Engine final : private AdversaryView {
                                    ? std::chrono::steady_clock::now()
                                    : std::chrono::steady_clock::time_point{};
       const Message* outbox = outbox_.data();
+      ShardAccum* sacc = nullptr;
+      Message* stage_out = nullptr;
+      unsigned char* stage_sent = nullptr;
+      if (stage_next) {
+        sacc = &staged_accum_[static_cast<std::size_t>(shard)];
+        *sacc = ShardAccum{};
+        stage_out = outbox_bufs_[live_buf_ ^ 1].data();
+        stage_sent = sent_bufs_[live_buf_ ^ 1].data();
+      }
+      const auto stage_one = [&](std::int64_t u, A& node) {
+        if constexpr (DirectSendProgram<A>) {
+          Message& slot = stage_out[static_cast<std::size_t>(u)];
+          const bool did = node.OnSendInto(round_ + 1, slot);
+          stage_sent[static_cast<std::size_t>(u)] = did ? 1 : 0;
+          if (!did) return;
+          const auto bits = static_cast<std::int64_t>(A::MessageBits(slot));
+          if (bits > stats_.bit_limit && sacc->violation_node < 0) {
+            sacc->violation_node = static_cast<graph::NodeId>(u);
+            sacc->violation_bits = bits;
+          }
+          ++sacc->messages_sent;
+          sacc->total_message_bits += bits;
+          sacc->max_message_bits = std::max(sacc->max_message_bits, bits);
+        } else {
+          (void)u;
+          (void)node;
+        }
+      };
       if (dense) {
         for (std::int64_t u = begin; u < end; ++u) {
           const std::span<const graph::NodeId> ids =
@@ -527,6 +710,7 @@ class Engine final : private AdversaryView {
             stats_.decide_round[static_cast<std::size_t>(u)] = round_;
             ++acc.decided;
           }
+          if (stage_next) stage_one(u, node);
         }
         if (observe_arms) {
           acc.deliver_ns =
@@ -557,6 +741,7 @@ class Engine final : private AdversaryView {
           stats_.decide_round[static_cast<std::size_t>(u)] = round_;
           ++acc.decided;
         }
+        if (stage_next) stage_one(u, node);
       }
       if (observe_arms) {
         acc.deliver_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -564,6 +749,7 @@ class Engine final : private AdversaryView {
                              .count();
       }
     });
+    staged_valid_ = stage_next;
     // Deliver window ends at the barrier; merge + decision bookkeeping are
     // other_ns.
     const auto t6 = Clock::now();
@@ -636,7 +822,13 @@ class Engine final : private AdversaryView {
 
   /// Snapshot of the metrics so far (valid mid-run and after completion).
   [[nodiscard]] RunStats stats() const {
+    // Deterministic rendezvous with the certification lane: every claim
+    // submitted so far is consumed — and any checker error (e.g. a lying
+    // composition) rethrown — before a verdict is read, so the snapshot
+    // equals the synchronous engine's at the same round.
+    cert_lane_.Drain();
     RunStats out = stats_;
+    out.timings.aux_validate_ns += cert_ns_;
     out.all_decided = started_ && undecided_ == 0;
     out.tinterval_validated = options_.validate_tinterval && started_;
     out.tinterval_ok = !checker_.has_value() || checker_->ok();
@@ -644,6 +836,12 @@ class Engine final : private AdversaryView {
       out.certified_T = checker_->certified_T();
       out.tinterval_first_bad_window = checker_->first_bad_window();
       out.min_stable_forest = checker_->min_stable_forest();
+      // The checker's footprint is a pure function of the rounds pushed —
+      // sampled here, post-drain, so the gauge is identical across thread
+      // counts and the async toggle.
+      if (mem_checker_ != nullptr) {
+        mem_checker_->SetCurrent(checker_->ApproxBytes());
+      }
     }
     out.flooding = FloodingSnapshot();
     if (budget_ != nullptr) {
@@ -716,6 +914,10 @@ class Engine final : private AdversaryView {
   /// every EngineOptions::threads setting.
   static constexpr std::int64_t kMinShardNodes = 64;
   static constexpr std::int64_t kMaxShards = 64;
+
+  /// Async-certification queue depth: the checker may lag the round loop
+  /// by at most this many rounds before Submit backpressures the producer.
+  static constexpr std::size_t kCertQueueDepth = 4;
 
   /// Adaptive delivery (DeliveryMode::kAdaptive): ArmSelector arms and
   /// tuning. 3 warmup rounds per arm seed the EWMAs; one decision in 61 is
@@ -993,10 +1195,28 @@ class Engine final : private AdversaryView {
     // sub-path ran.
     need_delta_ = (checker_.has_value() && !use_composition_) ||
                   options_.record_trace != nullptr;
+    // Fused send/deliver needs the in-place compose path (OnSendInto) and
+    // an adversary that never samples PublicState between deliver r and
+    // send r+1 — i.e. an oblivious one. Deliberately not thread-gated:
+    // staging runs inside whatever deliver schedule (serial or sharded)
+    // the run already uses.
+    fused_enabled_ = DirectSendProgram<A> && options_.fused_send_deliver &&
+                     adversary_.oblivious();
     // MakeArray value-initializes: outbox slots default-constructed, sent
-    // flags zero.
-    outbox_ = arena_.MakeArray<typename A::Message>(static_cast<std::size_t>(n_));
-    sent_ = arena_.MakeArray<unsigned char>(static_cast<std::size_t>(n_));
+    // flags zero. Fused mode double-buffers both arrays so round r+1's
+    // staged messages never alias the slots round r is still delivering.
+    outbox_bufs_[0] =
+        arena_.MakeArray<typename A::Message>(static_cast<std::size_t>(n_));
+    sent_bufs_[0] = arena_.MakeArray<unsigned char>(static_cast<std::size_t>(n_));
+    if (fused_enabled_) {
+      outbox_bufs_[1] =
+          arena_.MakeArray<typename A::Message>(static_cast<std::size_t>(n_));
+      sent_bufs_[1] =
+          arena_.MakeArray<unsigned char>(static_cast<std::size_t>(n_));
+    }
+    live_buf_ = 0;
+    outbox_ = outbox_bufs_[0];
+    sent_ = sent_bufs_[0];
     undecided_ = n_;
 
     // Memory accounting: resolve the gauges once, charge the fixed
@@ -1009,8 +1229,12 @@ class Engine final : private AdversaryView {
     mem_outbox_ = budget_->Get("outbox");
     mem_programs_ = budget_->Get("programs");
     mem_topology_ = budget_->Get("topology");
+    mem_topology_scratch_ = budget_->Get("topology_scratch");
+    mem_adversary_ = budget_->Get("adversary");
+    if (checker_.has_value()) mem_checker_ = budget_->Get("checker");
     mem_outbox_->SetCurrent(static_cast<std::int64_t>(
-        static_cast<std::size_t>(n_) * (sizeof(typename A::Message) + 1)));
+        static_cast<std::size_t>(n_) * (sizeof(typename A::Message) + 1) *
+        (fused_enabled_ ? 2 : 1)));
     mem_programs_->SetCurrent(
         static_cast<std::int64_t>(static_cast<std::size_t>(n_) * sizeof(A)));
 
@@ -1024,16 +1248,27 @@ class Engine final : private AdversaryView {
     shards_ = std::clamp<std::int64_t>(n_ / kMinShardNodes, 1, kMaxShards);
     lanes_ = static_cast<int>(std::min<std::int64_t>(threads, shards_));
     pool_ = lanes_ > 1 ? &util::ThreadPool::Shared() : nullptr;
-    // Prefetch pays one thread launch per round; only worth it at sizes
-    // where a round costs real work. Gated on threads > 1 so `threads = 1`
-    // stays strictly single-threaded.
-    // Prefetch composes with the composition fast path: the checker reads
-    // the claimed spans right after the topology section, and the next
-    // round's overlapped build (which would invalidate them) only launches
-    // after the send phase — the future join orders the accesses.
-    prefetch_enabled_ = threads > 1 && n_ >= 2 * kMinShardNodes &&
-                        adversary_.oblivious();
+    // Prefetch runs on the persistent topology lane; only worth it at
+    // sizes where a round costs real work. Gated on threads > 1 so
+    // `threads = 1` keeps the round loop itself single-threaded.
+    // Prefetch composes with the composition fast path: the checker (or
+    // the cert lane's copy) reads the claimed spans right after the
+    // topology section, and the next round's overlapped build (which would
+    // invalidate them) only launches after the send phase — the lane drain
+    // at the top of the next Step orders the accesses.
+    prefetch_enabled_ = options_.prefetch_topology && threads > 1 &&
+                        n_ >= 2 * kMinShardNodes && adversary_.oblivious();
+    // Async certification excludes exactly the configurations that read
+    // checker state mid-round: fail-fast (the verdict gates the round) and
+    // a flight recorder (its per-round kCheckerWindow track). stats() is
+    // the rendezvous for everything else.
+    async_cert_ = checker_.has_value() && options_.async_certification &&
+                  incremental_ && !options_.fail_fast_on_tinterval &&
+                  rec_ == nullptr && threads > 1;
     shard_accum_.assign(static_cast<std::size_t>(shards_), ShardAccum{});
+    if (fused_enabled_) {
+      staged_accum_.assign(static_cast<std::size_t>(shards_), ShardAccum{});
+    }
     shard_slots_.resize(static_cast<std::size_t>(shards_));
     shard_selectors_.assign(static_cast<std::size_t>(shards_),
                             ArmSelector{kDeliveryWarmupRounds,
@@ -1204,11 +1439,28 @@ class Engine final : private AdversaryView {
   int lanes_ = 1;
   std::int64_t shards_ = 1;
   bool prefetch_enabled_ = false;
+  bool async_cert_ = false;
+  bool fused_enabled_ = false;
   std::vector<ShardAccum> shard_accum_;
   std::vector<std::vector<const typename A::Message*>> shard_slots_;
-  std::future<graph::Graph> prefetch_;
-  std::future<PrefetchedTopology> delta_prefetch_;
+
+  // Pipelining state. The double-buffered outbox halves (fused mode flips
+  // live_buf_ each round; outbox_/sent_ above always alias the live half),
+  // the staged-send accumulators, and the topology-prefetch result slots
+  // (written by the topology lane, read after the drain at the top of the
+  // next Step). prefetch_ns_/cert_ns_ are lane-side wall clocks surfaced
+  // as EngineTimings::aux_*_ns at the rendezvous points.
+  std::span<typename A::Message> outbox_bufs_[2];
+  std::span<unsigned char> sent_bufs_[2];
+  int live_buf_ = 0;
+  bool staged_valid_ = false;
+  std::vector<ShardAccum> staged_accum_;
   std::int64_t prefetched_round_ = -1;
+  PrefetchedTopology prefetch_slot_;
+  graph::Graph prefetch_graph_{0};
+  bool prefetch_pending_ = false;
+  std::int64_t prefetch_ns_ = 0;
+  std::int64_t cert_ns_ = 0;
 
   // Memory accounting (EnsureStarted): budget_ points at the caller's
   // MemoryBudget or the engine-owned fallback; gauge pointers are resolved
@@ -1218,6 +1470,9 @@ class Engine final : private AdversaryView {
   util::MemoryGauge* mem_outbox_ = nullptr;
   util::MemoryGauge* mem_programs_ = nullptr;
   util::MemoryGauge* mem_topology_ = nullptr;
+  util::MemoryGauge* mem_topology_scratch_ = nullptr;
+  util::MemoryGauge* mem_adversary_ = nullptr;
+  util::MemoryGauge* mem_checker_ = nullptr;
 
   // Observability sinks (EnsureStarted): both null/off by default. The
   // recorder pointer gate is the whole off-switch — no event code runs
@@ -1237,6 +1492,14 @@ class Engine final : private AdversaryView {
   bool obs_checker_ok_ = true;
   std::int64_t obs_cert_ = -1;          // last emitted certified-T
   std::int64_t obs_hw_bits_ = 0;  // last emitted bandwidth high water
+
+  // Auxiliary pipelining lanes — declared last so their destructors (which
+  // join any in-flight task) run before the members those tasks touch
+  // (adversary_, topo_, delta_, checker_, the prefetch slots) are
+  // destroyed. cert_lane_ is mutable because const stats() is its
+  // deterministic rendezvous.
+  util::AuxLane topo_lane_;
+  mutable util::AuxLane cert_lane_{kCertQueueDepth};
 };
 
 }  // namespace sdn::net

@@ -163,6 +163,17 @@ concept NodeProgram = requires(
 /// the same readable fields as OnSend(r) — the engine picks whichever path
 /// exists per program type, and the property suites pin RunStats equality
 /// between a direct-send program and its OnSend behavior.
+///
+/// Speculative calls: under fused send/deliver the engine composes round
+/// r+1's message immediately after the node's round-r OnReceive — the
+/// per-node call order (..., OnReceive(r), OnSendInto(r+1),
+/// OnReceive(r+1), ...) is exactly the serial engine's, but when the run
+/// ends or aborts at round r the trailing OnSendInto(r+1) has already
+/// happened and its output is discarded. A provider must therefore
+/// tolerate one final OnSendInto whose message is never delivered: any
+/// state it mutates (schedule-window caches, sent-token bookkeeping) must
+/// be invisible to everything read after the run — HasDecided, output,
+/// PublicState, ObsPhase.
 template <typename A>
 concept DirectSendProgram =
     NodeProgram<A> && requires(A a, Round r, typename A::Message& m) {

@@ -1,4 +1,5 @@
-// Thread-count invariance of the parallel engine (docs/PERF.md).
+// Thread-count and overlap-toggle invariance of the parallel engine
+// (docs/PERF.md).
 //
 // EngineOptions::threads is documented as a pure throughput knob: every
 // statistic except the wall-clock timings must be bit-identical whether the
@@ -8,13 +9,29 @@
 // (spine-gnp, prefetch exercised) and an adaptive one (adaptive-desc,
 // prefetch disabled, parallel phases still on). n = 192 gives 3 shards, so
 // threads > 1 genuinely takes the pool path.
+//
+// The pipelining overlaps (prefetch_topology, async_certification,
+// fused_send_deliver) carry the same contract: each is a pure scheduling
+// change, so the overlap matrix below runs every toggle individually and
+// all together, across thread counts and across oblivious / adaptive /
+// streaming-trace adversaries, against an all-overlaps-off serial
+// reference.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "adversary/streaming_trace.hpp"
+#include "algo/hjswy.hpp"
+#include "algo/sketch_pool.hpp"
 #include "core/api.hpp"
+#include "graph/delta.hpp"
+#include "net/engine.hpp"
+#include "net/trace.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
+#include "util/rng.hpp"
 
 namespace sdn {
 namespace {
@@ -64,6 +81,59 @@ void CheckThreadInvariance(Algorithm algorithm, const std::string& adversary,
   }
 }
 
+// One overlap-matrix sweep: an all-overlaps-off serial run is the
+// reference; each pipelining toggle alone, and all three together, must
+// reproduce it bit-for-bit at threads 1, 2 and hardware. Certification is
+// ON here (unlike the thread-invariance tests above) so the
+// async-certification lane is genuinely exercised and its verdict fields
+// are compared against the synchronous checker's.
+void CheckOverlapInvariance(Algorithm algorithm, const std::string& adversary,
+                            std::int64_t max_rounds) {
+  RunConfig config;
+  config.n = 192;
+  config.T = 2;
+  config.seed = 12345;
+  config.adversary.kind = adversary;
+  config.max_rounds = max_rounds;
+  config.validate_tinterval = true;
+
+  config.threads = 1;
+  config.prefetch_topology = false;
+  config.async_certification = false;
+  config.fused_send_deliver = false;
+  const RunResult reference = RunAlgorithm(algorithm, config);
+  EXPECT_TRUE(reference.stats.tinterval_validated);
+  EXPECT_TRUE(reference.stats.tinterval_ok);
+
+  // {prefetch_topology, async_certification, fused_send_deliver}.
+  constexpr bool kRows[4][3] = {{true, false, false},
+                                {false, true, false},
+                                {false, false, true},
+                                {true, true, true}};
+  for (const auto& row : kRows) {
+    for (const int threads : {1, 2, 0}) {
+      config.prefetch_topology = row[0];
+      config.async_certification = row[1];
+      config.fused_send_deliver = row[2];
+      config.threads = threads;
+      SCOPED_TRACE(std::string(ToString(algorithm)) + " on " + adversary +
+                   " prefetch=" + std::to_string(row[0]) +
+                   " async_cert=" + std::to_string(row[1]) +
+                   " fused=" + std::to_string(row[2]) +
+                   " threads=" + std::to_string(threads));
+      const RunResult run = RunAlgorithm(algorithm, config);
+      ExpectIdenticalRuns(reference, run);
+      EXPECT_EQ(reference.stats.tinterval_validated,
+                run.stats.tinterval_validated);
+      EXPECT_EQ(reference.stats.tinterval_ok, run.stats.tinterval_ok);
+      EXPECT_EQ(reference.stats.certified_T, run.stats.certified_T);
+      EXPECT_EQ(reference.stats.min_stable_forest, run.stats.min_stable_forest);
+      EXPECT_EQ(reference.stats.tinterval_first_bad_window,
+                run.stats.tinterval_first_bad_window);
+    }
+  }
+}
+
 TEST(Determinism, HjswyCensusOnObliviousSpine) {
   CheckThreadInvariance(Algorithm::kHjswyCensus, "spine-gnp", 100'000);
 }
@@ -91,6 +161,114 @@ TEST(Determinism, KloCommitteeOnObliviousSpine) {
 
 TEST(Determinism, KloCommitteeOnAdaptiveAdversary) {
   CheckThreadInvariance(Algorithm::kKloCommittee, "adaptive-desc", 2'000);
+}
+
+// Overlap matrix, oblivious arm: spine-gnp claims compositions, so the
+// async-certification rows here push composition claims (+ owned edge
+// copies) through the certification lane, and prefetch + fusion both
+// engage at threads > 1.
+TEST(Determinism, OverlapTogglesOnObliviousSpine) {
+  CheckOverlapInvariance(Algorithm::kHjswyCensus, "spine-gnp", 100'000);
+}
+
+// Overlap matrix, adaptive arm: prefetch and fusion are gated off by the
+// engine (the adversary samples PublicState between rounds), so these rows
+// pin that the toggles are safe no-ops there while the async checker still
+// consumes per-round deltas off the critical path.
+TEST(Determinism, OverlapTogglesOnAdaptiveAdversary) {
+  CheckOverlapInvariance(Algorithm::kKloCensusT, "adaptive-desc", 3'000);
+}
+
+// Overlap matrix, streaming arm: record a spine trace to disk, then replay
+// it through StreamingTraceAdversary — delta-native, strictly sequential
+// DeltaFor, not registered in the factory, so this row runs the engine
+// directly. The single-slot prefetch lane must preserve the reader's
+// in-order contract, and the async checker must certify from the owned
+// delta copies while the trace reader's buffers are reused underneath it.
+TEST(Determinism, OverlapTogglesOnStreamingTrace) {
+  const graph::NodeId n = 192;
+  const std::int64_t recorded_rounds = 48;
+  adversary::AdversaryConfig source_config;
+  source_config.kind = "spine-gnp";
+  source_config.n = n;
+  source_config.T = 2;
+  source_config.seed = 12345;
+  const auto source = adversary::MakeAdversary(source_config);
+
+  class NullView final : public net::AdversaryView {
+   public:
+    [[nodiscard]] std::int64_t round() const override { return 1; }
+    [[nodiscard]] double PublicState(graph::NodeId) const override {
+      return 0;
+    }
+    [[nodiscard]] graph::NodeId num_nodes() const override { return 0; }
+  };
+
+  const std::string path =
+      ::testing::TempDir() + "sdn_determinism_overlap_trace.txt";
+  {
+    net::TraceRecorder recorder(path, n, /*interval=*/2, /*keyframe_every=*/8);
+    graph::DynGraph dyn(n);
+    graph::TopologyDelta delta;
+    NullView view;
+    for (std::int64_t r = 1; r <= recorded_rounds; ++r) {
+      source->DeltaFor(r, view, dyn.View(), delta);
+      dyn.Apply(delta);
+      recorder.Push(dyn.View(), delta);
+    }
+    recorder.Close();
+  }
+
+  const auto run_streamed = [&path](bool overlaps, int threads) {
+    adversary::StreamingTraceAdversary streaming(path);
+    algo::HjswyOptions options;
+    options.T = streaming.interval();
+    algo::SketchPool pool(
+        static_cast<std::size_t>(streaming.num_nodes()),
+        algo::HjswyProgram::RequiredPoolColumns(options));
+    util::Rng base(99);
+    std::vector<algo::HjswyProgram> nodes;
+    nodes.reserve(static_cast<std::size_t>(streaming.num_nodes()));
+    for (graph::NodeId u = 0; u < streaming.num_nodes(); ++u) {
+      nodes.emplace_back(u, u, options,
+                         base.Fork(static_cast<std::uint64_t>(u)), &pool);
+    }
+    net::EngineOptions opts;
+    opts.flood_probes = 0;
+    opts.threads = threads;
+    opts.max_rounds = 40;  // stays inside the recorded trace
+    opts.prefetch_topology = overlaps;
+    opts.async_certification = overlaps;
+    opts.fused_send_deliver = overlaps;
+    net::Engine<algo::HjswyProgram> engine(std::move(nodes), streaming, opts);
+    return engine.Run();
+  };
+
+  const net::RunStats reference = run_streamed(/*overlaps=*/false,
+                                               /*threads=*/1);
+  EXPECT_TRUE(reference.tinterval_validated);
+  EXPECT_TRUE(reference.tinterval_ok);
+  for (const bool overlaps : {false, true}) {
+    for (const int threads : {1, 2, 0}) {
+      if (!overlaps && threads == 1) continue;  // that is the reference
+      SCOPED_TRACE("overlaps=" + std::to_string(overlaps) +
+                   " threads=" + std::to_string(threads));
+      const net::RunStats run = run_streamed(overlaps, threads);
+      EXPECT_EQ(reference.rounds, run.rounds);
+      EXPECT_EQ(reference.decide_round, run.decide_round);
+      EXPECT_EQ(reference.messages_sent, run.messages_sent);
+      EXPECT_EQ(reference.sends_per_node, run.sends_per_node);
+      EXPECT_EQ(reference.total_message_bits, run.total_message_bits);
+      EXPECT_EQ(reference.edges_processed, run.edges_processed);
+      EXPECT_EQ(reference.messages_delivered, run.messages_delivered);
+      EXPECT_EQ(reference.tinterval_validated, run.tinterval_validated);
+      EXPECT_EQ(reference.tinterval_ok, run.tinterval_ok);
+      EXPECT_EQ(reference.certified_T, run.certified_T);
+      EXPECT_EQ(reference.min_stable_forest, run.min_stable_forest);
+    }
+  }
+
+  std::remove(path.c_str());
 }
 
 // The flight recorder is pure observation: attaching it (at any thread

@@ -884,6 +884,33 @@ TEST(Engine, FailFastOnTIntervalThrowsAndRecordsWindow) {
   EXPECT_FALSE(stats.tinterval_ok);
 }
 
+TEST(Engine, FailFastUnderAsyncCertificationMatchesSerialAbort) {
+  // fail_fast_on_tinterval pins the checker to the synchronous path even
+  // when async_certification is requested (an async verdict would surface
+  // at stats() instead of aborting the violating round): the parallel
+  // async-requested run must throw at exactly the serial engine's abort
+  // round with the same violating window in the books.
+  const auto run_fail_fast = [](bool async_cert, int threads) {
+    FlickerAdversary adv;
+    std::vector<InboxCounter> nodes(4, InboxCounter(4));
+    EngineOptions opts;
+    opts.fail_fast_on_tinterval = true;
+    opts.async_certification = async_cert;
+    opts.threads = threads;
+    Engine<InboxCounter> engine(std::move(nodes), adv, opts);
+    EXPECT_THROW(engine.Run(), util::CheckError);
+    return engine.stats();
+  };
+  const RunStats serial = run_fail_fast(/*async_cert=*/false, /*threads=*/1);
+  const RunStats parallel = run_fail_fast(/*async_cert=*/true, /*threads=*/2);
+  EXPECT_EQ(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.tinterval_first_bad_window,
+            parallel.tinterval_first_bad_window);
+  EXPECT_EQ(parallel.tinterval_first_bad_window, 0);
+  EXPECT_FALSE(parallel.tinterval_ok);
+  EXPECT_EQ(serial.messages_delivered, parallel.messages_delivered);
+}
+
 TEST(Engine, FailFastIsInertOnHonestRuns) {
   adversary::AdversaryConfig config;
   config.kind = "spine-gnp";

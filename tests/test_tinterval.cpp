@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -288,15 +289,16 @@ TEST(TIntervalChecker, FuzzCompositionMatchesBatch) {
     const int len =
         1 + static_cast<int>(rng.UniformU64(
                 static_cast<std::uint64_t>(4 * era_len)));
-    std::map<std::uint64_t, std::vector<Edge>> spines;  // pinned spans
-    const auto spine_for =
-        [&](std::uint64_t era) -> const std::vector<Edge>& {
+    // Pinned spans with shared owners, as the composition contract requires.
+    std::map<std::uint64_t, std::shared_ptr<const std::vector<Edge>>> spines;
+    const auto spine_for = [&](std::uint64_t era)
+        -> const std::shared_ptr<const std::vector<Edge>>& {
       auto it = spines.find(era);
       if (it == spines.end()) {
         const Graph t = RandomTree(n, rng);
         it = spines
-                 .emplace(era, std::vector<Edge>(t.Edges().begin(),
-                                                 t.Edges().end()))
+                 .emplace(era, std::make_shared<const std::vector<Edge>>(
+                                   t.Edges().begin(), t.Edges().end()))
                  .first;
       }
       return it->second;
@@ -309,23 +311,26 @@ TEST(TIntervalChecker, FuzzCompositionMatchesBatch) {
     for (int r = 1; r <= len; ++r) {
       const auto era = static_cast<std::uint64_t>((r - 1) / era_len);
       const bool overlap = honest && era > 0 && (r - 1) % era_len < T - 1;
-      const std::vector<Edge>& core = spine_for(era);
+      const std::shared_ptr<const std::vector<Edge>>& core = spine_for(era);
       fresh_store[static_cast<std::size_t>(r - 1)] =
           RandomEdges(n, static_cast<int>(rng.UniformU64(4)), rng);
       const std::vector<Edge>& fresh =
           fresh_store[static_cast<std::size_t>(r - 1)];
       RoundComposition comp;
-      comp.core = core;
+      comp.core = *core;
       comp.core_id = era;
+      comp.core_owner = core;
       comp.fresh = fresh;
       std::vector<Edge> all;
       if (overlap) {
-        comp.support = spine_for(era - 1);
+        const auto& prev_spine = spine_for(era - 1);
+        comp.support = *prev_spine;
         comp.support_id = era - 1;
-        UnionSorted(core, spine_for(era - 1), scratch);
+        comp.support_owner = prev_spine;
+        UnionSorted(*core, *prev_spine, scratch);
         UnionSorted(scratch, fresh, all);
       } else {
-        UnionSorted(core, fresh, all);
+        UnionSorted(*core, fresh, all);
       }
       seq.emplace_back(n, std::span<const Edge>(all));
       comps.push_back(comp);
@@ -352,14 +357,64 @@ TEST(TIntervalChecker, FuzzCompositionMatchesBatch) {
 TEST(TIntervalChecker, CompositionLiesAreCaught) {
   // A claim whose union disagrees with the round must throw (first-seen ids
   // are fully verified), never silently certify.
-  const std::vector<Edge> claimed = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+  const auto claimed = std::make_shared<const std::vector<Edge>>(
+      std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
   const Graph actual(6, std::vector<Edge>{{1, 2}, {2, 3}, {3, 4}, {4, 5}});
   RoundComposition comp;
-  comp.core = claimed;  // (0,1) is not in the round
+  comp.core = *claimed;  // (0,1) is not in the round
   comp.core_id = 0;
+  comp.core_owner = claimed;
   TIntervalChecker checker(6, 2);
   EXPECT_THROW((void)checker.PushComposition(comp, actual),
                util::CheckError);
+}
+
+TEST(TIntervalChecker, CompositionWithoutOwnerIsRejected) {
+  // The span-lifetime contract: a non-empty core/support span must carry a
+  // shared owner, or the checker refuses the claim outright. A bare span
+  // could dangle the moment the adversary rotates its era buffers.
+  const std::vector<Edge> bare = {{0, 1}, {1, 2}, {2, 3}};
+  const Graph actual(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  RoundComposition comp;
+  comp.core = bare;
+  comp.core_id = 0;  // no core_owner set
+  TIntervalChecker checker(4, 2);
+  EXPECT_THROW((void)checker.PushComposition(comp, actual),
+               util::CheckError);
+}
+
+TEST(TIntervalChecker, SpineCachePinsPublishedBuffer) {
+  // Span identity across era revisits: the checker's spine cache must hold
+  // the *published* buffer via its shared owner, not a copy. After the
+  // producer drops its reference, the owner's data pointer (captured at
+  // publish time) must still be what the record pins — use_count proves the
+  // cache took shared ownership instead of copying.
+  auto spine = std::make_shared<const std::vector<Edge>>(
+      std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const Edge* const published_data = spine->data();
+  const Graph round(5, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  RoundComposition comp;
+  comp.core = *spine;
+  comp.core_id = 7;
+  comp.core_owner = spine;
+  TIntervalChecker checker(5, 2);
+  EXPECT_TRUE(checker.PushComposition(comp, round));
+  // The checker now co-owns the buffer (producer + cache).
+  EXPECT_GE(spine.use_count(), 2);
+  // Producer rotates away; the cached record must keep the bytes alive at
+  // the same address — feed the same id again from a fresh span over the
+  // original owner and the checker must accept without re-verification.
+  std::weak_ptr<const std::vector<Edge>> weak = spine;
+  spine.reset();
+  EXPECT_FALSE(weak.expired()) << "checker must pin the published buffer";
+  const auto pinned = weak.lock();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->data(), published_data);
+  RoundComposition again;
+  again.core = *pinned;
+  again.core_id = 7;
+  again.core_owner = pinned;
+  EXPECT_TRUE(checker.PushComposition(again, round));
 }
 
 }  // namespace
