@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a9_micro.cpp" "bench/CMakeFiles/bench_a9_micro.dir/bench_a9_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_a9_micro.dir/bench_a9_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/core/CMakeFiles/sdn_core.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/algo/CMakeFiles/sdn_algo.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/adversary/CMakeFiles/sdn_adversary.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/net/CMakeFiles/sdn_net.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/graph/CMakeFiles/sdn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/util/CMakeFiles/sdn_util.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/obs/CMakeFiles/sdn_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

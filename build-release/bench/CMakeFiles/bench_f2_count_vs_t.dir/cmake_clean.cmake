@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_count_vs_t.dir/bench_f2_count_vs_t.cpp.o"
+  "CMakeFiles/bench_f2_count_vs_t.dir/bench_f2_count_vs_t.cpp.o.d"
+  "bench_f2_count_vs_t"
+  "bench_f2_count_vs_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_count_vs_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f2_count_vs_t.
+# This may be replaced when dependencies are built.

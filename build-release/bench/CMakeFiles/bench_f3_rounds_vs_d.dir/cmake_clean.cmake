@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_rounds_vs_d.dir/bench_f3_rounds_vs_d.cpp.o"
+  "CMakeFiles/bench_f3_rounds_vs_d.dir/bench_f3_rounds_vs_d.cpp.o.d"
+  "bench_f3_rounds_vs_d"
+  "bench_f3_rounds_vs_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_rounds_vs_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

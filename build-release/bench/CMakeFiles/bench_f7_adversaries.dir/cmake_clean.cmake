@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_adversaries.dir/bench_f7_adversaries.cpp.o"
+  "CMakeFiles/bench_f7_adversaries.dir/bench_f7_adversaries.cpp.o.d"
+  "bench_f7_adversaries"
+  "bench_f7_adversaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_adversaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

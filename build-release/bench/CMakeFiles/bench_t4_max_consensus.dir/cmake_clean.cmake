@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_max_consensus.dir/bench_t4_max_consensus.cpp.o"
+  "CMakeFiles/bench_t4_max_consensus.dir/bench_t4_max_consensus.cpp.o.d"
+  "bench_t4_max_consensus"
+  "bench_t4_max_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_max_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

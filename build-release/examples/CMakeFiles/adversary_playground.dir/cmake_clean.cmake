@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_playground.dir/adversary_playground.cpp.o"
+  "CMakeFiles/adversary_playground.dir/adversary_playground.cpp.o.d"
+  "adversary_playground"
+  "adversary_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

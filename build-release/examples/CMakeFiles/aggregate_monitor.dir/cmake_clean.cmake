@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_monitor.dir/aggregate_monitor.cpp.o"
+  "CMakeFiles/aggregate_monitor.dir/aggregate_monitor.cpp.o.d"
+  "aggregate_monitor"
+  "aggregate_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_consensus.dir/fleet_consensus.cpp.o"
+  "CMakeFiles/fleet_consensus.dir/fleet_consensus.cpp.o.d"
+  "fleet_consensus"
+  "fleet_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

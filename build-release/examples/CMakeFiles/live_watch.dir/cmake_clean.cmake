@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_watch.dir/live_watch.cpp.o"
+  "CMakeFiles/live_watch.dir/live_watch.cpp.o.d"
+  "live_watch"
+  "live_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_swarm.dir/sensor_swarm.cpp.o"
+  "CMakeFiles/sensor_swarm.dir/sensor_swarm.cpp.o.d"
+  "sensor_swarm"
+  "sensor_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-release/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-release/examples/quickstart" "--n=24" "--T=2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sensor_swarm "/root/repo/build-release/examples/sensor_swarm" "--drones=40")
+set_tests_properties(example_sensor_swarm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fleet_consensus "/root/repo/build-release/examples/fleet_consensus" "--vehicles=32")
+set_tests_properties(example_fleet_consensus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adversary_playground "/root/repo/build-release/examples/adversary_playground" "--n=24" "--T=3" "--rounds=15")
+set_tests_properties(example_adversary_playground PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aggregate_monitor "/root/repo/build-release/examples/aggregate_monitor" "--servers=48")
+set_tests_properties(example_aggregate_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_live_watch "/root/repo/build-release/examples/live_watch" "--n=32" "--every=50")
+set_tests_properties(example_live_watch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/adaptive.cpp" "src/adversary/CMakeFiles/sdn_adversary.dir/adaptive.cpp.o" "gcc" "src/adversary/CMakeFiles/sdn_adversary.dir/adaptive.cpp.o.d"
+  "/root/repo/src/adversary/factory.cpp" "src/adversary/CMakeFiles/sdn_adversary.dir/factory.cpp.o" "gcc" "src/adversary/CMakeFiles/sdn_adversary.dir/factory.cpp.o.d"
+  "/root/repo/src/adversary/mobile.cpp" "src/adversary/CMakeFiles/sdn_adversary.dir/mobile.cpp.o" "gcc" "src/adversary/CMakeFiles/sdn_adversary.dir/mobile.cpp.o.d"
+  "/root/repo/src/adversary/replay.cpp" "src/adversary/CMakeFiles/sdn_adversary.dir/replay.cpp.o" "gcc" "src/adversary/CMakeFiles/sdn_adversary.dir/replay.cpp.o.d"
+  "/root/repo/src/adversary/spine.cpp" "src/adversary/CMakeFiles/sdn_adversary.dir/spine.cpp.o" "gcc" "src/adversary/CMakeFiles/sdn_adversary.dir/spine.cpp.o.d"
+  "/root/repo/src/adversary/stable_spine.cpp" "src/adversary/CMakeFiles/sdn_adversary.dir/stable_spine.cpp.o" "gcc" "src/adversary/CMakeFiles/sdn_adversary.dir/stable_spine.cpp.o.d"
+  "/root/repo/src/adversary/static_adversary.cpp" "src/adversary/CMakeFiles/sdn_adversary.dir/static_adversary.cpp.o" "gcc" "src/adversary/CMakeFiles/sdn_adversary.dir/static_adversary.cpp.o.d"
+  "/root/repo/src/adversary/streaming_trace.cpp" "src/adversary/CMakeFiles/sdn_adversary.dir/streaming_trace.cpp.o" "gcc" "src/adversary/CMakeFiles/sdn_adversary.dir/streaming_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/net/CMakeFiles/sdn_net.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/graph/CMakeFiles/sdn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/util/CMakeFiles/sdn_util.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/obs/CMakeFiles/sdn_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

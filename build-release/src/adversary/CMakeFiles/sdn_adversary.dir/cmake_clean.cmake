@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_adversary.dir/adaptive.cpp.o"
+  "CMakeFiles/sdn_adversary.dir/adaptive.cpp.o.d"
+  "CMakeFiles/sdn_adversary.dir/factory.cpp.o"
+  "CMakeFiles/sdn_adversary.dir/factory.cpp.o.d"
+  "CMakeFiles/sdn_adversary.dir/mobile.cpp.o"
+  "CMakeFiles/sdn_adversary.dir/mobile.cpp.o.d"
+  "CMakeFiles/sdn_adversary.dir/replay.cpp.o"
+  "CMakeFiles/sdn_adversary.dir/replay.cpp.o.d"
+  "CMakeFiles/sdn_adversary.dir/spine.cpp.o"
+  "CMakeFiles/sdn_adversary.dir/spine.cpp.o.d"
+  "CMakeFiles/sdn_adversary.dir/stable_spine.cpp.o"
+  "CMakeFiles/sdn_adversary.dir/stable_spine.cpp.o.d"
+  "CMakeFiles/sdn_adversary.dir/static_adversary.cpp.o"
+  "CMakeFiles/sdn_adversary.dir/static_adversary.cpp.o.d"
+  "CMakeFiles/sdn_adversary.dir/streaming_trace.cpp.o"
+  "CMakeFiles/sdn_adversary.dir/streaming_trace.cpp.o.d"
+  "libsdn_adversary.a"
+  "libsdn_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

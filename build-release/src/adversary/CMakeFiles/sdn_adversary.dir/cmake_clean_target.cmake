@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdn_adversary.a"
+)

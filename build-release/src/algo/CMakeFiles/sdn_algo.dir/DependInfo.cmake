@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/census.cpp" "src/algo/CMakeFiles/sdn_algo.dir/census.cpp.o" "gcc" "src/algo/CMakeFiles/sdn_algo.dir/census.cpp.o.d"
+  "/root/repo/src/algo/codecs.cpp" "src/algo/CMakeFiles/sdn_algo.dir/codecs.cpp.o" "gcc" "src/algo/CMakeFiles/sdn_algo.dir/codecs.cpp.o.d"
+  "/root/repo/src/algo/common.cpp" "src/algo/CMakeFiles/sdn_algo.dir/common.cpp.o" "gcc" "src/algo/CMakeFiles/sdn_algo.dir/common.cpp.o.d"
+  "/root/repo/src/algo/estimator.cpp" "src/algo/CMakeFiles/sdn_algo.dir/estimator.cpp.o" "gcc" "src/algo/CMakeFiles/sdn_algo.dir/estimator.cpp.o.d"
+  "/root/repo/src/algo/flood_max.cpp" "src/algo/CMakeFiles/sdn_algo.dir/flood_max.cpp.o" "gcc" "src/algo/CMakeFiles/sdn_algo.dir/flood_max.cpp.o.d"
+  "/root/repo/src/algo/hjswy.cpp" "src/algo/CMakeFiles/sdn_algo.dir/hjswy.cpp.o" "gcc" "src/algo/CMakeFiles/sdn_algo.dir/hjswy.cpp.o.d"
+  "/root/repo/src/algo/idset.cpp" "src/algo/CMakeFiles/sdn_algo.dir/idset.cpp.o" "gcc" "src/algo/CMakeFiles/sdn_algo.dir/idset.cpp.o.d"
+  "/root/repo/src/algo/kernels.cpp" "src/algo/CMakeFiles/sdn_algo.dir/kernels.cpp.o" "gcc" "src/algo/CMakeFiles/sdn_algo.dir/kernels.cpp.o.d"
+  "/root/repo/src/algo/klo_committee.cpp" "src/algo/CMakeFiles/sdn_algo.dir/klo_committee.cpp.o" "gcc" "src/algo/CMakeFiles/sdn_algo.dir/klo_committee.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/net/CMakeFiles/sdn_net.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/graph/CMakeFiles/sdn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/util/CMakeFiles/sdn_util.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/obs/CMakeFiles/sdn_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_algo.dir/census.cpp.o"
+  "CMakeFiles/sdn_algo.dir/census.cpp.o.d"
+  "CMakeFiles/sdn_algo.dir/codecs.cpp.o"
+  "CMakeFiles/sdn_algo.dir/codecs.cpp.o.d"
+  "CMakeFiles/sdn_algo.dir/common.cpp.o"
+  "CMakeFiles/sdn_algo.dir/common.cpp.o.d"
+  "CMakeFiles/sdn_algo.dir/estimator.cpp.o"
+  "CMakeFiles/sdn_algo.dir/estimator.cpp.o.d"
+  "CMakeFiles/sdn_algo.dir/flood_max.cpp.o"
+  "CMakeFiles/sdn_algo.dir/flood_max.cpp.o.d"
+  "CMakeFiles/sdn_algo.dir/hjswy.cpp.o"
+  "CMakeFiles/sdn_algo.dir/hjswy.cpp.o.d"
+  "CMakeFiles/sdn_algo.dir/idset.cpp.o"
+  "CMakeFiles/sdn_algo.dir/idset.cpp.o.d"
+  "CMakeFiles/sdn_algo.dir/kernels.cpp.o"
+  "CMakeFiles/sdn_algo.dir/kernels.cpp.o.d"
+  "CMakeFiles/sdn_algo.dir/klo_committee.cpp.o"
+  "CMakeFiles/sdn_algo.dir/klo_committee.cpp.o.d"
+  "libsdn_algo.a"
+  "libsdn_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

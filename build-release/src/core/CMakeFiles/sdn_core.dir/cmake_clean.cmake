@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_core.dir/api.cpp.o"
+  "CMakeFiles/sdn_core.dir/api.cpp.o.d"
+  "libsdn_core.a"
+  "libsdn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

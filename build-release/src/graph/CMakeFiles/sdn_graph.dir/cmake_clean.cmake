@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/sdn_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/sdn_graph.dir/delta.cpp.o"
+  "CMakeFiles/sdn_graph.dir/delta.cpp.o.d"
+  "CMakeFiles/sdn_graph.dir/generators.cpp.o"
+  "CMakeFiles/sdn_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/sdn_graph.dir/graph.cpp.o"
+  "CMakeFiles/sdn_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/sdn_graph.dir/tinterval.cpp.o"
+  "CMakeFiles/sdn_graph.dir/tinterval.cpp.o.d"
+  "libsdn_graph.a"
+  "libsdn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/adversary.cpp" "src/net/CMakeFiles/sdn_net.dir/adversary.cpp.o" "gcc" "src/net/CMakeFiles/sdn_net.dir/adversary.cpp.o.d"
+  "/root/repo/src/net/bandwidth.cpp" "src/net/CMakeFiles/sdn_net.dir/bandwidth.cpp.o" "gcc" "src/net/CMakeFiles/sdn_net.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/net/flooding.cpp" "src/net/CMakeFiles/sdn_net.dir/flooding.cpp.o" "gcc" "src/net/CMakeFiles/sdn_net.dir/flooding.cpp.o.d"
+  "/root/repo/src/net/metrics.cpp" "src/net/CMakeFiles/sdn_net.dir/metrics.cpp.o" "gcc" "src/net/CMakeFiles/sdn_net.dir/metrics.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/sdn_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/sdn_net.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/graph/CMakeFiles/sdn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/obs/CMakeFiles/sdn_obs.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/util/CMakeFiles/sdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_net.dir/adversary.cpp.o"
+  "CMakeFiles/sdn_net.dir/adversary.cpp.o.d"
+  "CMakeFiles/sdn_net.dir/bandwidth.cpp.o"
+  "CMakeFiles/sdn_net.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/sdn_net.dir/flooding.cpp.o"
+  "CMakeFiles/sdn_net.dir/flooding.cpp.o.d"
+  "CMakeFiles/sdn_net.dir/metrics.cpp.o"
+  "CMakeFiles/sdn_net.dir/metrics.cpp.o.d"
+  "CMakeFiles/sdn_net.dir/trace.cpp.o"
+  "CMakeFiles/sdn_net.dir/trace.cpp.o.d"
+  "libsdn_net.a"
+  "libsdn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

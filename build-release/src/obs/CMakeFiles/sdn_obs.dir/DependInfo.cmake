@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/manifest.cpp" "src/obs/CMakeFiles/sdn_obs.dir/manifest.cpp.o" "gcc" "src/obs/CMakeFiles/sdn_obs.dir/manifest.cpp.o.d"
+  "/root/repo/src/obs/recorder.cpp" "src/obs/CMakeFiles/sdn_obs.dir/recorder.cpp.o" "gcc" "src/obs/CMakeFiles/sdn_obs.dir/recorder.cpp.o.d"
+  "/root/repo/src/obs/registry.cpp" "src/obs/CMakeFiles/sdn_obs.dir/registry.cpp.o" "gcc" "src/obs/CMakeFiles/sdn_obs.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/util/CMakeFiles/sdn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_obs.dir/manifest.cpp.o"
+  "CMakeFiles/sdn_obs.dir/manifest.cpp.o.d"
+  "CMakeFiles/sdn_obs.dir/recorder.cpp.o"
+  "CMakeFiles/sdn_obs.dir/recorder.cpp.o.d"
+  "CMakeFiles/sdn_obs.dir/registry.cpp.o"
+  "CMakeFiles/sdn_obs.dir/registry.cpp.o.d"
+  "libsdn_obs.a"
+  "libsdn_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

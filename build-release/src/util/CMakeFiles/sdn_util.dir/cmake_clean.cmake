@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_util.dir/bitio.cpp.o"
+  "CMakeFiles/sdn_util.dir/bitio.cpp.o.d"
+  "CMakeFiles/sdn_util.dir/flags.cpp.o"
+  "CMakeFiles/sdn_util.dir/flags.cpp.o.d"
+  "CMakeFiles/sdn_util.dir/log.cpp.o"
+  "CMakeFiles/sdn_util.dir/log.cpp.o.d"
+  "CMakeFiles/sdn_util.dir/rng.cpp.o"
+  "CMakeFiles/sdn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sdn_util.dir/stats.cpp.o"
+  "CMakeFiles/sdn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sdn_util.dir/table.cpp.o"
+  "CMakeFiles/sdn_util.dir/table.cpp.o.d"
+  "CMakeFiles/sdn_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sdn_util.dir/thread_pool.cpp.o.d"
+  "libsdn_util.a"
+  "libsdn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversaries.dir/test_adversaries.cpp.o"
+  "CMakeFiles/test_adversaries.dir/test_adversaries.cpp.o.d"
+  "test_adversaries"
+  "test_adversaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth_metrics.dir/test_bandwidth_metrics.cpp.o"
+  "CMakeFiles/test_bandwidth_metrics.dir/test_bandwidth_metrics.cpp.o.d"
+  "test_bandwidth_metrics"
+  "test_bandwidth_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

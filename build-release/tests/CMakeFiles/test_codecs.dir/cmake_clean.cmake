@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codecs.dir/test_codecs.cpp.o"
+  "CMakeFiles/test_codecs.dir/test_codecs.cpp.o.d"
+  "test_codecs"
+  "test_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator.dir/test_estimator.cpp.o"
+  "CMakeFiles/test_estimator.dir/test_estimator.cpp.o.d"
+  "test_estimator"
+  "test_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hjswy.dir/test_hjswy.cpp.o"
+  "CMakeFiles/test_hjswy.dir/test_hjswy.cpp.o.d"
+  "test_hjswy"
+  "test_hjswy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hjswy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idset.dir/test_idset.cpp.o"
+  "CMakeFiles/test_idset.dir/test_idset.cpp.o.d"
+  "test_idset"
+  "test_idset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

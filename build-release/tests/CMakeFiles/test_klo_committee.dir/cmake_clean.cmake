@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_klo_committee.dir/test_klo_committee.cpp.o"
+  "CMakeFiles/test_klo_committee.dir/test_klo_committee.cpp.o.d"
+  "test_klo_committee"
+  "test_klo_committee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_klo_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

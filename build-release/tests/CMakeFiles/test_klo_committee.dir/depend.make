@@ -1,0 +1,2 @@
+# Empty dependencies file for test_klo_committee.
+# This may be replaced when dependencies are built.

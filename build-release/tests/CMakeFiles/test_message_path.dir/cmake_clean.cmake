@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_path.dir/test_message_path.cpp.o"
+  "CMakeFiles/test_message_path.dir/test_message_path.cpp.o.d"
+  "test_message_path"
+  "test_message_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

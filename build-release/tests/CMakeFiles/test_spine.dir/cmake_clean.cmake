@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spine.dir/test_spine.cpp.o"
+  "CMakeFiles/test_spine.dir/test_spine.cpp.o.d"
+  "test_spine"
+  "test_spine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

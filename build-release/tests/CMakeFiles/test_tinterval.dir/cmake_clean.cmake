@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tinterval.dir/test_tinterval.cpp.o"
+  "CMakeFiles/test_tinterval.dir/test_tinterval.cpp.o.d"
+  "test_tinterval"
+  "test_tinterval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tinterval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
