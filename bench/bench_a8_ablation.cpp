@@ -32,6 +32,7 @@ int Main(int argc, char** argv) {
   const int trials = static_cast<int>(flags.GetInt("trials", 8, "seeds"));
   const int threads = ThreadsFlag(flags);
   BenchTracer tracer(flags);
+  MetricsExporter metrics(flags);
 
   if (HelpRequested(flags, "bench_a8_ablation")) return 0;
   BenchManifest().Set("experiment", "a8_ablation");
@@ -78,6 +79,13 @@ int Main(int argc, char** argv) {
   }
   Finish(table, "a8_ablation.csv");
   tracer.Write();
+  if (metrics.active()) {
+    RunConfig config;
+    config.n = n;
+    config.T = T;
+    config.adversary.kind = "spine-gnp";
+    ExportRepresentative(metrics, Algorithm::kHjswyEstimate, config);
+  }
   std::cout << "Reading guide: small beta risks premature accepts (failures "
                "column); small L saves bits but hurts the estimate; small c "
                "shrinks messages but slows sketch convergence (more rounds)."

@@ -12,9 +12,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,6 +29,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "net/engine.hpp"
+#include "obs/anomaly.hpp"
 #include "obs/manifest.hpp"
 #include "obs/recorder.hpp"
 #include "util/check.hpp"
@@ -193,12 +197,16 @@ constexpr double kPr7RoundsPerSec = 2862.3;
 /// drives all three pipelining toggles (prefetch_topology,
 /// async_certification, fused_send_deliver) as one switch for the pipeline
 /// A/B; results are bit-identical either way (the determinism suite pins
-/// it).
+/// it). `collect_metrics`/`anomaly` drive the observability plane for the
+/// anomaly A/B (both arms carry the registry; only the anomaly engine
+/// differs) — bit-identical again, same pin.
 net::RunStats TimedReferenceRun(
     int threads, bool incremental = true,
     net::DeliveryMode delivery = net::DeliveryMode::kAdaptive,
     obs::FlightRecorder* recorder = nullptr, bool validate = true,
-    bool pooled = true, bool overlaps = true) {
+    bool pooled = true, bool overlaps = true, bool collect_metrics = false,
+    bool anomaly = false,
+    const obs::AnomalyOptions* anomaly_options = nullptr) {
   const graph::NodeId n = 1024;
   adversary::AdversaryConfig config;
   config.kind = "spine-gnp";
@@ -228,6 +236,9 @@ net::RunStats TimedReferenceRun(
   opts.prefetch_topology = overlaps;
   opts.async_certification = overlaps;
   opts.fused_send_deliver = overlaps;
+  opts.collect_metrics = collect_metrics;
+  opts.anomaly = anomaly;
+  if (anomaly_options != nullptr) opts.anomaly_options = *anomaly_options;
   net::Engine<algo::HjswyProgram> engine(std::move(nodes), *adv, opts);
   return engine.Run();
 }
@@ -598,6 +609,41 @@ void ReportEngineTimings() {
       pipeline_oversubscribed ? "  (oversubscribed — not a scaling figure)"
                               : "");
 
+  // Anomaly-plane A/B: the identical serial workload with metrics
+  // collection on in both arms, anomaly engine off vs on (rolling
+  // histograms, per-round rule evaluation, signal sampling; no recorder so
+  // the dump path stays cold — that's the always-on configuration). The
+  // ratio is the marginal price of the anomaly plane over bare metrics
+  // collection. Interleaved pairs, medians of total_ns; CI gates the ratio
+  // < 1.05 — same pattern as trace_overhead_ratio.
+  const ABResult anom = PairedAB(
+      [] {
+        return TimedReferenceRun(/*threads=*/1, /*incremental=*/true,
+                                 net::DeliveryMode::kAdaptive, nullptr,
+                                 /*validate=*/true, /*pooled=*/true,
+                                 /*overlaps=*/true, /*collect_metrics=*/true,
+                                 /*anomaly=*/false);
+      },
+      [] {
+        return TimedReferenceRun(/*threads=*/1, /*incremental=*/true,
+                                 net::DeliveryMode::kAdaptive, nullptr,
+                                 /*validate=*/true, /*pooled=*/true,
+                                 /*overlaps=*/true, /*collect_metrics=*/true,
+                                 /*anomaly=*/true);
+      },
+      run_total_ns);
+  const std::int64_t anomaly_off_total_ns = run_total_ns(anom.a);
+  const std::int64_t anomaly_on_total_ns = run_total_ns(anom.b);
+  const double anomaly_overhead_ratio =
+      static_cast<double>(anomaly_on_total_ns) /
+      static_cast<double>(anomaly_off_total_ns);
+  std::printf(
+      "anomaly plane A/B (serial, paired medians, metrics on): plane off "
+      "total=%lld ns  plane on total=%lld ns  overhead=%.3fx  fired=%lld\n",
+      static_cast<long long>(anomaly_off_total_ns),
+      static_cast<long long>(anomaly_on_total_ns), anomaly_overhead_ratio,
+      static_cast<long long>(anom.b.anomalies.size()));
+
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "BENCH_engine.json: cannot open for writing\n");
@@ -664,6 +710,9 @@ void ReportEngineTimings() {
                "  \"pipeline_speedup\": %.3f,\n"
                "  \"pipeline_aux_topology_ns\": %lld,\n"
                "  \"pipeline_aux_validate_ns\": %lld,\n"
+               "  \"anomaly_off_total_ns\": %lld,\n"
+               "  \"anomaly_on_total_ns\": %lld,\n"
+               "  \"anomaly_overhead_ratio\": %.3f,\n"
                "  \"threads_sweep_skipped\": [",
                static_cast<long long>(best.rounds),
                static_cast<long long>(best.edges_processed),
@@ -707,7 +756,10 @@ void ReportEngineTimings() {
                static_cast<long long>(pipeline_off_total_ns),
                static_cast<long long>(pipeline_on_total_ns), pipeline_speedup,
                static_cast<long long>(pipeline_aux_topology_ns),
-               static_cast<long long>(pipeline_aux_validate_ns));
+               static_cast<long long>(pipeline_aux_validate_ns),
+               static_cast<long long>(anomaly_off_total_ns),
+               static_cast<long long>(anomaly_on_total_ns),
+               anomaly_overhead_ratio);
   for (std::size_t i = 0; i < skipped.size(); ++i) {
     std::fprintf(f, "%s%d", i == 0 ? "" : ", ", skipped[i]);
   }
@@ -742,10 +794,84 @@ void ReportEngineTimings() {
   std::printf("  wrote BENCH_engine.json\n");
 }
 
+/// --fault-smoke: the CI anomaly-smoke entry point. Runs the reference
+/// workload with the full observability plane attached (metrics registry +
+/// anomaly engine + flight recorder) and the deliver-phase fault hook armed
+/// (the setenv defaults below inject a 100 ms sleep at round 32 unless the
+/// caller already exported the SDN_FAULT_* variables), then asserts the
+/// plane noticed: exactly one AnomalyRecord, a round-time spike, with its
+/// dump pair on disk in `dump_dir`. Nonzero exit on any miss — the smoke
+/// proves detection, not absence.
+int FaultSmoke(const std::string& dump_dir) {
+  setenv("SDN_FAULT_DELIVER_SLEEP_MS", "100", /*overwrite=*/0);
+  setenv("SDN_FAULT_DELIVER_ROUND", "32", /*overwrite=*/0);
+
+  obs::AnomalyOptions aopts;
+  // Only the injected ~100 ms spike should clear the floor: 20 ms is far
+  // above any honest round of this workload (sub-millisecond) and far
+  // below the fault.
+  aopts.spike_floor_ns = 20'000'000;
+  // Neutralize the byte-level rule: the warmup growth of the outbox and
+  // topology gauges is expected here and would break exactly-one.
+  aopts.memory_jump_floor_bytes = std::int64_t{1} << 60;
+  aopts.dump_dir = dump_dir;
+
+  // Ring large enough that this run never wraps: a wrap would legitimately
+  // fire the drop-onset rule and break the exactly-one assertion.
+  obs::FlightRecorder recorder(/*lanes=*/1, /*lane_capacity=*/1 << 20);
+  const net::RunStats stats = TimedReferenceRun(
+      /*threads=*/1, /*incremental=*/true, net::DeliveryMode::kAdaptive,
+      &recorder, /*validate=*/true, /*pooled=*/true, /*overlaps=*/true,
+      /*collect_metrics=*/true, /*anomaly=*/true, &aopts);
+
+  std::printf("fault smoke: %zu anomaly record(s)\n", stats.anomalies.size());
+  for (const obs::AnomalyRecord& r : stats.anomalies) {
+    std::printf("  round=%lld rule=%s signal=%s value=%lld threshold=%lld\n",
+                static_cast<long long>(r.round), obs::ToString(r.rule),
+                r.signal, static_cast<long long>(r.value),
+                static_cast<long long>(r.threshold));
+  }
+  if (stats.anomalies.size() != 1) {
+    std::fprintf(stderr,
+                 "fault smoke FAILED: expected exactly 1 anomaly, got %zu\n",
+                 stats.anomalies.size());
+    return 1;
+  }
+  const obs::AnomalyRecord& r = stats.anomalies.front();
+  if (r.rule != obs::AnomalyRule::kRoundTimeSpike) {
+    std::fprintf(stderr, "fault smoke FAILED: wrong rule %s\n",
+                 obs::ToString(r.rule));
+    return 1;
+  }
+  const std::string stem = dump_dir + "/anomaly-" + std::to_string(r.round) +
+                           "-" + obs::ToString(r.rule);
+  for (const char* ext : {".jsonl", ".manifest.json"}) {
+    if (!std::ifstream(stem + ext)) {
+      std::fprintf(stderr, "fault smoke FAILED: missing dump %s%s\n",
+                   stem.c_str(), ext);
+      return 1;
+    }
+  }
+  std::printf("fault smoke OK: dump pair at %s.{jsonl,manifest.json}\n",
+              stem.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace sdn
 
 int main(int argc, char** argv) {
+  bool fault_smoke = false;
+  std::string dump_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fault-smoke") {
+      fault_smoke = true;
+    } else if (arg.rfind("--dump-dir=", 0) == 0) {
+      dump_dir = arg.substr(sizeof("--dump-dir=") - 1);
+    }
+  }
+  if (fault_smoke) return sdn::FaultSmoke(dump_dir);
   sdn::ReportEngineTimings();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

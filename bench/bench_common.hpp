@@ -14,6 +14,7 @@
 
 #include "core/api.hpp"
 #include "obs/manifest.hpp"
+#include "obs/openmetrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "util/flags.hpp"
@@ -78,6 +79,71 @@ class BenchTracer {
   std::optional<obs::FlightRecorder> recorder_;
   bool attached_ = false;
 };
+
+/// The shared --metrics-out flag: OpenMetrics/Prometheus text exposition of
+/// a run's metrics registry (plus memory gauges and anomaly records).
+/// Sweep-driven benches write one final snapshot of a representative run
+/// (ExportRepresentative below); harnesses that drive Step() themselves call
+/// Tick(round, ...) and the file is rewritten every --metrics-interval
+/// rounds — a one-pass truncating write, so a concurrent scraper sees at
+/// worst a short read, never an interleaved one.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(util::Flags& flags)
+      : path_(flags.GetString(
+            "metrics-out", "",
+            "write an OpenMetrics text exposition of one representative run")),
+        interval_(flags.GetInt(
+            "metrics-interval", 64,
+            "rounds between exposition rewrites (step-driven harnesses)")) {}
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Converts and writes one stats snapshot; announces the file once.
+  void Write(const net::RunStats& stats) {
+    if (path_.empty()) return;
+    std::vector<obs::MemorySeries> memory;
+    memory.reserve(stats.memory.size());
+    for (const net::MemoryUse& m : stats.memory) {
+      memory.push_back({m.subsystem, m.current_bytes, m.peak_bytes});
+    }
+    if (obs::WriteOpenMetrics(path_, stats.metrics, memory, stats.anomalies)) {
+      if (!announced_) {
+        std::cout << "(metrics: " << path_ << ")\n";
+        announced_ = true;
+      }
+    } else {
+      std::cout << "(metrics: cannot write " << path_ << ")\n";
+      path_.clear();  // don't retry every tick
+    }
+  }
+
+  /// Periodic rewrite for step-driven loops: every interval_ rounds, pull a
+  /// fresh snapshot from `stats_fn` and Write it. Quiet between ticks.
+  template <typename StatsFn>
+  void Tick(std::int64_t round, StatsFn&& stats_fn) {
+    if (path_.empty() || interval_ <= 0 || round % interval_ != 0) return;
+    Write(stats_fn());
+  }
+
+ private:
+  std::string path_;
+  std::int64_t interval_;
+  bool announced_ = false;
+};
+
+/// One representative run for the exposition file: the sweep's own trials
+/// often run without metrics collection, so rerun the (algorithm, config)
+/// cell once with the full observability plane on and export that snapshot.
+inline void ExportRepresentative(MetricsExporter& exporter, Algorithm algorithm,
+                                 RunConfig config) {
+  if (!exporter.active()) return;
+  config.seed = 1;
+  config.collect_metrics = true;
+  config.validate_tinterval = true;
+  exporter.Write(RunAlgorithm(algorithm, config).stats);
+}
 
 /// Call after all flags were read (so they are registered): prints usage and
 /// returns true when --help was passed.

@@ -23,6 +23,7 @@ int Main(int argc, char** argv) {
       flags.GetString("adversary", "spine-gnp", "adversary kind");
   const int threads = ThreadsFlag(flags);
   BenchTracer tracer(flags);
+  MetricsExporter metrics(flags);
 
   if (HelpRequested(flags, "bench_f2_count_vs_t")) return 0;
   BenchManifest().Set("experiment", "f2_count_vs_t");
@@ -63,6 +64,13 @@ int Main(int argc, char** argv) {
   }
   Finish(table, "f2_count_vs_t.csv");
   tracer.Write();
+  if (metrics.active()) {
+    RunConfig config;
+    config.n = n;
+    config.T = static_cast<int>(ts.back());
+    config.adversary.kind = kind;
+    ExportRepresentative(metrics, Algorithm::kHjswyEstimate, config);
+  }
   return 0;
 }
 

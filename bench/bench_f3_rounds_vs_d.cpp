@@ -67,6 +67,7 @@ int Main(int argc, char** argv) {
   const int trials = static_cast<int>(flags.GetInt("trials", 3, "seeds"));
   const int threads = ThreadsFlag(flags);
   BenchTracer tracer(flags);
+  MetricsExporter metrics(flags);
 
   if (HelpRequested(flags, "bench_f3_rounds_vs_d")) return 0;
   BenchManifest().Set("experiment", "f3_rounds_vs_d");
@@ -109,6 +110,29 @@ int Main(int argc, char** argv) {
   table.AddRow(slopes);
   Finish(table, "f3_rounds_vs_d.csv");
   tracer.Write();
+  if (metrics.active()) {
+    // Representative exposition run: the largest swept cell, rerun once
+    // with the full observability plane (this bench drives the engine
+    // directly, so no RunConfig path exists to reuse).
+    const auto cliques = static_cast<graph::NodeId>(clique_counts.back());
+    const auto size = static_cast<graph::NodeId>(clique_sizes.back());
+    adversary::StaticAdversary adv(graph::PathOfCliques(cliques, size), T);
+    algo::HjswyOptions options;
+    options.T = T;
+    options.exact_census = true;
+    util::Rng base(977);
+    std::vector<algo::HjswyProgram> nodes;
+    for (graph::NodeId u = 0; u < cliques * size; ++u) {
+      nodes.emplace_back(u, static_cast<algo::Value>(u), options,
+                         base.Fork(static_cast<std::uint64_t>(u)));
+    }
+    net::EngineOptions opts;
+    opts.validate_tinterval = true;
+    opts.threads = threads;
+    opts.collect_metrics = true;
+    net::Engine<algo::HjswyProgram> engine(std::move(nodes), adv, opts);
+    metrics.Write(engine.Run());
+  }
   return 0;
 }
 

@@ -60,6 +60,7 @@ int Main(int argc, char** argv) {
       flags.GetString("adversary", "spine-gnp", "adversary kind");
   const int threads = ThreadsFlag(flags);
   BenchTracer tracer(flags);
+  MetricsExporter metrics(flags);
 
   if (HelpRequested(flags, "bench_f5_crossover")) return 0;
   BenchManifest().Set("experiment", "f5_crossover");
@@ -98,6 +99,13 @@ int Main(int argc, char** argv) {
   }
   Finish(table, "f5_crossover.csv");
   tracer.Write();
+  if (metrics.active()) {
+    RunConfig config;
+    config.n = static_cast<graph::NodeId>(ns.back());
+    config.T = 2;
+    config.adversary.kind = kind;
+    ExportRepresentative(metrics, Algorithm::kHjswyCensus, config);
+  }
   return 0;
 }
 

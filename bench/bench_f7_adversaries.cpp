@@ -24,6 +24,7 @@ int Main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("trials", 10, "seeds per adversary"));
   const int threads = ThreadsFlag(flags);
   BenchTracer tracer(flags);
+  MetricsExporter metrics(flags);
 
   if (HelpRequested(flags, "bench_f7_adversaries")) return 0;
   BenchManifest().Set("experiment", "f7_adversaries");
@@ -64,6 +65,13 @@ int Main(int argc, char** argv) {
   }
   Finish(table, "f7_adversaries.csv");
   tracer.Write();
+  if (metrics.active()) {
+    RunConfig config;
+    config.n = n;
+    config.T = T;
+    config.adversary.kind = "spine-gnp";
+    ExportRepresentative(metrics, Algorithm::kHjswyCensus, config);
+  }
   return 0;
 }
 

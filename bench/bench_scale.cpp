@@ -54,7 +54,8 @@ std::int64_t RoundCap(graph::NodeId n, std::int64_t override_cap) {
   return std::clamp<std::int64_t>((std::int64_t{1} << 21) / n, 16, 256);
 }
 
-ScaleRow MeasureOne(graph::NodeId n, std::int64_t rounds_cap, int threads) {
+ScaleRow MeasureOne(graph::NodeId n, std::int64_t rounds_cap, int threads,
+                    bool collect_metrics) {
   util::MemoryBudget budget;
   RunConfig config;
   config.n = n;
@@ -65,6 +66,7 @@ ScaleRow MeasureOne(graph::NodeId n, std::int64_t rounds_cap, int threads) {
   config.max_rounds = rounds_cap;
   config.threads = threads;
   config.memory_budget = &budget;
+  config.collect_metrics = collect_metrics;  // anomaly plane rides along
   const RunResult result = RunAlgorithm(Algorithm::kHjswyEstimate, config);
 
   ScaleRow row;
@@ -151,6 +153,11 @@ int Main(int argc, char** argv) {
       "rounds", 0, "round cap per run; 0 = auto (16..256, shrinking with n)");
   const int threads = static_cast<int>(flags.GetInt(
       "threads", 1, "EngineOptions::threads (1 = the serial reference)"));
+  // CI's scale-smoke job asserts the exposition's sdn_memory_bytes series
+  // against BENCH_scale.json, so --smoke records one by default.
+  const std::string metrics_out = flags.GetString(
+      "metrics-out", smoke ? "metrics_scale_smoke.txt" : "",
+      "write an OpenMetrics exposition of the last measured row");
   if (bench::HelpRequested(flags, "bench_scale")) return 0;
 
   bench::PrintBanner(
@@ -175,7 +182,7 @@ int Main(int argc, char** argv) {
     std::printf("n=%lld (round cap %lld)...\n", static_cast<long long>(n),
                 static_cast<long long>(cap));
     std::fflush(stdout);
-    rows.push_back(MeasureOne(n, cap, threads));
+    rows.push_back(MeasureOne(n, cap, threads, !metrics_out.empty()));
     const ScaleRow& row = rows.back();
     table.AddRow(
         {std::to_string(n), std::to_string(row.stats.rounds),
@@ -211,6 +218,20 @@ int Main(int argc, char** argv) {
                manifest.ToJson().c_str(), threads, sweep_json.c_str());
   std::fclose(f);
   std::printf("wrote BENCH_scale.json\n");
+  if (!metrics_out.empty() && !rows.empty()) {
+    const net::RunStats& last = rows.back().stats;
+    std::vector<obs::MemorySeries> series;
+    series.reserve(last.memory.size());
+    for (const net::MemoryUse& m : last.memory) {
+      series.push_back({m.subsystem, m.current_bytes, m.peak_bytes});
+    }
+    if (obs::WriteOpenMetrics(metrics_out, last.metrics, series,
+                              last.anomalies)) {
+      std::printf("wrote %s\n", metrics_out.c_str());
+    } else {
+      std::printf("cannot write %s\n", metrics_out.c_str());
+    }
+  }
   if (MergeIntoEngineJson(sweep_json)) {
     std::printf("merged scale_sweep into BENCH_engine.json\n");
   } else {

@@ -28,6 +28,7 @@ int Main(int argc, char** argv) {
       flags.GetString("adversary", "spine-gnp", "adversary kind");
   const int threads = ThreadsFlag(flags);
   BenchTracer tracer(flags);
+  MetricsExporter metrics(flags);
 
   if (HelpRequested(flags, "bench_t1_count_vs_n")) return 0;
   BenchManifest().Set("experiment", "t1_count_vs_n");
@@ -90,6 +91,13 @@ int Main(int argc, char** argv) {
 
   Finish(table, "t1_count_vs_n.csv");
   tracer.Write();
+  if (metrics.active()) {
+    RunConfig config;
+    config.n = static_cast<graph::NodeId>(hjswy_ns.back());
+    config.T = T;
+    config.adversary.kind = kind;
+    ExportRepresentative(metrics, Algorithm::kHjswyCensus, config);
+  }
   std::cout << "Expected shape: flood b≈1.0, census b≈2.0, census-T b≈2 with"
                "\nsmaller constant, hjswy b≈0 (tracks d, not N); '!' marks"
                "\ntrials with a failed correctness grade.\n";

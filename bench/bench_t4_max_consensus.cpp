@@ -24,6 +24,7 @@ int Main(int argc, char** argv) {
       flags.GetString("adversary", "spine-gnp", "adversary kind");
   const int threads = ThreadsFlag(flags);
   BenchTracer tracer(flags);
+  MetricsExporter metrics(flags);
 
   if (HelpRequested(flags, "bench_t4_max_consensus")) return 0;
   BenchManifest().Set("experiment", "t4_max_consensus");
@@ -72,6 +73,13 @@ int Main(int argc, char** argv) {
                 "", ""});
   Finish(table, "t4_max_consensus.csv");
   tracer.Write();
+  if (metrics.active()) {
+    RunConfig config;
+    config.n = static_cast<graph::NodeId>(ns.back());
+    config.T = T;
+    config.adversary.kind = kind;
+    ExportRepresentative(metrics, Algorithm::kHjswyEstimate, config);
+  }
   return 0;
 }
 

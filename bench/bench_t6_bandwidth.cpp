@@ -24,6 +24,7 @@ int Main(int argc, char** argv) {
       flags.GetInt("baseline-cap", 256, "largest N for the census baseline");
   const int threads = ThreadsFlag(flags);
   BenchTracer tracer(flags);
+  MetricsExporter metrics(flags);
 
   if (HelpRequested(flags, "bench_t6_bandwidth")) return 0;
   BenchManifest().Set("experiment", "t6_bandwidth");
@@ -74,6 +75,13 @@ int Main(int argc, char** argv) {
   }
   Finish(table, "t6_bandwidth.csv");
   tracer.Write();
+  if (metrics.active()) {
+    RunConfig config;
+    config.n = static_cast<graph::NodeId>(ns.back());
+    config.T = T;
+    config.adversary.kind = "spine-gnp";
+    ExportRepresentative(metrics, Algorithm::kHjswyEstimate, config);
+  }
   return 0;
 }
 

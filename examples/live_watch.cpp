@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
   std::cout << "watching " << sdn::ToString(algorithm) << " on N=" << config.n
             << " (" << config.adversary.kind << ", T=" << config.T << ")\n\n";
   sdn::util::Table table({"round", "decided", "min state", "max state",
-                          "edges", "msgs so far", "dlv/round p50", "algo work"});
+                          "edges", "msgs so far", "dlv/round p50", "algo work",
+                          "anomalies"});
 
   const auto snapshot = [&] {
     std::int64_t decided = 0;
@@ -82,7 +83,8 @@ int main(int argc, char** argv) {
                   std::to_string(stats.messages_sent),
                   dlv != nullptr && dlv->count > 0 ? std::to_string(dlv->p50)
                                                    : "-",
-                  work != nullptr ? std::to_string(work->value) : "-"});
+                  work != nullptr ? std::to_string(work->value) : "-",
+                  std::to_string(stats.anomalies.size())});
   };
 
   while (sim.Step()) {

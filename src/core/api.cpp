@@ -195,6 +195,8 @@ class TypedSim final : public detail::SimBase {
     opts.fused_send_deliver = config_.fused_send_deliver;
     opts.recorder = config_.recorder;
     opts.collect_metrics = config_.collect_metrics;
+    opts.anomaly = config_.anomaly;
+    opts.anomaly_options = config_.anomaly_options;
     opts.memory_budget = config_.memory_budget;
     engine_.emplace(std::move(nodes), *adversary_, opts);
   }

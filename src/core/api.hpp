@@ -19,6 +19,7 @@
 #include "net/backing.hpp"
 #include "net/bandwidth.hpp"
 #include "net/metrics.hpp"
+#include "obs/anomaly.hpp"
 #include "obs/recorder.hpp"
 #include "util/arena.hpp"
 
@@ -110,6 +111,12 @@ struct RunConfig {
   /// Collect the per-round metrics registry into RunStats::metrics
   /// (EngineOptions::collect_metrics).
   bool collect_metrics = false;
+  /// Anomaly plane (EngineOptions::anomaly): on by default, but it only
+  /// engages together with collect_metrics — without the registry there is
+  /// nothing to window. Fired records land in RunStats::anomalies.
+  bool anomaly = true;
+  /// Rule thresholds / windows / dump policy (obs::AnomalyOptions).
+  obs::AnomalyOptions anomaly_options{};
   /// Back the hjswy sketches with the shared structure-of-arrays float32
   /// pool (algo::SketchPool) instead of per-node vectors. Bit-identical
   /// results either way (the pin suite enforces RunStats equality); off is

@@ -83,7 +83,9 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <span>
@@ -100,6 +102,7 @@
 #include "net/metrics.hpp"
 #include "net/program.hpp"
 #include "net/trace.hpp"
+#include "obs/anomaly.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "util/arena.hpp"
@@ -205,6 +208,17 @@ struct EngineOptions {
   /// into a metrics registry snapshotted as RunStats::metrics. Off by
   /// default; like the recorder, off costs one branch per round.
   bool collect_metrics = false;
+  /// Always-on anomaly plane: feed every round's phase spans, aux-lane
+  /// drain waits, memory gauges and certification state through
+  /// obs::AnomalyEngine (rolling per-phase histograms + five declarative
+  /// rules). Fired records land in RunStats::anomalies; when a flight
+  /// recorder is attached each firing also dumps a bounded
+  /// `anomaly-<round>-<rule>.jsonl` snapshot. Engages only together with
+  /// collect_metrics (the plane lives behind the same registry gate) and,
+  /// like every sink, runs after the round's final clock read — the
+  /// deterministic core of RunStats is bit-identical on or off.
+  bool anomaly = true;
+  obs::AnomalyOptions anomaly_options{};
   /// Byte-accounting sink for the engine's deterministic allocations
   /// (outbox slots, program array, live topology). Null = the engine uses
   /// an internal budget, so RunStats::memory is populated either way; pass
@@ -260,6 +274,7 @@ class Engine final : private AdversaryView {
     using Clock = std::chrono::steady_clock;
     EnsureStarted();
     if (finished_) return false;
+    aux_wait_ns_round_ = 0;
 
     const auto t0 = Clock::now();
     bool has_delta = false;  // delta_ holds this round's delta
@@ -279,7 +294,7 @@ class Engine final : private AdversaryView {
         // Join the lane task launched by the previous Step (it wrote
         // prefetch_slot_ and possibly topo_'s edit buffer); Drain rethrows
         // any adversary error and orders its writes before our reads.
-        topo_lane_.Drain();
+        DrainTopoLane();
         prefetch_pending_ = false;
         stats_.timings.aux_topology_ns += prefetch_ns_;
         PrefetchedTopology& pf = prefetch_slot_;
@@ -327,7 +342,7 @@ class Engine final : private AdversaryView {
     } else {
       graph::Graph g(0);
       if (prefetch_pending_) {
-        topo_lane_.Drain();
+        DrainTopoLane();
         prefetch_pending_ = false;
         stats_.timings.aux_topology_ns += prefetch_ns_;
         g = std::move(prefetch_graph_);
@@ -656,6 +671,13 @@ class Engine final : private AdversaryView {
     // the same reason.
     const bool stage_next = fused_enabled_ && round_ < options_.max_rounds;
     const auto t5 = Clock::now();
+    // CI fault hook (SDN_FAULT_DELIVER_SLEEP_MS / SDN_FAULT_DELIVER_ROUND,
+    // read once in EnsureStarted): stall the deliver window of one round so
+    // the anomaly smoke test has a real spike to detect. Wall clock only —
+    // no engine state is touched, so deterministic RunStats are unchanged.
+    if (fault_sleep_ms_ > 0 && round_ == fault_round_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault_sleep_ms_));
+    }
     ForShards([this, &g, observe_arms, stage_next](int shard,
                                                    std::int64_t begin,
                                                    std::int64_t end) {
@@ -807,6 +829,37 @@ class Engine final : private AdversaryView {
       hist_round_send_ns_->Observe(ns(t3, t4));
       hist_round_deliver_ns_->Observe(ns(t5, t6));
       hist_round_total_ns_->Observe(ns(t0, t7));
+      if (anomaly_ != nullptr) {
+        obs::RoundSignals sig;
+        sig.round = round_;
+        sig.topology_ns = ns(t0, t1);
+        sig.validate_ns = ns(t1, t2);
+        sig.probe_ns = ns(t2, t3);
+        sig.send_ns = ns(t3, t4);
+        sig.deliver_ns = ns(t5, t6);
+        sig.total_ns = ns(t0, t7);
+        sig.aux_wait_ns = aux_wait_ns_round_;
+        // Under async certification the checker runs on its own lane and
+        // reading it here would race; certified_T = -1 means "not sampled"
+        // and the cert-regression rule skips the round. Recorder-attached
+        // runs (the only ones that can dump) always have the synchronous
+        // checker, so dump-capable runs never lose the signal.
+        if (checker_.has_value() && !async_cert_) {
+          sig.certified_T = checker_->certified_T();
+          sig.first_bad_window = checker_->first_bad_window();
+        }
+        if (rec_ != nullptr) sig.recorder_dropped = rec_->dropped();
+        const std::array<obs::MemorySample, 6> mem = {{
+            {"outbox", mem_outbox_->current()},
+            {"programs", mem_programs_->current()},
+            {"topology", mem_topology_->current()},
+            {"topology_scratch", mem_topology_scratch_->current()},
+            {"adversary", mem_adversary_->current()},
+            {"checker",
+             mem_checker_ != nullptr ? mem_checker_->current() : 0},
+        }};
+        anomaly_->Observe(sig, mem);
+      }
     }
     return true;
   }
@@ -849,6 +902,12 @@ class Engine final : private AdversaryView {
         out.memory.push_back({e.subsystem, e.current_bytes, e.peak_bytes});
       }
     }
+    if (rec_ != nullptr) {
+      // Truth-in-tracing: surfaced even without a registry so OneLine can
+      // print `drops=` whenever a trace is no longer complete.
+      out.recorder_dropped = rec_->dropped();
+    }
+    if (anomaly_ != nullptr) out.anomalies = anomaly_->records();
     if (registry_ != nullptr) {
       // Mirror the scalar aggregates into the registry so the snapshot is
       // self-contained (one structure to render or export).
@@ -860,6 +919,41 @@ class Engine final : private AdversaryView {
         std::int64_t work = 0;
         for (const A& node : nodes_) work += node.ObsPhase().work;
         registry_->GetGauge("algo_work")->Set(work);
+      }
+      if (rec_ != nullptr) {
+        // Per-lane ring losses. Emission counts follow the recorded event
+        // stream, which can depend on wall-clock sampling — flagged
+        // non-deterministic so the on/off determinism comparisons ignore
+        // them (and their presence).
+        for (int lane = 0; lane < rec_->lanes(); ++lane) {
+          registry_
+              ->GetGauge("recorder_lane" + std::to_string(lane) + "_dropped",
+                         /*deterministic=*/false)
+              ->Set(static_cast<std::int64_t>(rec_->dropped_lane(lane)));
+        }
+      }
+      if (anomaly_ != nullptr) {
+        // Pipeline health tracks: the rolling windows' p99s, mirrored as
+        // gauges so the exposition endpoint (and RunStats::metrics) carry
+        // the anomaly plane's live view of each phase. Wall-clock valued —
+        // non-deterministic by construction.
+        using Track = obs::AnomalyEngine::Track;
+        static constexpr struct {
+          Track track;
+          const char* name;
+        } kTracks[] = {
+            {Track::kTopology, "rolling_topology_ns_p99"},
+            {Track::kValidate, "rolling_validate_ns_p99"},
+            {Track::kProbe, "rolling_probe_ns_p99"},
+            {Track::kSend, "rolling_send_ns_p99"},
+            {Track::kDeliver, "rolling_deliver_ns_p99"},
+            {Track::kTotal, "rolling_total_ns_p99"},
+            {Track::kAuxWait, "rolling_aux_wait_ns_p99"},
+        };
+        for (const auto& t : kTracks) {
+          registry_->GetGauge(t.name, /*deterministic=*/false)
+              ->Set(anomaly_->hist(t.track).Quantile(0.99));
+        }
       }
       out.metrics = registry_->Snapshot();
     }
@@ -967,6 +1061,22 @@ class Engine final : private AdversaryView {
   [[nodiscard]] double PublicState(graph::NodeId u) const override {
     SDN_CHECK(u >= 0 && u < n_);
     return nodes_[static_cast<std::size_t>(u)].PublicState();
+  }
+
+  /// Joins the topology lane; with the anomaly plane on, the wait is
+  /// clocked into this round's aux-stall signal (two extra steady_clock
+  /// reads inside the topology window — wall-clock observation only, no
+  /// deterministic state touched).
+  void DrainTopoLane() {
+    if (anomaly_ == nullptr) {
+      topo_lane_.Drain();
+      return;
+    }
+    const auto w0 = std::chrono::steady_clock::now();
+    topo_lane_.Drain();
+    aux_wait_ns_round_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - w0)
+                              .count();
   }
 
   /// Topology sub-path for the next round in incremental mode. Without
@@ -1167,6 +1277,20 @@ class Engine final : private AdversaryView {
           registry_->GetHistogram("round_deliver_ns", /*deterministic=*/false);
       hist_round_total_ns_ =
           registry_->GetHistogram("round_total_ns", /*deterministic=*/false);
+      if (options_.anomaly) {
+        anomaly_ = std::make_unique<obs::AnomalyEngine>(
+            options_.anomaly_options, registry_.get(), rec_);
+      }
+    }
+    // CI fault hook (see the deliver-phase sleep in Step): read once so the
+    // hot path pays two integer compares, not two getenv calls per round.
+    if (const char* e = std::getenv("SDN_FAULT_DELIVER_SLEEP_MS");
+        e != nullptr && *e != '\0') {
+      fault_sleep_ms_ = std::atoll(e);
+    }
+    if (const char* e = std::getenv("SDN_FAULT_DELIVER_ROUND");
+        e != nullptr && *e != '\0') {
+      fault_round_ = std::atoll(e);
     }
     stats_.decide_round.assign(static_cast<std::size_t>(n_), -1);
     stats_.sends_per_node.assign(static_cast<std::size_t>(n_), 0);
@@ -1485,6 +1609,16 @@ class Engine final : private AdversaryView {
   obs::Histogram* hist_round_send_ns_ = nullptr;
   obs::Histogram* hist_round_deliver_ns_ = nullptr;
   obs::Histogram* hist_round_total_ns_ = nullptr;
+  /// Anomaly plane (EngineOptions::anomaly, behind the registry gate).
+  /// Observed after the final clock read; never consulted by the engine.
+  std::unique_ptr<obs::AnomalyEngine> anomaly_;
+  /// This round's auxiliary-lane drain wait (anomaly signal; reset per
+  /// Step, accumulated by DrainTopoLane).
+  std::int64_t aux_wait_ns_round_ = 0;
+  /// CI fault hook (SDN_FAULT_DELIVER_SLEEP_MS / SDN_FAULT_DELIVER_ROUND,
+  /// read once in EnsureStarted): wall-clock stall of one deliver window.
+  std::int64_t fault_sleep_ms_ = 0;
+  std::int64_t fault_round_ = 1;
   const char* obs_algo_label_ = nullptr;  // last emitted algo-phase label
   std::int64_t obs_algo_index_ = -1;
   std::int64_t obs_merges_total_ = 0;

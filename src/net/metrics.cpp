@@ -77,6 +77,8 @@ std::string RunStats::OneLine() const {
       s != nullptr && s->count > 0) {
     os << " deliveries/round=p50:" << s->p50 << "/p95:" << s->p95;
   }
+  if (!anomalies.empty()) os << " anomalies=" << anomalies.size();
+  if (recorder_dropped > 0) os << " drops=" << recorder_dropped;
   return os.str();
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/flooding.hpp"
+#include "obs/anomaly.hpp"
 #include "obs/registry.hpp"
 
 namespace sdn::net {
@@ -140,6 +141,17 @@ struct RunStats {
   /// non-deterministic; everything else is bit-identical at any thread
   /// count and with tracing on or off.
   obs::MetricsSnapshot metrics;
+
+  /// Anomaly records fired by the always-on anomaly plane
+  /// (EngineOptions::anomaly, requires collect_metrics), bounded by
+  /// AnomalyOptions::max_records. Wall-clock driven, so — like the ns
+  /// histograms — never part of the deterministic comparison surface.
+  std::vector<obs::AnomalyRecord> anomalies;
+
+  /// Flight-recorder events lost to ring wraparound across all lanes
+  /// (0 when no recorder was attached). A nonzero value means the trace
+  /// covers only the most recent window of the run.
+  std::uint64_t recorder_dropped = 0;
 
   [[nodiscard]] double AvgBitsPerMessage() const;
   /// Total bits divided by (nodes × rounds): per-node per-round bandwidth.

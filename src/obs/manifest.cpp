@@ -113,6 +113,13 @@ std::string Hostname() {
 }
 
 std::string UtcNow() {
+  // Test hook: a non-empty SDN_FAKE_TIME is stamped verbatim, so manifest
+  // round-trip tests assert on exact bytes instead of racing the wall
+  // clock across a second boundary.
+  if (const char* fake = std::getenv("SDN_FAKE_TIME");
+      fake != nullptr && *fake != '\0') {
+    return fake;
+  }
   const std::time_t now = std::time(nullptr);
   std::tm tm{};
   gmtime_r(&now, &tm);

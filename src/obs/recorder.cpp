@@ -68,6 +68,12 @@ std::uint64_t FlightRecorder::dropped() const {
   return dropped;
 }
 
+std::uint64_t FlightRecorder::dropped_lane(int lane) const {
+  if (lane < 0 || lane >= lanes()) return 0;
+  const Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  return l.emitted > capacity_ ? l.emitted - capacity_ : 0;
+}
+
 std::vector<Event> FlightRecorder::Drain() const {
   std::vector<Event> out;
   out.reserve(static_cast<std::size_t>(total_emitted() - dropped()));

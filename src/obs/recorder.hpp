@@ -67,6 +67,10 @@ class FlightRecorder {
   /// Events emitted / overwritten-by-wraparound across all lanes.
   [[nodiscard]] std::uint64_t total_emitted() const;
   [[nodiscard]] std::uint64_t dropped() const;
+  /// Overwritten-by-wraparound count of one lane (0 for out-of-range
+  /// lanes) — the per-lane drop gauges the engine mirrors into the metrics
+  /// registry read this.
+  [[nodiscard]] std::uint64_t dropped_lane(int lane) const;
 
   /// All retained events, merged across lanes in (t_ns, lane) order.
   [[nodiscard]] std::vector<Event> Drain() const;

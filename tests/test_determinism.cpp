@@ -19,6 +19,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,8 @@
 #include "graph/delta.hpp"
 #include "net/engine.hpp"
 #include "net/trace.hpp"
+#include "obs/anomaly.hpp"
+#include "obs/openmetrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "util/rng.hpp"
@@ -298,6 +303,95 @@ TEST(Determinism, TracingOnOrOffIsInvisibleToRunStats) {
     EXPECT_EQ(untraced.stats.metrics.Deterministic(),
               traced.stats.metrics.Deterministic());
   }
+}
+
+// The anomaly plane is observation too: with metrics collection on, the
+// anomaly engine plus the OpenMetrics exposition must be invisible to every
+// core statistic at any thread count, and the deterministic subset of the
+// registry must match exactly (every anomaly instrument is flagged
+// non-deterministic).
+TEST(Determinism, AnomalyPlaneOnOrOffIsInvisibleToRunStats) {
+  RunConfig config;
+  config.n = 192;
+  config.T = 2;
+  config.seed = 12345;
+  config.adversary.kind = "spine-gnp";
+  config.validate_tinterval = false;
+  config.collect_metrics = true;
+
+  config.threads = 1;
+  config.anomaly = false;
+  const RunResult plain = RunAlgorithm(Algorithm::kHjswyCensus, config);
+
+  for (const int threads : {1, 2, 0}) {
+    config.threads = threads;
+    config.anomaly = true;
+    const RunResult watched = RunAlgorithm(Algorithm::kHjswyCensus, config);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdenticalRuns(plain, watched);
+    EXPECT_EQ(plain.stats.metrics.Deterministic(),
+              watched.stats.metrics.Deterministic());
+    // Rendering the exposition is pure observation of the snapshot; it must
+    // produce a well-terminated document without touching the run.
+    const std::string exposition =
+        obs::RenderOpenMetrics(watched.stats.metrics, {},
+                               watched.stats.anomalies);
+    EXPECT_EQ(exposition.substr(exposition.size() - 6), "# EOF\n");
+  }
+}
+
+// The CI anomaly-smoke contract, pinned as a unit test: a deliver-phase
+// fault injected through the env test hook must produce exactly one
+// AnomalyRecord (a round-time spike at the faulted round) and, with a
+// recorder attached, a flight-recorder dump whose retained window contains
+// the faulted round.
+TEST(Determinism, InjectedFaultFiresExactlyOneAnomalyWithDump) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("SDN_FAULT_DELIVER_SLEEP_MS", "50", 1), 0);
+  ASSERT_EQ(setenv("SDN_FAULT_DELIVER_ROUND", "12", 1), 0);
+
+  obs::FlightRecorder recorder;  // default ring: no wrap at this n
+  RunConfig config;
+  config.n = 192;
+  config.T = 2;
+  config.seed = 12345;
+  config.adversary.kind = "spine-gnp";
+  config.validate_tinterval = false;
+  config.collect_metrics = true;
+  config.anomaly = true;
+  // Only the injected 50 ms spike may clear the floor; the byte-level rule
+  // is neutralized (warmup gauge growth is expected, not anomalous).
+  config.anomaly_options.spike_floor_ns = 10'000'000;
+  config.anomaly_options.memory_jump_floor_bytes = std::int64_t{1} << 60;
+  config.anomaly_options.dump_dir = dir;
+  config.recorder = &recorder;
+  config.threads = 1;
+  const RunResult result = RunAlgorithm(Algorithm::kHjswyCensus, config);
+
+  ASSERT_EQ(unsetenv("SDN_FAULT_DELIVER_SLEEP_MS"), 0);
+  ASSERT_EQ(unsetenv("SDN_FAULT_DELIVER_ROUND"), 0);
+
+  ASSERT_GT(result.stats.rounds, 12);  // the run reached the faulted round
+  ASSERT_EQ(result.stats.anomalies.size(), 1u);
+  const obs::AnomalyRecord& record = result.stats.anomalies.front();
+  EXPECT_EQ(record.rule, obs::AnomalyRule::kRoundTimeSpike);
+  EXPECT_EQ(record.round, 12);
+  EXPECT_GT(record.value, record.threshold);
+
+  const std::string stem = dir + "/anomaly-12-round_time_spike";
+  std::ifstream jsonl(stem + ".jsonl");
+  ASSERT_TRUE(jsonl.good()) << stem;
+  std::stringstream body;
+  body << jsonl.rdbuf();
+  // The dump's retained window brackets the trigger: events stamped with
+  // the faulted round must be inside it.
+  EXPECT_NE(body.str().find("\"round\":12"), std::string::npos);
+  EXPECT_NE(body.str().find("\"anomaly_rule\":\"round_time_spike\""),
+            std::string::npos);
+  std::ifstream manifest(stem + ".manifest.json");
+  EXPECT_TRUE(manifest.good()) << stem;
+  std::remove((stem + ".jsonl").c_str());
+  std::remove((stem + ".manifest.json").c_str());
 }
 
 }  // namespace

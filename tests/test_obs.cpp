@@ -6,14 +6,18 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/anomaly.hpp"
 #include "obs/events.hpp"
 #include "obs/manifest.hpp"
+#include "obs/openmetrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
+#include "obs/rolling_hist.hpp"
 #include "util/check.hpp"
 
 namespace sdn::obs {
@@ -294,6 +298,317 @@ TEST(Manifest, JsonEscapeHandlesQuotesAndControlChars) {
   EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
   EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
   EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(FlightRecorder, PerLaneDropCounts) {
+  FlightRecorder rec(/*lanes=*/2, /*lane_capacity=*/4);
+  for (std::int64_t i = 0; i < 10; ++i) rec.EmitLane(0, At(i));
+  for (std::int64_t i = 0; i < 3; ++i) rec.EmitLane(1, At(i));
+  EXPECT_EQ(rec.dropped_lane(0), 6u);
+  EXPECT_EQ(rec.dropped_lane(1), 0u);
+  EXPECT_EQ(rec.dropped_lane(2), 0u);   // out of range: 0, never a throw
+  EXPECT_EQ(rec.dropped_lane(-1), 0u);
+  EXPECT_EQ(rec.dropped(), 6u);  // aggregate stays the per-lane sum
+}
+
+TEST(RollingHist, WindowEvictsOldestObservations) {
+  RollingHist h(/*window=*/4);
+  for (int i = 0; i < 4; ++i) h.Observe(1000);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 4000);
+  h.Observe(8);  // evicts one 1000
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.total_observed(), 5);
+  EXPECT_EQ(h.sum(), 3008);
+  for (int i = 0; i < 3; ++i) h.Observe(8);  // window is now all 8s
+  EXPECT_EQ(h.sum(), 32);
+  // Every 1000 left the window, so even the max quantile sits in the
+  // bucket holding 8 ([8, 15]).
+  EXPECT_GE(h.Quantile(1.0), 8);
+  EXPECT_LE(h.Quantile(1.0), 15);
+}
+
+TEST(RollingHist, QuantilesLandInTheRightLog2Bucket) {
+  RollingHist h(/*window=*/128);
+  for (std::int64_t v = 1; v <= 100; ++v) h.Observe(v);
+  const std::int64_t p50 = h.Quantile(0.50);
+  // True p50 is 50: the estimate must stay inside its bucket [32, 63].
+  EXPECT_GE(p50, 32);
+  EXPECT_LE(p50, 63);
+  EXPECT_EQ(h.Quantile(0.0), 1);  // clamped to the first bucket's floor
+}
+
+TEST(RollingHist, EmptyAndZeroSemantics) {
+  RollingHist h(/*window=*/2);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  h.Observe(0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Quantile(1.0), 0);  // bucket 0 holds exactly {0}
+}
+
+AnomalyOptions TightOptions() {
+  AnomalyOptions o;
+  o.window = 16;
+  o.min_samples = 4;
+  o.spike_factor = 2.0;
+  o.spike_floor_ns = 100;
+  o.aux_stall_ns = 500;
+  o.memory_jump_factor = 0.5;
+  o.memory_jump_floor_bytes = 100;
+  o.cooldown_rounds = 1;
+  return o;
+}
+
+RoundSignals Signals(std::int64_t round, std::int64_t total_ns = 1000) {
+  RoundSignals s;
+  s.round = round;
+  s.total_ns = total_ns;
+  return s;
+}
+
+TEST(AnomalyEngine, SpikeArmsOnlyAfterMinSamples) {
+  AnomalyEngine engine(TightOptions(), nullptr, nullptr);
+  // Rounds 1-3 seed the window; a spike at round 4 sees count()==3 <
+  // min_samples and must not fire — an empty baseline is no baseline.
+  for (std::int64_t r = 1; r <= 3; ++r) engine.Observe(Signals(r), {});
+  engine.Observe(Signals(4, 100'000), {});
+  EXPECT_EQ(engine.total_fired(), 0);
+}
+
+TEST(AnomalyEngine, SpikeFiresAgainstRollingP99NotItself) {
+  AnomalyEngine engine(TightOptions(), nullptr, nullptr);
+  for (std::int64_t r = 1; r <= 4; ++r) engine.Observe(Signals(r), {});
+  engine.Observe(Signals(5, 100'000), {});
+  ASSERT_EQ(engine.records().size(), 1u);
+  const AnomalyRecord& rec = engine.records().front();
+  EXPECT_EQ(rec.rule, AnomalyRule::kRoundTimeSpike);
+  EXPECT_EQ(rec.round, 5);
+  EXPECT_EQ(rec.value, 100'000);
+  EXPECT_STREQ(rec.signal, "round_total_ns");
+  // Threshold was armed from the window *before* the spike (p99 of the
+  // 1000 ns baseline x factor 2), far below the spike itself.
+  EXPECT_LT(rec.threshold, 100'000);
+  EXPECT_GE(rec.threshold, 100);
+}
+
+TEST(AnomalyEngine, CooldownSuppressesImmediateRefire) {
+  AnomalyEngine engine(TightOptions(), nullptr, nullptr);  // cooldown 1 round
+  for (std::int64_t r = 1; r <= 4; ++r) engine.Observe(Signals(r), {});
+  engine.Observe(Signals(5, 100'000), {});
+  // Round 6 spikes far above even the spiked window's p99, but it is
+  // inside the cooldown.
+  engine.Observe(Signals(6, 100'000'000), {});
+  EXPECT_EQ(engine.total_fired(), 1);
+  // Round 7 is past the cooldown. Round 6's suppressed sample still folded
+  // into the window, so the rolling p99 now sits near 100 ms — spike well
+  // past 2x that and it fires again.
+  engine.Observe(Signals(7, 100'000'000'000), {});
+  EXPECT_EQ(engine.total_fired(), 2);
+}
+
+TEST(AnomalyEngine, AuxLaneStallFiresAboveThreshold) {
+  AnomalyEngine engine(TightOptions(), nullptr, nullptr);
+  RoundSignals s = Signals(1);
+  s.aux_wait_ns = 400;  // under the 500 ns test threshold
+  engine.Observe(s, {});
+  EXPECT_EQ(engine.total_fired(), 0);
+  s = Signals(2);
+  s.aux_wait_ns = 1000;
+  engine.Observe(s, {});
+  ASSERT_EQ(engine.records().size(), 1u);
+  EXPECT_EQ(engine.records().front().rule, AnomalyRule::kAuxLaneStall);
+  EXPECT_STREQ(engine.records().front().signal, "aux_lane_wait_ns");
+}
+
+TEST(AnomalyEngine, MemoryJumpBaselinesFirstSightThenFiresOnStep) {
+  AnomalyEngine engine(TightOptions(), nullptr, nullptr);
+  const MemorySample first[] = {{"outbox", 1000}};
+  engine.Observe(Signals(1), first);  // first sight: baseline only
+  EXPECT_EQ(engine.total_fired(), 0);
+  const MemorySample jump[] = {{"outbox", 5000}};
+  engine.Observe(Signals(2), jump);  // step 4000 > max(100, 0.5 x 1000)
+  ASSERT_EQ(engine.records().size(), 1u);
+  const AnomalyRecord& rec = engine.records().front();
+  EXPECT_EQ(rec.rule, AnomalyRule::kMemoryJump);
+  EXPECT_EQ(rec.value, 5000);
+  EXPECT_STREQ(rec.signal, "outbox");
+  const MemorySample settle[] = {{"outbox", 5050}};
+  engine.Observe(Signals(4), settle);  // small step, past cooldown: silent
+  EXPECT_EQ(engine.total_fired(), 1);
+}
+
+TEST(AnomalyEngine, CertRegressionOnDropAndFirstBadWindow) {
+  AnomalyEngine engine(TightOptions(), nullptr, nullptr);
+  RoundSignals s = Signals(1);
+  s.certified_T = 4;
+  engine.Observe(s, {});  // baseline
+  s = Signals(2);
+  s.certified_T = -1;  // not sampled this round: rule must skip, not fire
+  engine.Observe(s, {});
+  EXPECT_EQ(engine.total_fired(), 0);
+  s = Signals(3);
+  s.certified_T = 2;  // drop vs the last sampled value
+  engine.Observe(s, {});
+  ASSERT_EQ(engine.records().size(), 1u);
+  EXPECT_EQ(engine.records().front().rule, AnomalyRule::kCertRegression);
+  EXPECT_EQ(engine.records().front().value, 2);
+  EXPECT_EQ(engine.records().front().threshold, 4);
+  s = Signals(5);
+  s.certified_T = 2;
+  s.first_bad_window = 7;
+  engine.Observe(s, {});  // first bad window: one-shot latch
+  EXPECT_EQ(engine.total_fired(), 2);
+  EXPECT_STREQ(engine.records().back().signal, "tinterval_first_bad_window");
+  s = Signals(7);
+  s.certified_T = 2;
+  s.first_bad_window = 7;
+  engine.Observe(s, {});  // latched: no refire even past cooldown
+  EXPECT_EQ(engine.total_fired(), 2);
+}
+
+TEST(AnomalyEngine, RecorderDropOnsetFiresOnceAtTransition) {
+  AnomalyEngine engine(TightOptions(), nullptr, nullptr);
+  RoundSignals s = Signals(1);
+  s.recorder_dropped = 0;
+  engine.Observe(s, {});
+  EXPECT_EQ(engine.total_fired(), 0);
+  s = Signals(3);
+  s.recorder_dropped = 10;  // onset
+  engine.Observe(s, {});
+  EXPECT_EQ(engine.total_fired(), 1);
+  EXPECT_EQ(engine.records().front().rule, AnomalyRule::kRecorderDropOnset);
+  s = Signals(6);
+  s.recorder_dropped = 500;  // keeps climbing: gauges carry it, no refire
+  engine.Observe(s, {});
+  EXPECT_EQ(engine.total_fired(), 1);
+}
+
+TEST(AnomalyEngine, RegistryCountersTrackFirings) {
+  MetricsRegistry registry;
+  AnomalyEngine engine(TightOptions(), &registry, nullptr);
+  RoundSignals s = Signals(1);
+  s.aux_wait_ns = 1000;
+  engine.Observe(s, {});
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Find("anomalies_total")->value, 1);
+  EXPECT_EQ(snap.Find("anomaly_aux_lane_stall")->value, 1);
+  EXPECT_EQ(snap.Find("anomaly_round_time_spike")->value, 0);
+  // Everything the anomaly plane registers is wall-clock-driven and must
+  // stay out of the deterministic subset.
+  EXPECT_TRUE(registry.Snapshot().Deterministic().empty());
+}
+
+TEST(AnomalyEngine, DumpWritesRecorderWindowAndManifest) {
+  const std::string dir = ::testing::TempDir();
+  FlightRecorder recorder;
+  recorder.Emit(At(10));
+  AnomalyOptions options = TightOptions();
+  options.dump_dir = dir;
+  AnomalyEngine engine(options, nullptr, &recorder);
+  RoundSignals s = Signals(9);
+  s.aux_wait_ns = 1000;
+  engine.Observe(s, {});
+  ASSERT_EQ(engine.dumps_written(), 1);
+  const std::string stem = dir + "/anomaly-9-aux_lane_stall";
+  std::ifstream jsonl(stem + ".jsonl");
+  ASSERT_TRUE(jsonl.good()) << stem;
+  std::stringstream body;
+  body << jsonl.rdbuf();
+  EXPECT_NE(body.str().find("\"anomaly_rule\":\"aux_lane_stall\""),
+            std::string::npos);
+  EXPECT_NE(body.str().find("\"anomaly_round\":\"9\""), std::string::npos);
+  std::ifstream manifest(stem + ".manifest.json");
+  EXPECT_TRUE(manifest.good()) << stem;
+}
+
+TEST(AnomalyEngine, DumpCountIsBounded) {
+  const std::string dir = ::testing::TempDir();
+  FlightRecorder recorder;
+  AnomalyOptions options = TightOptions();
+  options.dump_dir = dir;
+  options.max_dumps = 1;
+  options.cooldown_rounds = 0;
+  AnomalyEngine engine(options, nullptr, &recorder);
+  for (std::int64_t r = 1; r <= 4; ++r) {
+    RoundSignals s = Signals(r * 2);
+    s.aux_wait_ns = 1000;
+    engine.Observe(s, {});
+  }
+  EXPECT_EQ(engine.total_fired(), 4);
+  EXPECT_EQ(engine.dumps_written(), 1);
+}
+
+TEST(OpenMetrics, NameMappingAndPrefix) {
+  EXPECT_EQ(OpenMetricsName("round_ns"), "sdn_round_ns");
+  EXPECT_EQ(OpenMetricsName("weird-name.x"), "sdn_weird_name_x");
+}
+
+TEST(OpenMetrics, RendersCountersGaugesSummariesAndEof) {
+  MetricsRegistry registry;
+  registry.GetCounter("msgs")->Add(7);
+  registry.GetGauge("hw_bits")->Set(256);
+  Histogram* h = registry.GetHistogram("round_ns", /*deterministic=*/false);
+  h->Observe(100);
+  h->Observe(200);
+  const std::string out = RenderOpenMetrics(registry.Snapshot());
+  EXPECT_NE(out.find("# TYPE sdn_msgs counter\nsdn_msgs_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE sdn_hw_bits gauge\nsdn_hw_bits 256\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE sdn_round_ns summary\n"), std::string::npos);
+  EXPECT_NE(out.find("sdn_round_ns{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(out.find("sdn_round_ns{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(out.find("sdn_round_ns_sum 300\n"), std::string::npos);
+  EXPECT_NE(out.find("sdn_round_ns_count 2\n"), std::string::npos);
+  // The format requires the EOF terminator as the final line.
+  ASSERT_GE(out.size(), 6u);
+  EXPECT_EQ(out.substr(out.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetrics, MemoryAndAnomalySeriesCarryLabels) {
+  MetricsRegistry registry;
+  const std::vector<MemorySeries> memory = {{"outbox", 100, 200},
+                                            {"with\"quote", 1, 2}};
+  const std::vector<AnomalyRecord> anomalies = {
+      {AnomalyRule::kRoundTimeSpike, 5, 100, 10, "round_total_ns"},
+      {AnomalyRule::kRoundTimeSpike, 9, 100, 10, "round_total_ns"},
+      {AnomalyRule::kMemoryJump, 7, 100, 10, "outbox"}};
+  const std::string out =
+      RenderOpenMetrics(registry.Snapshot(), memory, anomalies);
+  EXPECT_NE(
+      out.find("sdn_memory_bytes{subsystem=\"outbox\",stat=\"current\"} 100"),
+      std::string::npos);
+  EXPECT_NE(
+      out.find("sdn_memory_bytes{subsystem=\"outbox\",stat=\"peak\"} 200"),
+      std::string::npos);
+  EXPECT_NE(out.find("subsystem=\"with\\\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("sdn_anomaly_records{rule=\"round_time_spike\"} 2"),
+            std::string::npos);
+  EXPECT_NE(out.find("sdn_anomaly_records{rule=\"memory_jump\"} 1"),
+            std::string::npos);
+  // Rules that never fired do not emit empty series.
+  EXPECT_EQ(out.find("rule=\"cert_regression\""), std::string::npos);
+}
+
+TEST(OpenMetrics, WriteToUnopenablePathReturnsFalse) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(
+      WriteOpenMetrics("/nonexistent-dir/metrics.txt", registry.Snapshot()));
+}
+
+TEST(Manifest, FakeTimeEnvOverridesUtcTimestampAndRoundTrips) {
+  ASSERT_EQ(setenv("SDN_FAKE_TIME", "2026-01-02T03:04:05Z", 1), 0);
+  const RunManifest faked = RunManifest::Collect();
+  EXPECT_EQ(*faked.Find("utc_time"), "2026-01-02T03:04:05Z");
+  // Round-trip: the injected stamp survives serialisation verbatim, so
+  // manifest-comparing tests are reproducible byte for byte.
+  EXPECT_NE(faked.ToJson().find("\"utc_time\":\"2026-01-02T03:04:05Z\""),
+            std::string::npos);
+  ASSERT_EQ(unsetenv("SDN_FAKE_TIME"), 0);
+  const std::string& real = *RunManifest::Collect().Find("utc_time");
+  EXPECT_EQ(real.size(), 20u);  // back on the wall clock
+  EXPECT_EQ(real.back(), 'Z');
 }
 
 TEST(Events, KindNamesAreStable) {
